@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the simulation substrate: event-queue operations
+//! and end-to-end engine throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sda_sim::{Context, Engine, EventQueue, SimTime, Simulation};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for &n in &[1_000usize, 10_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("schedule_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    // Reversed times exercise the heap's worst insert path.
+                    q.schedule(SimTime::from((n - i) as f64), i);
+                }
+                let mut sum = 0usize;
+                while let Some(ev) = q.pop() {
+                    sum += ev.event;
+                }
+                black_box(sum)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cancel_half", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                let handles: Vec<_> = (0..n)
+                    .map(|i| q.schedule(SimTime::from(i as f64), i))
+                    .collect();
+                for h in handles.iter().step_by(2) {
+                    q.cancel(*h);
+                }
+                let mut count = 0;
+                while q.pop().is_some() {
+                    count += 1;
+                }
+                black_box(count)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A self-driving model for raw engine throughput.
+struct Pingpong {
+    remaining: u64,
+}
+
+impl Simulation for Pingpong {
+    type Event = ();
+    fn handle(&mut self, ctx: &mut Context<()>, _: ()) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule_in(1.0, ());
+        }
+    }
+}
+
+fn bench_engine_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    let events = 100_000u64;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("handle_100k_events", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(Pingpong { remaining: events });
+            engine.context_mut().schedule_at(SimTime::ZERO, ());
+            engine.run();
+            black_box(engine.context().events_handled())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_engine_loop);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 2 regression bench: regenerates the SSP-baseline sweep at a
+//! reduced scale and times it. The printed tables are the figure's
+//! series; run the `fig2_ssp_baseline` binary (optionally `--full`) for
+//! paper-scale output.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sda_experiments::{fig2, ExperimentOpts, Metric};
+
+fn reduced_opts() -> ExperimentOpts {
+    ExperimentOpts {
+        reps: 1,
+        warmup: 200.0,
+        duration: 2_000.0,
+        seed: 0xF162,
+        threads: 0,
+            csv_dir: None,
+        }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    // Regenerate and print the figure once at a moderate scale so the
+    // bench run leaves the actual series in its log.
+    let print_opts = ExperimentOpts {
+        reps: 2,
+        warmup: 500.0,
+        duration: 8_000.0,
+        seed: 0xF162,
+        threads: 0,
+            csv_dir: None,
+        };
+    let data = fig2::run(&print_opts);
+    println!("{}", data.table(Metric::MdLocal));
+    println!("{}", data.table(Metric::MdGlobal));
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("ssp_baseline_sweep_reduced", |b| {
+        let opts = reduced_opts();
+        b.iter(|| black_box(fig2::run(&opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

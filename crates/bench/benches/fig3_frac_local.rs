@@ -1,0 +1,41 @@
+//! Figure 3 regression bench: the frac_local sweep (UD vs EQF) at a
+//! reduced scale, with the regenerated series printed once.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sda_experiments::{fig3, ExperimentOpts, Metric};
+
+fn bench_fig3(c: &mut Criterion) {
+    let print_opts = ExperimentOpts {
+        reps: 2,
+        warmup: 500.0,
+        duration: 8_000.0,
+        seed: 0xF163,
+        threads: 0,
+            csv_dir: None,
+        };
+    let data = fig3::run(&print_opts);
+    println!("{}", data.table(Metric::MdLocal));
+    println!("{}", data.table(Metric::MdGlobal));
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("frac_local_sweep_reduced", |b| {
+        let opts = ExperimentOpts {
+            reps: 1,
+            warmup: 200.0,
+            duration: 2_000.0,
+            seed: 0xF163,
+            threads: 0,
+            csv_dir: None,
+        };
+        b.iter(|| black_box(fig3::run(&opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 4 regression bench: the PSP baseline (UD, DIV-1, DIV-2, GF)
+//! at a reduced scale, with the regenerated series printed once.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sda_experiments::{fig4, ExperimentOpts, Metric};
+
+fn bench_fig4(c: &mut Criterion) {
+    let print_opts = ExperimentOpts {
+        reps: 2,
+        warmup: 500.0,
+        duration: 8_000.0,
+        seed: 0xF164,
+        threads: 0,
+            csv_dir: None,
+        };
+    let data = fig4::run(&print_opts);
+    println!("{}", data.table(Metric::MdLocal));
+    println!("{}", data.table(Metric::MdGlobal));
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("psp_baseline_sweep_reduced", |b| {
+        let opts = ExperimentOpts {
+            reps: 1,
+            warmup: 200.0,
+            duration: 2_000.0,
+            seed: 0xF164,
+            threads: 0,
+            csv_dir: None,
+        };
+        b.iter(|| black_box(fig4::run(&opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Ready-queue operation cost under every discipline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use sda_core::TaskId;
+use sda_sched::{Job, Policy, ReadyQueue};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ready_queue");
+    let n = 10_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    for policy in Policy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("push_pop_10k", policy.short_name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut q = ReadyQueue::new(policy);
+                    for i in 0..n {
+                        // Scatter deadlines so EDF/MLF heaps do real work.
+                        let dl = ((i * 7919) % n) as f64;
+                        let pex = 0.5 + ((i * 104_729) % 100) as f64 / 100.0;
+                        let mut job = Job::local(TaskId::new(i as u64), 0.0, pex, dl);
+                        job.pex = pex;
+                        q.push(job);
+                    }
+                    let mut sum = 0.0;
+                    while let Some(j) = q.pop() {
+                        sum += j.deadline;
+                    }
+                    black_box(sum)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_pop);
+criterion_main!(benches);

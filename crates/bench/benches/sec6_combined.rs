@@ -1,0 +1,42 @@
+//! Section 6 regression bench: the four SSP×PSP combinations on
+//! serial-parallel tasks at a reduced scale, with the regenerated
+//! series printed once.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use sda_experiments::{sec6, ExperimentOpts, Metric};
+
+fn bench_sec6(c: &mut Criterion) {
+    let print_opts = ExperimentOpts {
+        reps: 2,
+        warmup: 500.0,
+        duration: 8_000.0,
+        seed: 0x5EC6,
+        threads: 0,
+            csv_dir: None,
+        };
+    let data = sec6::run(&print_opts);
+    println!("{}", data.table(Metric::MdLocal));
+    println!("{}", data.table(Metric::MdGlobal));
+
+    let mut group = c.benchmark_group("sec6");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("combined_sweep_reduced", |b| {
+        let opts = ExperimentOpts {
+            reps: 1,
+            warmup: 200.0,
+            duration: 2_000.0,
+            seed: 0x5EC6,
+            threads: 0,
+            csv_dir: None,
+        };
+        b.iter(|| black_box(sec6::run(&opts)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sec6);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Cost of the deadline-assignment strategies themselves: the per-subtask
+//! computation a real process manager would run on its critical path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use sda_core::{
+    Completion, NodeId, ParallelStrategy, PspInput, SdaStrategy, SerialStrategy, SspInput,
+    TaskRun, TaskSpec,
+};
+
+fn bench_ssp_formulas(c: &mut Criterion) {
+    let pex_rest: Vec<f64> = (0..16).map(|i| 1.0 + i as f64 * 0.1).collect();
+    let mut group = c.benchmark_group("ssp_deadline");
+    for strategy in SerialStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.short_name()),
+            &strategy,
+            |b, s| {
+                b.iter(|| {
+                    let input = SspInput {
+                        submit_time: black_box(10.0),
+                        global_deadline: black_box(100.0),
+                        pex_current: black_box(2.0),
+                        pex_remaining_after: black_box(&pex_rest),
+                    };
+                    black_box(s.deadline(&input))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_psp_formulas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psp_deadline");
+    let strategies = [
+        ("UD", ParallelStrategy::UltimateDeadline),
+        ("DIV-1", ParallelStrategy::Div { x: 1.0 }),
+        ("GF", ParallelStrategy::GlobalsFirst),
+    ];
+    for (name, s) in strategies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let input = PspInput {
+                    arrival_time: black_box(10.0),
+                    global_deadline: black_box(100.0),
+                    branch_count: black_box(8),
+                };
+                black_box(s.deadline(&input))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn chain(m: usize) -> TaskSpec {
+    TaskSpec::serial(
+        (0..m)
+            .map(|i| TaskSpec::simple(NodeId::new(i as u32 % 6), 1.0, 1.0))
+            .collect(),
+    )
+}
+
+fn bench_taskrun_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taskrun");
+    for &m in &[4usize, 16, 64] {
+        let spec = chain(m);
+        let strategy = SdaStrategy::eqf_div1();
+        group.bench_with_input(BenchmarkId::new("serial_chain", m), &m, |b, _| {
+            b.iter(|| {
+                let mut run = TaskRun::new(&spec, 0.0, 2.0 * m as f64).unwrap();
+                let mut pending = run.start(&strategy, 0.0);
+                let mut now = 0.0;
+                while let Some(sub) = pending.pop() {
+                    now += sub.ex;
+                    match run.complete(sub.subtask, &strategy, now) {
+                        Completion::Submitted(next) => pending.extend(next),
+                        Completion::Finished => break,
+                    }
+                }
+                black_box(now)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ssp_formulas,
+    bench_psp_formulas,
+    bench_taskrun_lifecycle
+);
+criterion_main!(benches);

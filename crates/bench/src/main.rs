@@ -1,0 +1,1 @@
+fn main() { println!("sda-bench: run `cargo bench` for the benchmark suite"); }

@@ -1,0 +1,136 @@
+//! The five task attributes of the paper's model (§3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// The real-time attributes of a task `X`:
+/// arrival `ar(X)`, deadline `dl(X)`, real execution time `ex(X)` and
+/// predicted execution time `pex(X)`.
+///
+/// Slack and flexibility are derived, per the paper's identities:
+///
+/// * `sl(X) = dl(X) − ar(X) − ex(X)`
+/// * `fl(X) = sl(X) / ex(X)`
+///
+/// # Examples
+///
+/// ```
+/// use sda_core::TaskAttributes;
+///
+/// let x = TaskAttributes::from_slack(10.0, 2.0, 3.0); // ar, ex, slack
+/// assert_eq!(x.deadline, 15.0);
+/// assert_eq!(x.slack(), 3.0);
+/// assert_eq!(x.flexibility(), 1.5);
+/// assert_eq!(x.pex, 2.0); // prediction defaults to perfect
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskAttributes {
+    /// Arrival time `ar(X)`.
+    pub arrival: f64,
+    /// Absolute deadline `dl(X)`.
+    pub deadline: f64,
+    /// Real execution time `ex(X)`; not observable by strategies.
+    pub ex: f64,
+    /// Predicted execution time `pex(X)`; what strategies may use.
+    pub pex: f64,
+}
+
+impl TaskAttributes {
+    /// Builds attributes from arrival, execution time and slack, deriving
+    /// the deadline as `ar + ex + sl`. Prediction starts perfect
+    /// (`pex = ex`); override with [`TaskAttributes::with_pex`].
+    pub fn from_slack(arrival: f64, ex: f64, slack: f64) -> TaskAttributes {
+        TaskAttributes {
+            arrival,
+            deadline: arrival + ex + slack,
+            ex,
+            pex: ex,
+        }
+    }
+
+    /// Replaces the predicted execution time (models estimation error).
+    pub fn with_pex(mut self, pex: f64) -> TaskAttributes {
+        self.pex = pex;
+        self
+    }
+
+    /// The slack `sl(X) = dl − ar − ex`.
+    pub fn slack(&self) -> f64 {
+        self.deadline - self.arrival - self.ex
+    }
+
+    /// The flexibility `fl(X) = sl(X)/ex(X)`; infinite for `ex = 0`.
+    pub fn flexibility(&self) -> f64 {
+        self.slack() / self.ex
+    }
+
+    /// The relative deadline (deadline minus arrival).
+    pub fn relative_deadline(&self) -> f64 {
+        self.deadline - self.arrival
+    }
+
+    /// Whether the task *could* meet its deadline if executed with zero
+    /// queueing delay (non-negative slack).
+    pub fn is_feasible(&self) -> bool {
+        self.slack() >= 0.0
+    }
+
+    /// Whether a task finishing at `completion` met its deadline.
+    pub fn met_deadline(&self, completion: f64) -> bool {
+        completion <= self.deadline
+    }
+
+    /// Lateness of a completion: `completion − dl` (negative = early).
+    pub fn lateness(&self, completion: f64) -> f64 {
+        completion - self.deadline
+    }
+
+    /// Tardiness of a completion: `max(0, lateness)`.
+    pub fn tardiness(&self, completion: f64) -> f64 {
+        self.lateness(completion).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_hold() {
+        let x = TaskAttributes::from_slack(1.0, 2.0, 0.5);
+        assert_eq!(x.deadline, 3.5);
+        assert_eq!(x.slack(), 0.5);
+        assert_eq!(x.flexibility(), 0.25);
+        assert_eq!(x.relative_deadline(), 2.5);
+        assert!(x.is_feasible());
+    }
+
+    #[test]
+    fn with_pex_overrides_prediction_only() {
+        let x = TaskAttributes::from_slack(0.0, 2.0, 1.0).with_pex(3.0);
+        assert_eq!(x.pex, 3.0);
+        assert_eq!(x.ex, 2.0);
+        assert_eq!(x.slack(), 1.0, "slack uses real ex");
+    }
+
+    #[test]
+    fn negative_slack_is_infeasible() {
+        let x = TaskAttributes {
+            arrival: 0.0,
+            deadline: 1.0,
+            ex: 2.0,
+            pex: 2.0,
+        };
+        assert_eq!(x.slack(), -1.0);
+        assert!(!x.is_feasible());
+    }
+
+    #[test]
+    fn lateness_and_tardiness() {
+        let x = TaskAttributes::from_slack(0.0, 1.0, 1.0); // dl = 2
+        assert!(x.met_deadline(2.0));
+        assert!(!x.met_deadline(2.5));
+        assert_eq!(x.lateness(1.5), -0.5);
+        assert_eq!(x.tardiness(1.5), 0.0);
+        assert_eq!(x.tardiness(3.0), 1.0);
+    }
+}

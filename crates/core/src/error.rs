@@ -1,0 +1,50 @@
+//! Errors for task-structure validation.
+
+use std::fmt;
+
+/// Error returned when a [`TaskSpec`](crate::TaskSpec) is structurally
+/// invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A serial or parallel composite with no children.
+    EmptyComposite,
+    /// An execution-time or prediction value that is negative, NaN or
+    /// infinite.
+    InvalidTime {
+        /// Which field was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyComposite => {
+                write!(f, "serial/parallel composition must have at least one subtask")
+            }
+            SpecError::InvalidTime { what, value } => {
+                write!(f, "{what} must be finite and non-negative, got {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let e = SpecError::EmptyComposite;
+        assert!(e.to_string().starts_with("serial"));
+        let e = SpecError::InvalidTime {
+            what: "ex",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Identifier newtypes and task classifications.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a processing node (a database server, compute engine,
+/// network hop, … — every resource in the paper's model is a node).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its index.
+    pub const fn new(index: u32) -> NodeId {
+        NodeId(index)
+    }
+
+    /// The underlying index, e.g. for indexing a node vector.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(i: u32) -> NodeId {
+        NodeId(i)
+    }
+}
+
+/// Identifies a task instance (local task or global task).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(u64);
+
+impl TaskId {
+    /// Creates a task id from a raw counter value.
+    pub const fn new(raw: u64) -> TaskId {
+        TaskId(raw)
+    }
+
+    /// The raw counter value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// The two task classes of the paper's model.
+///
+/// *Local* tasks execute at exactly one node and are generated there;
+/// *global* tasks span nodes and pass through the process manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskClass {
+    /// Single-node task generated locally at its node.
+    Local,
+    /// Multi-node serial-parallel task with an end-to-end deadline.
+    Global,
+}
+
+impl fmt::Display for TaskClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskClass::Local => write!(f, "local"),
+            TaskClass::Global => write!(f, "global"),
+        }
+    }
+}
+
+/// Scheduling priority class attached to a submitted subtask.
+///
+/// Under the Globals First (GF) strategy, subtasks of global tasks are
+/// `Elevated`: a node serves every elevated job before any `Normal` job,
+/// preserving EDF order *within* each class (paper §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum PriorityClass {
+    /// Ordinary priority: competes purely by virtual deadline.
+    #[default]
+    Normal,
+    /// Served strictly before all `Normal` jobs (GF).
+    Elevated,
+}
+
+impl fmt::Display for PriorityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PriorityClass::Normal => write!(f, "normal"),
+            PriorityClass::Elevated => write!(f, "elevated"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips() {
+        let n = NodeId::new(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(NodeId::from(3), n);
+        assert_eq!(n.to_string(), "node3");
+    }
+
+    #[test]
+    fn task_id_round_trips() {
+        let t = TaskId::new(42);
+        assert_eq!(t.raw(), 42);
+        assert_eq!(t.to_string(), "task42");
+    }
+
+    #[test]
+    fn priority_ordering_elevated_wins() {
+        assert!(PriorityClass::Elevated > PriorityClass::Normal);
+        assert_eq!(PriorityClass::default(), PriorityClass::Normal);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(TaskClass::Local.to_string(), "local");
+        assert_eq!(TaskClass::Global.to_string(), "global");
+        assert_eq!(PriorityClass::Elevated.to_string(), "elevated");
+    }
+}

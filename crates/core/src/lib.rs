@@ -1,0 +1,75 @@
+//! # sda-core — subtask deadline assignment (the paper's contribution)
+//!
+//! In a distributed soft real-time system, a *global task* is a
+//! serial-parallel composition of *subtasks*, each executing at one node.
+//! Applications specify one **end-to-end deadline**; every node schedules
+//! independently (typically earliest-deadline-first) and never coordinates
+//! with its peers. The **subtask deadline assignment problem (SDA)** asks:
+//! what *virtual deadline* should each subtask carry so that local
+//! schedulers perceive its true urgency?
+//!
+//! Kao & Garcia-Molina (ICDCS '93) split SDA into two subproblems and
+//! propose strategy families for each:
+//!
+//! * the **serial subtask problem** ([`SerialStrategy`]):
+//!   Ultimate Deadline, Effective Deadline, Equal Slack, Equal Flexibility;
+//! * the **parallel subtask problem** ([`ParallelStrategy`]):
+//!   Ultimate Deadline, DIV-x, Globals First;
+//! * the combined, recursive assigner for serial-parallel trees
+//!   ([`TaskRun`] driving an [`SdaStrategy`]).
+//!
+//! This crate is pure and deterministic: no clocks, no RNG, no I/O. The
+//! simulation crates (`sda-system`, `sda-workload`) drive it; it is equally
+//! usable inside a real process manager.
+//!
+//! ## Example: dynamic serial decomposition
+//!
+//! ```
+//! use sda_core::{NodeId, SdaStrategy, SerialStrategy, ParallelStrategy,
+//!                TaskRun, TaskSpec, Completion};
+//!
+//! // [T1 T2] — two stages on different nodes, pex 1.0 each.
+//! let spec = TaskSpec::serial(vec![
+//!     TaskSpec::simple(NodeId::new(0), 1.0, 1.0),
+//!     TaskSpec::simple(NodeId::new(1), 1.0, 1.0),
+//! ]);
+//! let strategy = SdaStrategy::new(SerialStrategy::EqualFlexibility,
+//!                                 ParallelStrategy::UltimateDeadline);
+//!
+//! // Arrives at t=0 with end-to-end deadline 4 (2 ex + 2 slack).
+//! let mut run = TaskRun::new(&spec, 0.0, 4.0)?;
+//! let first = run.start(&strategy, 0.0);
+//! assert_eq!(first.len(), 1);
+//! // EQF gives stage 1 half the slack: dl = 0 + 1 + 2·(1/2) = 2.
+//! assert!((first[0].deadline - 2.0).abs() < 1e-12);
+//!
+//! // Stage 1 finishes *early* at t=0.5; stage 2 inherits the leftover.
+//! match run.complete(first[0].subtask, &strategy, 0.5) {
+//!     Completion::Submitted(subs) => {
+//!         assert!((subs[0].deadline - 4.0).abs() < 1e-12);
+//!     }
+//!     Completion::Finished => unreachable!(),
+//! }
+//! # Ok::<(), sda_core::SpecError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assign;
+mod attr;
+mod error;
+mod ids;
+mod psp;
+mod spec;
+mod ssp;
+mod strategy;
+
+pub use assign::{Completion, SdaStrategy, Submission, SubtaskRef, TaskRun};
+pub use attr::TaskAttributes;
+pub use error::SpecError;
+pub use ids::{NodeId, PriorityClass, TaskClass, TaskId};
+pub use psp::{ParallelStrategy, PspInput};
+pub use spec::{SimpleSpec, TaskSpec};
+pub use strategy::DeadlineAssigner;
+pub use ssp::{SerialStrategy, SspInput};

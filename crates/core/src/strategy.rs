@@ -1,0 +1,161 @@
+//! The extension point for custom deadline-assignment policies.
+
+use crate::ids::PriorityClass;
+use crate::psp::{ParallelStrategy, PspInput};
+use crate::ssp::SspInput;
+use crate::SdaStrategy;
+
+/// An object-safe deadline-assignment policy: everything a
+/// [`TaskRun`](crate::TaskRun) needs to decompose an end-to-end deadline.
+///
+/// The paper's strategies are available through the blanket
+/// implementation on [`SdaStrategy`]; implement this trait to experiment
+/// with policies beyond the paper, e.g. a risk-averse rule that gives
+/// high-variance stages proportionally more slack:
+///
+/// ```
+/// use sda_core::{DeadlineAssigner, NodeId, PspInput, SspInput, TaskRun, TaskSpec};
+///
+/// /// Divides slack proportionally to √pex instead of pex: long stages
+/// /// still get more slack, but the advantage is damped.
+/// struct SqrtFlexibility;
+///
+/// impl DeadlineAssigner for SqrtFlexibility {
+///     fn serial_deadline(&self, input: &SspInput<'_>) -> f64 {
+///         let w = input.pex_current.sqrt();
+///         let total: f64 = w + input
+///             .pex_remaining_after
+///             .iter()
+///             .map(|p| p.sqrt())
+///             .sum::<f64>();
+///         let share = if total > 0.0 { w / total } else { 1.0 };
+///         input.submit_time + input.pex_current + input.remaining_slack() * share
+///     }
+///
+///     fn parallel_deadline(&self, input: &PspInput) -> f64 {
+///         input.global_deadline // UD at parallel levels
+///     }
+/// }
+///
+/// let spec = TaskSpec::serial(vec![
+///     TaskSpec::simple(NodeId::new(0), 1.0, 1.0),
+///     TaskSpec::simple(NodeId::new(1), 4.0, 4.0),
+/// ]);
+/// let mut run = TaskRun::new(&spec, 0.0, 8.0)?;
+/// let subs = run.start(&SqrtFlexibility, 0.0);
+/// // √1/(√1+√4) = 1/3 of the 3 units of slack → dl = 0 + 1 + 1 = 2.
+/// assert!((subs[0].deadline - 2.0).abs() < 1e-12);
+/// # Ok::<(), sda_core::SpecError>(())
+/// ```
+pub trait DeadlineAssigner {
+    /// Virtual deadline for the next child of a serial composition,
+    /// computed at its submission time. See [`SspInput`].
+    fn serial_deadline(&self, input: &SspInput<'_>) -> f64;
+
+    /// Virtual deadline for every branch of a parallel composition,
+    /// computed at the group's activation. See [`PspInput`].
+    fn parallel_deadline(&self, input: &PspInput) -> f64;
+
+    /// Scheduling class attached to this task's subtasks (`Elevated`
+    /// reproduces Globals First). Defaults to `Normal`.
+    fn priority_class(&self) -> PriorityClass {
+        PriorityClass::Normal
+    }
+}
+
+impl DeadlineAssigner for SdaStrategy {
+    fn serial_deadline(&self, input: &SspInput<'_>) -> f64 {
+        self.serial.deadline(input)
+    }
+
+    fn parallel_deadline(&self, input: &PspInput) -> f64 {
+        self.parallel.deadline(input)
+    }
+
+    fn priority_class(&self) -> PriorityClass {
+        self.parallel.priority_class()
+    }
+}
+
+impl DeadlineAssigner for ParallelStrategy {
+    fn serial_deadline(&self, input: &SspInput<'_>) -> f64 {
+        // A pure PSP strategy treats serial levels as UD.
+        input.global_deadline
+    }
+
+    fn parallel_deadline(&self, input: &PspInput) -> f64 {
+        self.deadline(input)
+    }
+
+    fn priority_class(&self) -> PriorityClass {
+        ParallelStrategy::priority_class(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssp::SerialStrategy;
+
+    #[test]
+    fn sda_strategy_delegates() {
+        let s = SdaStrategy::eqf_div1();
+        let ssp = SspInput {
+            submit_time: 0.0,
+            global_deadline: 20.0,
+            pex_current: 2.0,
+            pex_remaining_after: &[3.0, 5.0],
+        };
+        assert_eq!(
+            s.serial_deadline(&ssp),
+            SerialStrategy::EqualFlexibility.deadline(&ssp)
+        );
+        let psp = PspInput {
+            arrival_time: 0.0,
+            global_deadline: 12.0,
+            branch_count: 3,
+        };
+        assert_eq!(s.parallel_deadline(&psp), 4.0);
+        assert_eq!(s.priority_class(), PriorityClass::Normal);
+    }
+
+    #[test]
+    fn gf_strategy_elevates_via_trait() {
+        let s = SdaStrategy::new(
+            SerialStrategy::UltimateDeadline,
+            ParallelStrategy::GlobalsFirst,
+        );
+        assert_eq!(
+            DeadlineAssigner::priority_class(&s),
+            PriorityClass::Elevated
+        );
+    }
+
+    #[test]
+    fn parallel_strategy_standalone_is_ud_serially() {
+        let div = ParallelStrategy::Div { x: 2.0 };
+        let ssp = SspInput {
+            submit_time: 5.0,
+            global_deadline: 11.0,
+            pex_current: 1.0,
+            pex_remaining_after: &[],
+        };
+        assert_eq!(div.serial_deadline(&ssp), 11.0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let strategies: Vec<Box<dyn DeadlineAssigner>> = vec![
+            Box::new(SdaStrategy::ud_ud()),
+            Box::new(ParallelStrategy::GlobalsFirst),
+        ];
+        let psp = PspInput {
+            arrival_time: 0.0,
+            global_deadline: 8.0,
+            branch_count: 2,
+        };
+        for s in &strategies {
+            assert!(s.parallel_deadline(&psp) <= 8.0);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Property-based tests for the deadline-assignment strategies.
+//!
+//! These check the algebraic invariants that the paper's definitions
+//! imply, over randomized task shapes and timing parameters.
+
+use proptest::prelude::*;
+
+use sda_core::{
+    Completion, NodeId, ParallelStrategy, PspInput, SdaStrategy, SerialStrategy, SspInput,
+    Submission, TaskRun, TaskSpec,
+};
+
+const EPS: f64 = 1e-7;
+
+fn pex_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..10.0, 1..12)
+}
+
+proptest! {
+    /// EQS assigns every remaining stage the same slack share: the
+    /// first-stage deadline minus (submit + pex) equals slack/(m-i+1).
+    #[test]
+    fn eqs_share_is_total_slack_over_count(
+        pex in pex_vec(),
+        submit in 0.0f64..100.0,
+        slack in -5.0f64..50.0,
+    ) {
+        let total_pex: f64 = pex.iter().sum();
+        let global_deadline = submit + total_pex + slack;
+        let input = SspInput {
+            submit_time: submit,
+            global_deadline,
+            pex_current: pex[0],
+            pex_remaining_after: &pex[1..],
+        };
+        let dl = SerialStrategy::EqualSlack.deadline(&input);
+        let share = dl - submit - pex[0];
+        prop_assert!((share - slack / pex.len() as f64).abs() < EPS);
+    }
+
+    /// EQF gives every stage the same *flexibility* (slack share divided
+    /// by pex), equal to total slack over total pex.
+    #[test]
+    fn eqf_equalizes_flexibility(
+        pex in pex_vec(),
+        submit in 0.0f64..100.0,
+        slack in -5.0f64..50.0,
+    ) {
+        let total_pex: f64 = pex.iter().sum();
+        let global_deadline = submit + total_pex + slack;
+        let input = SspInput {
+            submit_time: submit,
+            global_deadline,
+            pex_current: pex[0],
+            pex_remaining_after: &pex[1..],
+        };
+        let dl = SerialStrategy::EqualFlexibility.deadline(&input);
+        let fl = (dl - submit - pex[0]) / pex[0];
+        prop_assert!((fl - slack / total_pex).abs() < 1e-6,
+            "stage flexibility {fl} vs global {}", slack / total_pex);
+    }
+
+    /// For non-negative slack, every strategy's first-stage deadline lies
+    /// in [submit + pex_1, dl(T)], and the orderings EQF ≤ ED ≤ UD,
+    /// EQS ≤ ED hold.
+    #[test]
+    fn ssp_orderings_hold(
+        pex in pex_vec(),
+        submit in 0.0f64..100.0,
+        slack in 0.0f64..50.0,
+    ) {
+        let total_pex: f64 = pex.iter().sum();
+        let global_deadline = submit + total_pex + slack;
+        let input = SspInput {
+            submit_time: submit,
+            global_deadline,
+            pex_current: pex[0],
+            pex_remaining_after: &pex[1..],
+        };
+        let ud = SerialStrategy::UltimateDeadline.deadline(&input);
+        let ed = SerialStrategy::EffectiveDeadline.deadline(&input);
+        let eqs = SerialStrategy::EqualSlack.deadline(&input);
+        let eqf = SerialStrategy::EqualFlexibility.deadline(&input);
+        for dl in [ud, ed, eqs, eqf] {
+            prop_assert!(dl >= submit + pex[0] - EPS, "deadline {dl} infeasibly early");
+            prop_assert!(dl <= global_deadline + EPS, "deadline {dl} beyond global");
+        }
+        prop_assert!(eqf <= ed + EPS);
+        prop_assert!(eqs <= ed + EPS);
+        prop_assert!(ed <= ud + EPS);
+    }
+
+    /// The static plan of EQS/EQF covers the window exactly: consecutive
+    /// deadlines are non-decreasing and the last one equals dl(T).
+    #[test]
+    fn ssp_plan_exhausts_window(
+        pex in pex_vec(),
+        arrival in 0.0f64..100.0,
+        slack in 0.0f64..50.0,
+    ) {
+        let total_pex: f64 = pex.iter().sum();
+        let global_deadline = arrival + total_pex + slack;
+        for strategy in [SerialStrategy::EqualSlack, SerialStrategy::EqualFlexibility] {
+            let plan = strategy.plan(arrival, global_deadline, &pex);
+            prop_assert_eq!(plan.len(), pex.len());
+            for w in plan.windows(2) {
+                prop_assert!(w[0] <= w[1] + EPS);
+            }
+            prop_assert!((plan[plan.len() - 1] - global_deadline).abs() < 1e-6);
+        }
+    }
+
+    /// DIV-x: deadline strictly after arrival, monotone decreasing in both
+    /// x and n, and equal to UD when n·x = 1.
+    #[test]
+    fn div_x_properties(
+        arrival in 0.0f64..100.0,
+        window in 0.01f64..100.0,
+        n in 1usize..20,
+        x in 0.1f64..10.0,
+    ) {
+        let input = PspInput {
+            arrival_time: arrival,
+            global_deadline: arrival + window,
+            branch_count: n,
+        };
+        let div = ParallelStrategy::div(x).unwrap();
+        let dl = div.deadline(&input);
+        prop_assert!(dl > arrival);
+        prop_assert!(dl <= arrival + window + EPS || n as f64 * x < 1.0);
+
+        let tighter = ParallelStrategy::div(x * 2.0).unwrap().deadline(&input);
+        prop_assert!(tighter < dl);
+
+        let wider_fan = ParallelStrategy::div(x).unwrap().deadline(&PspInput {
+            branch_count: n + 1,
+            ..input
+        });
+        prop_assert!(wider_fan < dl);
+    }
+
+    /// Driving a random serial chain through TaskRun with on-time
+    /// completions keeps every assigned deadline within the global window
+    /// and finishes after exactly m completions.
+    #[test]
+    fn taskrun_serial_chain_lifecycle(
+        pex in pex_vec(),
+        slack in 0.0f64..20.0,
+    ) {
+        let spec = TaskSpec::serial(
+            pex.iter()
+                .enumerate()
+                .map(|(i, &p)| TaskSpec::simple(NodeId::new(i as u32 % 6), p, p))
+                .collect(),
+        );
+        let total: f64 = pex.iter().sum();
+        let deadline = total + slack;
+        let strategy = SdaStrategy::eqf_div1();
+        let mut run = TaskRun::new(&spec, 0.0, deadline).unwrap();
+        let mut pending = run.start(&strategy, 0.0);
+        let mut now = 0.0;
+        let mut completions = 0;
+        while let Some(sub) = pending.pop() {
+            prop_assert!(sub.deadline <= deadline + EPS);
+            now += sub.ex; // completes exactly on its execution time
+            completions += 1;
+            match run.complete(sub.subtask, &strategy, now) {
+                Completion::Submitted(next) => pending.extend(next),
+                Completion::Finished => break,
+            }
+        }
+        prop_assert_eq!(completions, pex.len());
+        prop_assert!(run.is_finished());
+        // On-time completions with non-negative slack must finish by the
+        // deadline.
+        prop_assert!(now <= deadline + EPS);
+    }
+
+    /// A flat parallel task under any PSP strategy submits all branches at
+    /// start with identical deadlines and finishes when the last branch
+    /// completes.
+    #[test]
+    fn taskrun_parallel_fan_lifecycle(
+        exs in prop::collection::vec(0.01f64..5.0, 1..10),
+        slack in 0.0f64..20.0,
+        x in 0.5f64..4.0,
+    ) {
+        let spec = TaskSpec::parallel(
+            exs.iter()
+                .enumerate()
+                .map(|(i, &e)| TaskSpec::simple(NodeId::new(i as u32), e, e))
+                .collect(),
+        );
+        let makespan = exs.iter().cloned().fold(0.0, f64::max);
+        let deadline = makespan + slack;
+        let strategy = SdaStrategy::new(
+            SerialStrategy::UltimateDeadline,
+            ParallelStrategy::div(x).unwrap(),
+        );
+        let mut run = TaskRun::new(&spec, 0.0, deadline).unwrap();
+        let subs: Vec<Submission> = run.start(&strategy, 0.0);
+        prop_assert_eq!(subs.len(), exs.len());
+        let first_dl = subs[0].deadline;
+        prop_assert!(subs.iter().all(|s| (s.deadline - first_dl).abs() < EPS));
+
+        let mut finished = false;
+        for (i, sub) in subs.iter().enumerate() {
+            let res = run.complete(sub.subtask, &strategy, sub.ex);
+            if i + 1 == subs.len() {
+                prop_assert_eq!(res, Completion::Finished);
+                finished = true;
+            } else {
+                prop_assert_eq!(res, Completion::Submitted(vec![]));
+            }
+        }
+        prop_assert!(finished);
+    }
+
+    /// Perfect-prediction, zero-queueing execution under EQS/EQF never
+    /// violates a virtual deadline (each stage completes exactly when its
+    /// predicted work is done, which is ≤ its assigned deadline when
+    /// slack ≥ 0).
+    #[test]
+    fn on_time_execution_meets_virtual_deadlines(
+        pex in pex_vec(),
+        slack in 0.0f64..30.0,
+    ) {
+        let spec = TaskSpec::serial(
+            pex.iter()
+                .map(|&p| TaskSpec::simple(NodeId::new(0), p, p))
+                .collect(),
+        );
+        let total: f64 = pex.iter().sum();
+        for serial in [SerialStrategy::EqualSlack, SerialStrategy::EqualFlexibility] {
+            let strategy = SdaStrategy::new(serial, ParallelStrategy::UltimateDeadline);
+            let mut run = TaskRun::new(&spec, 0.0, total + slack).unwrap();
+            let mut pending = run.start(&strategy, 0.0);
+            let mut now = 0.0;
+            while let Some(sub) = pending.pop() {
+                now += sub.ex;
+                prop_assert!(
+                    now <= sub.deadline + EPS,
+                    "virtual deadline violated: finish {now} vs dl {}",
+                    sub.deadline
+                );
+                match run.complete(sub.subtask, &strategy, now) {
+                    Completion::Submitted(next) => pending.extend(next),
+                    Completion::Finished => break,
+                }
+            }
+        }
+    }
+}

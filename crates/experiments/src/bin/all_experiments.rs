@@ -1,0 +1,36 @@
+//! Runs every experiment in sequence and prints all tables — the data
+//! behind EXPERIMENTS.md.
+
+use sda_experiments::{ext, fig2, fig3, fig4, sec6, table1, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    println!("{}", table1::render());
+
+    let both = [Metric::MdLocal, Metric::MdGlobal];
+    let sections: Vec<(&str, sda_experiments::SweepData)> = vec![
+        ("Fig 2", fig2::run(&opts)),
+        ("Fig 3", fig3::run(&opts)),
+        ("Fig 4", fig4::run(&opts)),
+        ("Sec 6", sec6::run(&opts)),
+        ("Ext: pex error", ext::pex_error::run(&opts)),
+        ("Ext: abort tardy", ext::abort_tardy::run(&opts)),
+        ("Ext: MLF", ext::mlf::run(&opts)),
+        ("Ext: subtask count", ext::subtask_count::run(&opts)),
+        ("Ext: hetero m", ext::hetero_m::run(&opts)),
+        ("Ext: hetero load", ext::hetero_load::run(&opts)),
+        ("Ext: rel_flex", ext::rel_flex::run(&opts)),
+        ("Ext: DIV-x sweep", ext::divx::run(&opts)),
+        ("Ext: GF", ext::gf::run(&opts)),
+        ("Ext: EQF artificial stages", ext::eqf_as::run(&opts)),
+        ("Ext: service CV²", ext::service_cv::run(&opts)),
+        ("Ext: heavy tail (Pareto)", ext::service_cv::run_pareto(&opts)),
+        ("Ext: preemptive EDF", ext::preemption::run(&opts)),
+    ];
+    for (name, data) in &sections {
+        println!("==== {name} ====");
+        for m in both {
+            println!("{}", data.table(m));
+        }
+    }
+}

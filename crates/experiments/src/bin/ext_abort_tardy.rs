@@ -1,0 +1,9 @@
+//! Extension: firm deadlines (tardy jobs discarded at dispatch).
+
+use sda_experiments::{emit, ext::abort_tardy, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let data = abort_tardy::run(&opts);
+    emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
+}

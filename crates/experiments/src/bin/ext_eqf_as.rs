@@ -1,0 +1,9 @@
+//! Extension: EQF with artificial stages (the paper's §7 future work).
+
+use sda_experiments::{emit, ext::eqf_as, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let data = eqf_as::run(&opts);
+    emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal, Metric::SubtaskMiss]);
+}

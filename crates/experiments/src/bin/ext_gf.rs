@@ -1,0 +1,9 @@
+//! Extension: Globals First vs DIV-1 vs UD across frac_local.
+
+use sda_experiments::{emit, ext::gf, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let data = gf::run(&opts);
+    emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
+}

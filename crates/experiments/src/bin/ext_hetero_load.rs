@@ -1,0 +1,9 @@
+//! Extension: unbalanced local loads (one hot node).
+
+use sda_experiments::{emit, ext::hetero_load, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let data = hetero_load::run(&opts);
+    emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
+}

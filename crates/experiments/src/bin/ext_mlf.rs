@@ -1,0 +1,9 @@
+//! Extension: minimum-laxity-first local schedulers.
+
+use sda_experiments::{emit, ext::mlf, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let data = mlf::run(&opts);
+    emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
+}

@@ -1,0 +1,9 @@
+//! Extension: global slack tightness (rel_flex sweep).
+
+use sda_experiments::{emit, ext::rel_flex, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let data = rel_flex::run(&opts);
+    emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
+}

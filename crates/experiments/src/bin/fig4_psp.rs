@@ -1,0 +1,13 @@
+//! Regenerates Figure 4: UD vs DIV-1/DIV-2 (and GF) on the PSP
+//! baseline (parallel fans).
+
+use sda_experiments::{emit, fig4, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let data = fig4::run(&opts);
+    emit(&data, &opts, &[Metric::MdLocal, Metric::MdGlobal]);
+    println!("(paper: under UD globals miss ≈3× as often as locals; DIV-1");
+    println!(" equalizes the classes; DIV-2 ≈ DIV-1; GF cuts MD_global further");
+    println!(" at local expense)");
+}

@@ -1,0 +1,5 @@
+//! Prints Table 1 (the baseline setting) and the derived arrival rates.
+
+fn main() {
+    print!("{}", sda_experiments::table1::render());
+}

@@ -1,0 +1,102 @@
+//! Calibration report: checks the simulator against closed-form results
+//! before trusting any figure it produces.
+//!
+//! * single node, locals only, FCFS → M/M/1: `E[R] = 1/(μ−λ)`,
+//!   `ρ = λ/μ`, `L_q = ρ²/(1−ρ)`;
+//! * the k-node baseline's utilization must equal the configured load;
+//! * a serial global task's total work must be Erlang-m (mean m/μ).
+
+use sda_core::SdaStrategy;
+use sda_experiments::ExperimentOpts;
+use sda_sched::Policy;
+use sda_sim::rng::RngFactory;
+use sda_system::{run_once, RunConfig, SystemConfig};
+use sda_workload::{TaskFactory, WorkloadConfig};
+
+fn check(name: &str, measured: f64, expected: f64, tolerance: f64) -> bool {
+    let rel = if expected.abs() > 1e-12 {
+        (measured - expected).abs() / expected.abs()
+    } else {
+        (measured - expected).abs()
+    };
+    let ok = rel <= tolerance;
+    println!(
+        "{:<44} measured {:>9.4}  expected {:>9.4}  ({:>5.1}% off) {}",
+        name,
+        measured,
+        expected,
+        rel * 100.0,
+        if ok { "OK" } else { "FAIL" }
+    );
+    ok
+}
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let run = RunConfig {
+        warmup: opts.warmup.max(2_000.0),
+        duration: opts.duration.max(100_000.0),
+        seed: opts.seed,
+    };
+    let mut all_ok = true;
+    println!("== M/M/1 calibration (1 node, locals only, FCFS) ==");
+    for rho in [0.3, 0.6, 0.8] {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+        cfg.workload.nodes = 1;
+        cfg.workload.frac_local = 1.0;
+        cfg.workload.load = rho;
+        cfg.policy = Policy::Fcfs;
+        let result = run_once(&cfg, &run).expect("valid config");
+        all_ok &= check(
+            &format!("E[R] at rho={rho}"),
+            result.metrics.local.response().mean(),
+            1.0 / (1.0 - rho),
+            0.05,
+        );
+        all_ok &= check(
+            &format!("utilization at rho={rho}"),
+            result.mean_utilization(),
+            rho,
+            0.03,
+        );
+        all_ok &= check(
+            &format!("L_q at rho={rho}"),
+            result.node_queue_length[0],
+            rho * rho / (1.0 - rho),
+            0.10,
+        );
+    }
+
+    println!("\n== Baseline system (Table 1) ==");
+    let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    let result = run_once(&cfg, &run).expect("valid config");
+    all_ok &= check(
+        "mean node utilization == load",
+        result.mean_utilization(),
+        0.5,
+        0.03,
+    );
+
+    println!("\n== Workload generator ==");
+    let mut factory =
+        TaskFactory::new(WorkloadConfig::baseline(), &RngFactory::new(run.seed)).expect("valid");
+    let n = 50_000;
+    let mean_work: f64 = (0..n)
+        .map(|_| factory.make_global(0.0).spec.total_ex())
+        .sum::<f64>()
+        / f64::from(n);
+    all_ok &= check("E[global total work] (Erlang-4)", mean_work, 4.0, 0.02);
+    let mean_gap: f64 = (0..n)
+        .map(|_| factory.next_global_interarrival().unwrap())
+        .sum::<f64>()
+        / f64::from(n);
+    all_ok &= check("E[global interarrival]", mean_gap, 1.0 / 0.1875, 0.02);
+
+    println!();
+    if all_ok {
+        println!("model validation PASSED");
+    } else {
+        println!("model validation FAILED");
+        std::process::exit(1);
+    }
+}

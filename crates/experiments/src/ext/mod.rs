@@ -1,0 +1,21 @@
+//! Extension and robustness studies.
+//!
+//! §4.3 and the conclusion report that the paper's conclusions are
+//! robust to relaxing the baseline assumptions (imperfect predictions,
+//! tardy-abort overload handling, MLF local scheduling, heterogeneous
+//! task sizes and node loads) and sketch the DIV-x tuning and GF
+//! questions deferred to refs. \[6\]/\[7\]. Each submodule reproduces one of those
+//! studies.
+
+pub mod abort_tardy;
+pub mod divx;
+pub mod eqf_as;
+pub mod gf;
+pub mod hetero_load;
+pub mod hetero_m;
+pub mod mlf;
+pub mod pex_error;
+pub mod preemption;
+pub mod rel_flex;
+pub mod service_cv;
+pub mod subtask_count;

@@ -1,0 +1,74 @@
+//! §4.3 extension — the slack-tightness sweep (`rel_flex`).
+//!
+//! "The EQF gains are more significant when there is *moderate* slack
+//! and load. If slack is too tight … or too loose … the SSP policy
+//! cannot make a difference; in the intermediate range EQF wins big."
+
+use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
+use sda_system::SystemConfig;
+
+use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+
+/// Relative flexibility of globals, tight to loose.
+pub const REL_FLEX: [f64; 6] = [0.125, 0.25, 0.5, 1.0, 4.0, 16.0];
+
+/// Runs the rel_flex sweep at load 0.5: UD vs EQF.
+pub fn run(opts: &ExperimentOpts) -> SweepData {
+    let mk = |serial: SerialStrategy| {
+        move |rel_flex: f64| {
+            let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
+                serial,
+                ParallelStrategy::UltimateDeadline,
+            ));
+            cfg.workload.rel_flex = rel_flex;
+            cfg
+        }
+    };
+    let series = vec![
+        SeriesSpec::new("UD", mk(SerialStrategy::UltimateDeadline)),
+        SeriesSpec::new("EQF", mk(SerialStrategy::EqualFlexibility)),
+    ];
+    run_sweep(
+        "Ext — global slack tightness (rel_flex), SSP baseline, load 0.5",
+        "rel_flex",
+        &REL_FLEX,
+        &series,
+        opts,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eqf_gain_peaks_at_moderate_slack() {
+        let opts = ExperimentOpts {
+            reps: 2,
+            warmup: 500.0,
+            duration: 8_000.0,
+            seed: 77,
+            threads: 0,
+            csv_dir: None,
+        };
+        let data = run(&opts);
+        let gain = |rf: f64| {
+            data.cell("UD", rf).unwrap().md_global.mean
+                - data.cell("EQF", rf).unwrap().md_global.mean
+        };
+        // Moderate slack gains exceed the very-loose-slack gains.
+        assert!(
+            gain(1.0) > gain(16.0),
+            "moderate gain {:.1} should exceed loose gain {:.1}",
+            gain(1.0),
+            gain(16.0)
+        );
+        // Very loose slack: almost nothing to miss under either strategy.
+        let eqf_loose = data.cell("EQF", 16.0).unwrap().md_global.mean;
+        let ud_loose = data.cell("UD", 16.0).unwrap().md_global.mean;
+        assert!(
+            eqf_loose < 10.0 && ud_loose < 35.0,
+            "loose slack should miss little: EQF {eqf_loose:.1}%, UD {ud_loose:.1}%"
+        );
+    }
+}

@@ -1,0 +1,561 @@
+//! Shared experiment machinery: options, parallel sweep execution and
+//! table formatting.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use sda_system::{run_replications, RunConfig, SystemConfig};
+
+/// Run-scale options shared by all experiments.
+///
+/// Parse from the command line with [`ExperimentOpts::from_args`]; the
+/// recognized flags are documented at the [crate root](crate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentOpts {
+    /// Independent replications per data point.
+    pub reps: usize,
+    /// Warm-up discarded before measurement (time units).
+    pub warmup: f64,
+    /// Measured duration per run (time units).
+    pub duration: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for data-point parallelism (0 = all cores).
+    pub threads: usize,
+    /// Directory to write per-metric CSV files into (`--csv DIR`).
+    pub csv_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        ExperimentOpts {
+            reps: 3,
+            warmup: 2_000.0,
+            duration: 30_000.0,
+            seed: 0x5DA_0001,
+            threads: 0,
+            csv_dir: None,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// The paper's scale: two independent runs of 10⁶ time units each.
+    pub fn full() -> ExperimentOpts {
+        ExperimentOpts {
+            reps: 2,
+            warmup: 10_000.0,
+            duration: 1_000_000.0,
+            ..ExperimentOpts::default()
+        }
+    }
+
+    /// A fast setting for CI and smoke tests.
+    pub fn quick() -> ExperimentOpts {
+        ExperimentOpts {
+            reps: 2,
+            warmup: 500.0,
+            duration: 8_000.0,
+            ..ExperimentOpts::default()
+        }
+    }
+
+    /// Parses `std::env::args`, starting from the defaults.
+    ///
+    /// Unknown flags abort with a usage message on stderr (exit code 2)
+    /// rather than being silently ignored.
+    pub fn from_args() -> ExperimentOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse(&args).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: [--full|--quick] [--reps N] [--duration T] [--warmup T] \
+                 [--seed S] [--threads N] [--csv DIR]"
+            );
+            std::process::exit(2);
+        })
+    }
+
+    /// Parses a flag list (exposed for tests).
+    pub fn parse(args: &[String]) -> Result<ExperimentOpts, String> {
+        let mut opts = ExperimentOpts::default();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value_of = |name: &str| -> Result<String, String> {
+                it.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{name} needs a value"))
+            };
+            match arg.as_str() {
+                "--full" => {
+                    let f = ExperimentOpts::full();
+                    opts.reps = f.reps;
+                    opts.warmup = f.warmup;
+                    opts.duration = f.duration;
+                }
+                "--quick" => {
+                    let q = ExperimentOpts::quick();
+                    opts.reps = q.reps;
+                    opts.warmup = q.warmup;
+                    opts.duration = q.duration;
+                }
+                "--reps" => {
+                    opts.reps = value_of("--reps")?
+                        .parse()
+                        .map_err(|e| format!("--reps: {e}"))?;
+                }
+                "--duration" => {
+                    opts.duration = value_of("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?;
+                }
+                "--warmup" => {
+                    opts.warmup = value_of("--warmup")?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?;
+                }
+                "--seed" => {
+                    opts.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--threads" => {
+                    opts.threads = value_of("--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--csv" => {
+                    opts.csv_dir = Some(value_of("--csv")?.into());
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if opts.reps == 0 {
+            return Err("--reps must be ≥ 1".to_string());
+        }
+        Ok(opts)
+    }
+
+    /// The per-run configuration implied by these options.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            warmup: self.warmup,
+            duration: self.duration,
+            seed: self.seed,
+        }
+    }
+
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// A point estimate with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PointStat {
+    /// Across-replication mean.
+    pub mean: f64,
+    /// 95% CI half-width (infinite for a single replication).
+    pub half_width: f64,
+}
+
+impl PointStat {
+    fn from_reps(reps: &sda_sim::stats::Replications) -> PointStat {
+        match reps.confidence_interval() {
+            Some(ci) => PointStat {
+                mean: ci.mean,
+                half_width: ci.half_width,
+            },
+            None => PointStat {
+                mean: reps.mean(),
+                half_width: f64::INFINITY,
+            },
+        }
+    }
+}
+
+/// All the statistics collected at one (series, x) data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellStats {
+    /// `MD_local` in percent.
+    pub md_local: PointStat,
+    /// `MD_global` in percent.
+    pub md_global: PointStat,
+    /// Subtask-level virtual-deadline misses in percent.
+    pub subtask_miss: PointStat,
+    /// Mean node utilization.
+    pub utilization: PointStat,
+    /// Mean end-to-end global response time.
+    pub global_response: PointStat,
+    /// Mean local response time.
+    pub local_response: PointStat,
+}
+
+/// Which metric of a [`CellStats`] to tabulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// `MD_local` (%).
+    MdLocal,
+    /// `MD_global` (%).
+    MdGlobal,
+    /// Subtask virtual-deadline misses (%).
+    SubtaskMiss,
+    /// Mean node utilization.
+    Utilization,
+    /// Mean global response time.
+    GlobalResponse,
+    /// Mean local response time.
+    LocalResponse,
+}
+
+impl Metric {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::MdLocal => "MD_local (%)",
+            Metric::MdGlobal => "MD_global (%)",
+            Metric::SubtaskMiss => "subtask virtual misses (%)",
+            Metric::Utilization => "node utilization",
+            Metric::GlobalResponse => "global response time",
+            Metric::LocalResponse => "local response time",
+        }
+    }
+
+    fn pick(&self, cell: &CellStats) -> PointStat {
+        match self {
+            Metric::MdLocal => cell.md_local,
+            Metric::MdGlobal => cell.md_global,
+            Metric::SubtaskMiss => cell.subtask_miss,
+            Metric::Utilization => cell.utilization,
+            Metric::GlobalResponse => cell.global_response,
+            Metric::LocalResponse => cell.local_response,
+        }
+    }
+}
+
+/// One series of a sweep: a label plus a function building the
+/// [`SystemConfig`] for each x value.
+pub struct SeriesSpec {
+    /// Display label (e.g. `"EQF"`, `"DIV-1"`).
+    pub label: String,
+    /// Builds the configuration at a given x.
+    pub build: Box<dyn Fn(f64) -> SystemConfig + Send + Sync>,
+}
+
+impl SeriesSpec {
+    /// Creates a series.
+    pub fn new(
+        label: impl Into<String>,
+        build: impl Fn(f64) -> SystemConfig + Send + Sync + 'static,
+    ) -> SeriesSpec {
+        SeriesSpec {
+            label: label.into(),
+            build: Box::new(build),
+        }
+    }
+}
+
+/// The result grid of a sweep: `cells[series][x]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepData {
+    /// Name of the experiment (used as the table title).
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// The x values.
+    pub xs: Vec<f64>,
+    /// Series labels, in order.
+    pub series_labels: Vec<String>,
+    /// `cells[series_index][x_index]`.
+    pub cells: Vec<Vec<CellStats>>,
+}
+
+impl SweepData {
+    /// Looks up a cell by series label and x value.
+    pub fn cell(&self, label: &str, x: f64) -> Option<&CellStats> {
+        let si = self.series_labels.iter().position(|l| l == label)?;
+        let xi = self.xs.iter().position(|&v| (v - x).abs() < 1e-12)?;
+        Some(&self.cells[si][xi])
+    }
+
+    /// Formats one metric as an aligned text table (x rows × series
+    /// columns), the same layout as the paper's figures.
+    pub fn table(&self, metric: Metric) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} — {}\n", self.title, metric.name()));
+        out.push_str(&format!("{:>12}", self.x_label));
+        for label in &self.series_labels {
+            out.push_str(&format!("  {label:>16}"));
+        }
+        out.push('\n');
+        for (xi, x) in self.xs.iter().enumerate() {
+            out.push_str(&format!("{x:>12.3}"));
+            for si in 0..self.series_labels.len() {
+                let p = metric.pick(&self.cells[si][xi]);
+                if p.half_width.is_finite() {
+                    out.push_str(&format!("  {:>9.2} ±{:>5.2}", p.mean, p.half_width));
+                } else {
+                    out.push_str(&format!("  {:>16.2}", p.mean));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV rendering of one metric (for plotting).
+    pub fn csv(&self, metric: Metric) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(',', ";"));
+        for label in &self.series_labels {
+            out.push_str(&format!(",{label},{label}_hw"));
+        }
+        out.push('\n');
+        for (xi, x) in self.xs.iter().enumerate() {
+            out.push_str(&format!("{x}"));
+            for si in 0..self.series_labels.len() {
+                let p = metric.pick(&self.cells[si][xi]);
+                out.push_str(&format!(",{},{}", p.mean, p.half_width));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Prints the tables for `metrics` and, when `--csv DIR` was given,
+/// writes one CSV file per metric into the directory (created if
+/// missing). File names are derived from the sweep title.
+pub fn emit(data: &SweepData, opts: &ExperimentOpts, metrics: &[Metric]) {
+    for m in metrics {
+        println!("{}", data.table(*m));
+    }
+    let Some(dir) = &opts.csv_dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let slug: String = data
+        .title
+        .chars()
+        .take_while(|&c| c != '—')
+        .collect::<String>()
+        .trim()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .collect();
+    for m in metrics {
+        let metric_slug: String = m
+            .name()
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .collect();
+        let path = dir.join(format!("{slug}_{metric_slug}.csv"));
+        if let Err(e) = std::fs::write(&path, data.csv(*m)) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Runs a full sweep: every `(series, x)` pair is an independent
+/// replicated experiment; points are executed in parallel across worker
+/// threads.
+///
+/// # Panics
+///
+/// Panics if any configuration fails validation — experiment definitions
+/// are static, so an invalid one is a programming error.
+pub fn run_sweep(
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[SeriesSpec],
+    opts: &ExperimentOpts,
+) -> SweepData {
+    struct Point {
+        si: usize,
+        xi: usize,
+        config: SystemConfig,
+    }
+    let mut points = Vec::with_capacity(series.len() * xs.len());
+    for (si, s) in series.iter().enumerate() {
+        for (xi, &x) in xs.iter().enumerate() {
+            points.push(Point {
+                si,
+                xi,
+                config: (s.build)(x),
+            });
+        }
+    }
+
+    let results: Mutex<Vec<Option<CellStats>>> = Mutex::new(vec![None; points.len()]);
+    let next = AtomicUsize::new(0);
+    let workers = opts.worker_count().min(points.len()).max(1);
+    let base_run = opts.run_config();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let p = &points[i];
+                // Give every point its own seed lineage so series/x
+                // points are statistically independent.
+                let run = RunConfig {
+                    seed: base_run
+                        .seed
+                        .wrapping_add((p.si as u64) << 32)
+                        .wrapping_add(p.xi as u64),
+                    ..base_run
+                };
+                let rep = run_replications(&p.config, &run, opts.reps)
+                    .expect("experiment configurations are valid");
+                let cell = CellStats {
+                    md_local: PointStat::from_reps(&rep.local_miss_pct),
+                    md_global: PointStat::from_reps(&rep.global_miss_pct),
+                    subtask_miss: PointStat::from_reps(&rep.subtask_miss_pct),
+                    utilization: PointStat::from_reps(&rep.utilization),
+                    global_response: PointStat::from_reps(&rep.global_response),
+                    local_response: PointStat::from_reps(&rep.local_response),
+                };
+                results.lock().expect("no poisoned lock")[i] = Some(cell);
+            });
+        }
+    });
+
+    let results = results.into_inner().expect("no poisoned lock");
+    let mut cells = vec![vec![]; series.len()];
+    for (p, cell) in points.iter().zip(results) {
+        debug_assert_eq!(cells[p.si].len(), p.xi);
+        cells[p.si].push(cell.expect("every point computed"));
+    }
+    SweepData {
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        xs: xs.to_vec(),
+        series_labels: series.iter().map(|s| s.label.clone()).collect(),
+        cells,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::SdaStrategy;
+
+    fn tiny_opts() -> ExperimentOpts {
+        ExperimentOpts {
+            reps: 2,
+            warmup: 100.0,
+            duration: 1_500.0,
+            seed: 9,
+            threads: 2,
+            csv_dir: None,
+        }
+    }
+
+    #[test]
+    fn parse_flags() {
+        let opts = ExperimentOpts::parse(&[
+            "--reps".into(),
+            "5".into(),
+            "--duration".into(),
+            "123.0".into(),
+            "--seed".into(),
+            "77".into(),
+        ])
+        .unwrap();
+        assert_eq!(opts.reps, 5);
+        assert_eq!(opts.duration, 123.0);
+        assert_eq!(opts.seed, 77);
+        assert!(ExperimentOpts::parse(&["--bogus".into()]).is_err());
+        assert!(ExperimentOpts::parse(&["--reps".into()]).is_err());
+        assert!(ExperimentOpts::parse(&["--reps".into(), "0".into()]).is_err());
+        let full = ExperimentOpts::parse(&["--full".into()]).unwrap();
+        assert_eq!(full.duration, 1_000_000.0);
+    }
+
+    #[test]
+    fn sweep_produces_grid_and_tables() {
+        let series = vec![
+            SeriesSpec::new("UD", |load| {
+                let mut c = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+                c.workload.load = load;
+                c
+            }),
+            SeriesSpec::new("EQF", |load| {
+                let mut c = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+                c.workload.load = load;
+                c
+            }),
+        ];
+        let data = run_sweep("smoke", "load", &[0.3, 0.5], &series, &tiny_opts());
+        assert_eq!(data.cells.len(), 2);
+        assert_eq!(data.cells[0].len(), 2);
+        assert!(data.cell("UD", 0.5).is_some());
+        assert!(data.cell("nope", 0.5).is_none());
+        let table = data.table(Metric::MdGlobal);
+        assert!(table.contains("MD_global"));
+        assert!(table.contains("UD"));
+        let csv = data.csv(Metric::MdLocal);
+        assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn emit_writes_csv_files() {
+        let series = vec![SeriesSpec::new("UD", |load| {
+            let mut c = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+            c.workload.load = load;
+            c
+        })];
+        let dir = std::env::temp_dir().join(format!("sda-emit-test-{}", std::process::id()));
+        let opts = ExperimentOpts {
+            csv_dir: Some(dir.clone()),
+            ..tiny_opts()
+        };
+        let data = run_sweep("CSV smoke — test", "load", &[0.3], &series, &opts);
+        emit(&data, &opts, &[Metric::MdGlobal]);
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .expect("csv dir created")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries.len(), 1, "{entries:?}");
+        assert!(entries[0].ends_with(".csv"));
+        let body = std::fs::read_to_string(dir.join(&entries[0])).unwrap();
+        assert!(body.starts_with("load,UD,UD_hw"));
+        assert_eq!(body.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_thread_counts() {
+        let build = |load: f64| {
+            let mut c = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+            c.workload.load = load;
+            c
+        };
+        let mk = |threads| {
+            let series = vec![SeriesSpec::new("UD", build)];
+            let opts = ExperimentOpts {
+                threads,
+                ..tiny_opts()
+            };
+            run_sweep("det", "load", &[0.2, 0.4], &series, &opts)
+        };
+        let a = mk(1);
+        let b = mk(4);
+        assert_eq!(a, b, "thread count must not affect results");
+    }
+}

@@ -1,0 +1,37 @@
+//! # sda-sched — non-preemptive local real-time schedulers
+//!
+//! Each node of the paper's system model runs its own scheduler over a
+//! single server, with **no preemption** and no cross-node coordination
+//! (§3.2, §4.1). This crate provides the ready-queue disciplines the
+//! paper's experiments use:
+//!
+//! * **earliest-deadline-first** (the baseline local policy),
+//! * **minimum-laxity-first** (§4.3's robustness variant),
+//! * FCFS and shortest-job-first for calibration and comparison.
+//!
+//! All disciplines respect the two-level class priority of the
+//! Globals First (GF) strategy: jobs whose
+//! [`PriorityClass`](sda_core::PriorityClass) is `Elevated` are served
+//! strictly before `Normal` jobs, with the discipline's own order
+//! preserved *within* each class (paper §5.1). When no elevated jobs
+//! exist — every non-GF experiment — this is exactly the plain
+//! discipline.
+//!
+//! ```
+//! use sda_sched::{Job, Policy, ReadyQueue};
+//! use sda_core::TaskId;
+//!
+//! let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+//! q.push(Job::local(TaskId::new(1), 0.0, 1.0, 9.0));
+//! q.push(Job::local(TaskId::new(2), 0.0, 1.0, 4.0));
+//! assert_eq!(q.pop().unwrap().deadline, 4.0); // earlier deadline first
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+mod queue;
+
+pub use job::{Job, JobOrigin};
+pub use queue::{Policy, ReadyQueue};

@@ -1,0 +1,362 @@
+//! Ready-queue disciplines.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use sda_core::PriorityClass;
+
+use crate::job::Job;
+
+/// The scheduling discipline a node applies to its ready queue.
+///
+/// All disciplines here are *non-preemptive* and reduce to a static
+/// per-job key (ties broken FIFO):
+///
+/// | Policy | Key | Notes |
+/// |---|---|---|
+/// | `Fcfs` | enqueue order | calibration baseline (M/M/1 theory applies) |
+/// | `EarliestDeadlineFirst` | `deadline` | the paper's default local policy |
+/// | `ShortestJobFirst` | `pex` | size-based comparison point |
+/// | `MinimumLaxityFirst` | `deadline − pex` | laxity at dispatch: since every queued job's laxity decreases at the same rate, ordering by laxity at any instant equals ordering by this static key |
+///
+/// Why MLF's key is static: non-preemptive MLF picks, at dispatch time
+/// `t`, the job minimizing `dl − t − pex`. The `−t` term is common to all
+/// candidates, so the argmin is the job minimizing `dl − pex` — which
+/// never changes while jobs wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// First come, first served.
+    Fcfs,
+    /// Earliest (virtual) deadline first — the paper's baseline.
+    EarliestDeadlineFirst,
+    /// Shortest predicted job first.
+    ShortestJobFirst,
+    /// Minimum laxity (`dl − now − pex`) first, evaluated at dispatch.
+    MinimumLaxityFirst,
+}
+
+impl Policy {
+    /// All disciplines, for sweeps.
+    pub const ALL: [Policy; 4] = [
+        Policy::Fcfs,
+        Policy::EarliestDeadlineFirst,
+        Policy::ShortestJobFirst,
+        Policy::MinimumLaxityFirst,
+    ];
+
+    /// Short display name (`FCFS`, `EDF`, `SJF`, `MLF`).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Policy::Fcfs => "FCFS",
+            Policy::EarliestDeadlineFirst => "EDF",
+            Policy::ShortestJobFirst => "SJF",
+            Policy::MinimumLaxityFirst => "MLF",
+        }
+    }
+
+    /// The static ordering key the discipline assigns to a job (smaller
+    /// pops first within a priority class). Exposed so preemption logic
+    /// can compare an in-service job against a queued candidate.
+    pub fn sort_key(&self, job: &Job) -> f64 {
+        match self {
+            Policy::Fcfs => 0.0, // sequence number alone decides
+            Policy::EarliestDeadlineFirst => job.deadline,
+            Policy::ShortestJobFirst => job.pex,
+            Policy::MinimumLaxityFirst => job.deadline - job.pex,
+        }
+    }
+
+    /// Whether `candidate` would be served strictly before `incumbent`
+    /// under this discipline (elevated class first, then the key;
+    /// FIFO ties do **not** preempt).
+    pub fn beats(&self, candidate: &Job, incumbent: &Job) -> bool {
+        let rank = |j: &Job| match j.priority {
+            sda_core::PriorityClass::Elevated => 0u8,
+            sda_core::PriorityClass::Normal => 1u8,
+        };
+        (rank(candidate), self.sort_key(candidate))
+            < (rank(incumbent), self.sort_key(incumbent))
+    }
+
+    fn key(&self, job: &Job) -> f64 {
+        self.sort_key(job)
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+struct Entry {
+    /// 0 for elevated jobs, 1 for normal — elevated pop first.
+    class_rank: u8,
+    key: f64,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.class_rank
+            .cmp(&other.class_rank)
+            .then_with(|| self.key.total_cmp(&other.key))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A node's ready queue: a priority queue of [`Job`]s under a [`Policy`],
+/// serving `Elevated` jobs strictly before `Normal` ones and breaking
+/// ties FIFO.
+///
+/// # Examples
+///
+/// ```
+/// use sda_sched::{Job, Policy, ReadyQueue};
+/// use sda_core::TaskId;
+///
+/// let mut q = ReadyQueue::new(Policy::MinimumLaxityFirst);
+/// // laxity keys: 9−3 = 6 vs 8−1 = 7 → the first job pops first.
+/// let tight = Job::local(TaskId::new(1), 0.0, 3.0, 9.0);
+/// let loose = Job::local(TaskId::new(2), 0.0, 1.0, 8.0);
+/// q.push(loose);
+/// q.push(tight);
+/// assert_eq!(q.pop().unwrap().deadline, 9.0);
+/// ```
+pub struct ReadyQueue {
+    policy: Policy,
+    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+}
+
+impl ReadyQueue {
+    /// An empty queue under `policy`.
+    pub fn new(policy: Policy) -> ReadyQueue {
+        ReadyQueue {
+            policy,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// The discipline in force.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Enqueues a job.
+    pub fn push(&mut self, job: Job) {
+        let entry = Entry {
+            class_rank: match job.priority {
+                PriorityClass::Elevated => 0,
+                PriorityClass::Normal => 1,
+            },
+            key: self.policy.key(&job),
+            seq: self.seq,
+            job,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Removes and returns the next job to serve.
+    pub fn pop(&mut self) -> Option<Job> {
+        self.heap.pop().map(|Reverse(e)| e.job)
+    }
+
+    /// The job that would be served next, without removing it.
+    pub fn peek(&self) -> Option<&Job> {
+        self.heap.peek().map(|Reverse(e)| &e.job)
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drains the queue, returning the jobs in service order.
+    pub fn drain_ordered(&mut self) -> Vec<Job> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(j) = self.pop() {
+            out.push(j);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for ReadyQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReadyQueue")
+            .field("policy", &self.policy)
+            .field("len", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::{SubtaskRef, TaskId};
+
+    fn job(deadline: f64, pex: f64) -> Job {
+        let mut j = Job::local(TaskId::new(0), 0.0, pex, deadline);
+        j.pex = pex;
+        j
+    }
+
+    #[test]
+    fn edf_orders_by_deadline() {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        q.push(job(5.0, 1.0));
+        q.push(job(2.0, 1.0));
+        q.push(job(8.0, 1.0));
+        let order: Vec<f64> = q.drain_ordered().iter().map(|j| j.deadline).collect();
+        assert_eq!(order, vec![2.0, 5.0, 8.0]);
+    }
+
+    #[test]
+    fn fcfs_orders_by_arrival() {
+        let mut q = ReadyQueue::new(Policy::Fcfs);
+        q.push(job(5.0, 1.0));
+        q.push(job(2.0, 1.0));
+        let order: Vec<f64> = q.drain_ordered().iter().map(|j| j.deadline).collect();
+        assert_eq!(order, vec![5.0, 2.0]);
+    }
+
+    #[test]
+    fn sjf_orders_by_pex() {
+        let mut q = ReadyQueue::new(Policy::ShortestJobFirst);
+        q.push(job(1.0, 3.0));
+        q.push(job(2.0, 1.0));
+        q.push(job(3.0, 2.0));
+        let order: Vec<f64> = q.drain_ordered().iter().map(|j| j.pex).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mlf_orders_by_static_laxity_key() {
+        let mut q = ReadyQueue::new(Policy::MinimumLaxityFirst);
+        q.push(job(9.0, 3.0)); // key 6
+        q.push(job(8.0, 1.0)); // key 7
+        q.push(job(7.0, 2.5)); // key 4.5
+        let order: Vec<f64> = q.drain_ordered().iter().map(|j| j.deadline).collect();
+        assert_eq!(order, vec![7.0, 9.0, 8.0]);
+    }
+
+    #[test]
+    fn ties_break_fifo_for_determinism() {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        for i in 0..10 {
+            let mut j = job(5.0, 1.0);
+            j.enqueue_time = f64::from(i);
+            q.push(j);
+        }
+        let order: Vec<f64> = q.drain_ordered().iter().map(|j| j.enqueue_time).collect();
+        assert_eq!(order, (0..10).map(f64::from).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn elevated_jobs_always_first_with_edf_within_class() {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        q.push(job(1.0, 1.0)); // normal, earliest deadline overall
+        let mut g1 = Job::global(
+            TaskId::new(9),
+            subtask_ref(),
+            0.0,
+            1.0,
+            1.0,
+            50.0,
+            PriorityClass::Elevated,
+        );
+        let mut g2 = g1;
+        g1.deadline = 50.0;
+        g2.deadline = 40.0;
+        q.push(g1);
+        q.push(g2);
+        let order: Vec<f64> = q.drain_ordered().iter().map(|j| j.deadline).collect();
+        // Elevated first (EDF within: 40 before 50), then the local.
+        assert_eq!(order, vec![40.0, 50.0, 1.0]);
+    }
+
+    fn subtask_ref() -> SubtaskRef {
+        // Obtain a real SubtaskRef by running a tiny TaskRun.
+        use sda_core::{NodeId, SdaStrategy, TaskRun, TaskSpec};
+        let spec = TaskSpec::simple(NodeId::new(0), 1.0, 1.0);
+        let mut run = TaskRun::new(&spec, 0.0, 1.0).unwrap();
+        run.start(&SdaStrategy::ud_ud(), 0.0)[0].subtask
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        q.push(job(3.0, 1.0));
+        q.push(job(1.0, 1.0));
+        assert_eq!(q.peek().unwrap().deadline, 1.0);
+        assert_eq!(q.pop().unwrap().deadline, 1.0);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn policy_metadata() {
+        assert_eq!(Policy::ALL.len(), 4);
+        assert_eq!(Policy::EarliestDeadlineFirst.to_string(), "EDF");
+        assert_eq!(Policy::MinimumLaxityFirst.short_name(), "MLF");
+    }
+
+    #[test]
+    fn debug_shows_policy_and_len() {
+        let q = ReadyQueue::new(Policy::Fcfs);
+        let s = format!("{q:?}");
+        assert!(s.contains("Fcfs"));
+    }
+
+    #[test]
+    fn beats_respects_key_and_class() {
+        let p = Policy::EarliestDeadlineFirst;
+        let early = job(2.0, 1.0);
+        let late = job(8.0, 1.0);
+        assert!(p.beats(&early, &late));
+        assert!(!p.beats(&late, &early));
+        assert!(!p.beats(&early, &early), "ties do not preempt");
+        let mut elevated = job(50.0, 1.0);
+        elevated.priority = PriorityClass::Elevated;
+        assert!(p.beats(&elevated, &early), "class outranks deadline");
+        assert_eq!(p.sort_key(&early), 2.0);
+        assert_eq!(Policy::MinimumLaxityFirst.sort_key(&early), 1.0);
+    }
+
+    #[test]
+    fn mlf_equals_edf_when_pex_uniform() {
+        // With identical pex, dl − pex ordering equals dl ordering.
+        let mut mlf = ReadyQueue::new(Policy::MinimumLaxityFirst);
+        let mut edf = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        for dl in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            mlf.push(job(dl, 1.0));
+            edf.push(job(dl, 1.0));
+        }
+        let a: Vec<f64> = mlf.drain_ordered().iter().map(|j| j.deadline).collect();
+        let b: Vec<f64> = edf.drain_ordered().iter().map(|j| j.deadline).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests: every discipline is a stable sort by its key,
+//! with elevated jobs strictly first.
+
+use proptest::prelude::*;
+
+use sda_core::{PriorityClass, TaskId};
+use sda_sched::{Job, Policy, ReadyQueue};
+
+#[derive(Debug, Clone)]
+struct JobSpec {
+    deadline: f64,
+    pex: f64,
+    elevated: bool,
+}
+
+fn job_specs() -> impl Strategy<Value = Vec<JobSpec>> {
+    prop::collection::vec(
+        (0.0f64..100.0, 0.1f64..10.0, any::<bool>()).prop_map(|(deadline, pex, elevated)| {
+            JobSpec {
+                // Quantize so key ties happen and FIFO order is exercised.
+                deadline: (deadline * 2.0).floor() / 2.0,
+                pex: (pex * 2.0).floor() / 2.0,
+                elevated,
+            }
+        }),
+        0..150,
+    )
+}
+
+fn key(policy: Policy, j: &Job) -> f64 {
+    match policy {
+        Policy::Fcfs => 0.0,
+        Policy::EarliestDeadlineFirst => j.deadline,
+        Policy::ShortestJobFirst => j.pex,
+        Policy::MinimumLaxityFirst => j.deadline - j.pex,
+    }
+}
+
+proptest! {
+    /// Pop order equals a stable sort by (class, key, arrival order).
+    #[test]
+    fn pop_order_is_stable_key_sort(specs in job_specs(), policy_idx in 0usize..4) {
+        let policy = Policy::ALL[policy_idx];
+        let mut q = ReadyQueue::new(policy);
+        let mut reference: Vec<(u8, f64, usize)> = Vec::new();
+        for (i, s) in specs.iter().enumerate() {
+            let mut job = Job::local(TaskId::new(i as u64), i as f64, s.pex, s.deadline);
+            job.pex = s.pex;
+            if s.elevated {
+                job.priority = PriorityClass::Elevated;
+            }
+            reference.push((u8::from(!s.elevated), key(policy, &job), i));
+            q.push(job);
+        }
+        reference.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(a.1.total_cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        let popped: Vec<usize> = q
+            .drain_ordered()
+            .iter()
+            .map(|j| j.enqueue_time as usize)
+            .collect();
+        let expect: Vec<usize> = reference.iter().map(|r| r.2).collect();
+        prop_assert_eq!(popped, expect);
+    }
+
+    /// Interleaving pushes and pops never loses or duplicates a job.
+    #[test]
+    fn conservation_under_interleaving(
+        ops in prop::collection::vec((any::<bool>(), 0.0f64..50.0), 0..300),
+        policy_idx in 0usize..4,
+    ) {
+        let mut q = ReadyQueue::new(Policy::ALL[policy_idx]);
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for (i, (push, dl)) in ops.iter().enumerate() {
+            if *push {
+                q.push(Job::local(TaskId::new(i as u64), 0.0, 1.0, *dl));
+                pushed += 1;
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+        }
+        popped += q.drain_ordered().len() as u64;
+        prop_assert_eq!(pushed, popped);
+        prop_assert!(q.is_empty());
+    }
+
+    /// An elevated job is never popped after a normal job that was
+    /// already queued when it arrived.
+    #[test]
+    fn elevated_jobs_never_wait_behind_normals(specs in job_specs()) {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        for (i, s) in specs.iter().enumerate() {
+            let mut job = Job::local(TaskId::new(i as u64), 0.0, 1.0, s.deadline);
+            if s.elevated {
+                job.priority = PriorityClass::Elevated;
+            }
+            q.push(job);
+        }
+        let order = q.drain_ordered();
+        let first_normal = order.iter().position(|j| j.priority == PriorityClass::Normal);
+        if let Some(fn_idx) = first_normal {
+            for j in &order[fn_idx..] {
+                prop_assert_eq!(
+                    j.priority,
+                    PriorityClass::Normal,
+                    "elevated job after a normal one"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! Probability distributions for the workload model.
+//!
+//! The paper's stochastic model needs exponential interarrival and service
+//! times, uniform slack, and (implicitly, for global task totals) Erlang
+//! sums. These are implemented via inverse-transform / convolution sampling
+//! over any [`rand::RngCore`] source rather than pulling in `rand_distr`,
+//! keeping the sampling code in-tree and auditable.
+//!
+//! All constructors validate their parameters ([`DistError`]); all types
+//! report their analytic [`mean`](Dist::mean), which the workload crate
+//! uses to derive arrival rates from a target utilization.
+//!
+//! ```
+//! use sda_sim::dist::{Dist, Exponential};
+//! use sda_sim::rng::RngFactory;
+//!
+//! let exp = Exponential::with_mean(2.0)?;
+//! let mut rng = RngFactory::new(1).stream("svc");
+//! let x = exp.sample(&mut rng);
+//! assert!(x >= 0.0);
+//! assert_eq!(exp.mean(), 2.0);
+//! # Ok::<(), sda_sim::dist::DistError>(())
+//! ```
+
+use std::fmt;
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+
+/// Error returned when a distribution is constructed with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A parameter that must be strictly positive was zero, negative, NaN
+    /// or infinite.
+    NonPositive {
+        /// Which parameter was invalid.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A range `[lo, hi]` with `lo > hi`, or a non-finite bound.
+    BadRange {
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// Mixture weights that do not form a probability vector.
+    BadWeights,
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive and finite, got {value}")
+            }
+            DistError::BadRange { lo, hi } => {
+                write!(f, "invalid range [{lo}, {hi}]")
+            }
+            DistError::BadWeights => write!(f, "mixture weights must be positive and sum to 1"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+fn require_positive(what: &'static str, value: f64) -> Result<f64, DistError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(value)
+    } else {
+        Err(DistError::NonPositive { what, value })
+    }
+}
+
+/// A real-valued distribution that can be sampled from any RNG.
+///
+/// The trait is object-safe so heterogeneous models can hold
+/// `Box<dyn Dist>`.
+pub trait Dist: fmt::Debug {
+    /// Draws one variate.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// The analytic mean of the distribution.
+    fn mean(&self) -> f64;
+}
+
+/// The degenerate distribution: always returns the same value.
+///
+/// Used for deterministic-service sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Constant(f64);
+
+impl Constant {
+    /// A constant distribution at `value` (must be finite).
+    pub fn new(value: f64) -> Result<Constant, DistError> {
+        if value.is_finite() {
+            Ok(Constant(value))
+        } else {
+            Err(DistError::NonPositive {
+                what: "constant value",
+                value,
+            })
+        }
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Dist for Constant {
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.0
+    }
+
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Continuous uniform on `[lo, hi]`.
+///
+/// The paper draws task *slack* from `U[Smin, Smax]` (baseline
+/// `[0.25, 2.5]`; PSP experiments `[1.25, 5.0]`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Uniform on `[lo, hi]`; requires finite bounds with `lo ≤ hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Uniform, DistError> {
+        if lo.is_finite() && hi.is_finite() && lo <= hi {
+            Ok(Uniform { lo, hi })
+        } else {
+            Err(DistError::BadRange { lo, hi })
+        }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Returns a copy with both bounds multiplied by `factor ≥ 0`.
+    ///
+    /// Used to scale slack ranges by `rel_flex` and by the expected task
+    /// size ratio (see `sda-workload`).
+    pub fn scaled(&self, factor: f64) -> Result<Uniform, DistError> {
+        if !(factor.is_finite() && factor >= 0.0) {
+            return Err(DistError::NonPositive {
+                what: "scale factor",
+                value: factor,
+            });
+        }
+        Uniform::new(self.lo * factor, self.hi * factor)
+    }
+}
+
+impl Dist for Uniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.gen();
+        self.lo + (self.hi - self.lo) * u
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+}
+
+/// Exponential distribution, parameterized by its mean `1/λ`.
+///
+/// Interarrival times of the paper's Poisson task streams and all service
+/// times are exponential.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Exponential with the given mean (must be positive and finite).
+    pub fn with_mean(mean: f64) -> Result<Exponential, DistError> {
+        Ok(Exponential {
+            mean: require_positive("exponential mean", mean)?,
+        })
+    }
+
+    /// Exponential with the given rate `λ` (must be positive and finite).
+    pub fn with_rate(rate: f64) -> Result<Exponential, DistError> {
+        let rate = require_positive("exponential rate", rate)?;
+        Ok(Exponential { mean: 1.0 / rate })
+    }
+
+    /// The rate `λ = 1/mean`.
+    pub fn rate(&self) -> f64 {
+        1.0 / self.mean
+    }
+}
+
+impl Dist for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inverse transform: -mean · ln(1 - U), with U ∈ [0, 1).
+        let u: f64 = rng.gen();
+        -self.mean * (1.0 - u).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Erlang-k distribution: the sum of `k` i.i.d. exponentials.
+///
+/// The total execution time of a serial global task with `m` subtasks is
+/// m-stage Erlang with mean `m/μ_subtask` (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Erlang {
+    stages: u32,
+    stage_mean: f64,
+}
+
+impl Erlang {
+    /// Erlang with `stages ≥ 1` phases, each of mean `stage_mean`.
+    pub fn new(stages: u32, stage_mean: f64) -> Result<Erlang, DistError> {
+        if stages == 0 {
+            return Err(DistError::NonPositive {
+                what: "erlang stages",
+                value: 0.0,
+            });
+        }
+        Ok(Erlang {
+            stages,
+            stage_mean: require_positive("erlang stage mean", stage_mean)?,
+        })
+    }
+
+    /// Number of phases.
+    pub fn stages(&self) -> u32 {
+        self.stages
+    }
+}
+
+impl Dist for Erlang {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Product-of-uniforms trick: Σ Exp(m) = -m · ln(Π Uᵢ).
+        let mut prod: f64 = 1.0;
+        for _ in 0..self.stages {
+            let u: f64 = rng.gen();
+            prod *= 1.0 - u;
+        }
+        -self.stage_mean * prod.ln()
+    }
+
+    fn mean(&self) -> f64 {
+        f64::from(self.stages) * self.stage_mean
+    }
+}
+
+/// Two-phase hyperexponential: with probability `p` draw from an
+/// exponential of mean `mean1`, else of mean `mean2`.
+///
+/// Used in sensitivity studies for high-variance service times
+/// (CV² > 1, unlike the exponential's CV² = 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hyper2 {
+    p: f64,
+    mean1: f64,
+    mean2: f64,
+}
+
+impl Hyper2 {
+    /// Mixture `p·Exp(mean1) + (1-p)·Exp(mean2)`, `p ∈ [0, 1]`.
+    pub fn new(p: f64, mean1: f64, mean2: f64) -> Result<Hyper2, DistError> {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(DistError::BadWeights);
+        }
+        Ok(Hyper2 {
+            p,
+            mean1: require_positive("hyper2 mean1", mean1)?,
+            mean2: require_positive("hyper2 mean2", mean2)?,
+        })
+    }
+}
+
+impl Dist for Hyper2 {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let coin: f64 = rng.gen();
+        let mean = if coin < self.p { self.mean1 } else { self.mean2 };
+        let u: f64 = rng.gen();
+        -mean * (1.0 - u).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.p * self.mean1 + (1.0 - self.p) * self.mean2
+    }
+}
+
+/// Lognormal distribution parameterized by its *actual* mean and
+/// squared coefficient of variation (CV² = Var/mean²).
+///
+/// Used for moderately heavy-tailed service times in sensitivity
+/// studies. Internally `exp(μ + σZ)` with `σ² = ln(1 + CV²)` and
+/// `μ = ln(mean) − σ²/2`, sampled via Box-Muller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mean: f64,
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Lognormal with the given mean (> 0) and CV² (> 0).
+    pub fn with_mean_cv2(mean: f64, cv2: f64) -> Result<LogNormal, DistError> {
+        let mean = require_positive("lognormal mean", mean)?;
+        let cv2 = require_positive("lognormal cv²", cv2)?;
+        let sigma2 = (1.0 + cv2).ln();
+        Ok(LogNormal {
+            mean,
+            mu: mean.ln() - sigma2 / 2.0,
+            sigma: sigma2.sqrt(),
+        })
+    }
+
+    /// The squared coefficient of variation.
+    pub fn cv2(&self) -> f64 {
+        (self.sigma * self.sigma).exp_m1()
+    }
+}
+
+impl Dist for LogNormal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Box-Muller; u1 nudged away from 0 to keep ln() finite.
+        let u1: f64 = rng.gen::<f64>().max(1e-300);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Pareto (Lomax / shifted-Pareto) distribution with the given mean and
+/// tail index `alpha > 1` — genuinely heavy-tailed service times
+/// (infinite variance for `alpha ≤ 2`).
+///
+/// Density `f(x) = α·x_m^α / x^(α+1)` for `x ≥ x_m`, with
+/// `x_m = mean·(α−1)/α` so the mean comes out as requested.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Pareto with the given mean (> 0) and tail index `alpha > 1`.
+    pub fn with_mean(mean: f64, alpha: f64) -> Result<Pareto, DistError> {
+        let mean = require_positive("pareto mean", mean)?;
+        if !(alpha.is_finite() && alpha > 1.0) {
+            return Err(DistError::NonPositive {
+                what: "pareto tail index − 1",
+                value: alpha - 1.0,
+            });
+        }
+        Ok(Pareto {
+            xm: mean * (alpha - 1.0) / alpha,
+            alpha,
+        })
+    }
+
+    /// The tail index α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Dist for Pareto {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>().min(1.0 - 1e-16);
+        self.xm / (1.0 - u).powf(1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        self.xm * self.alpha / (self.alpha - 1.0)
+    }
+}
+
+/// A distribution shifted by a constant offset: `base + offset`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Shifted<D> {
+    base: D,
+    offset: f64,
+}
+
+impl<D: Dist> Shifted<D> {
+    /// Shifts `base` by a finite `offset`.
+    pub fn new(base: D, offset: f64) -> Result<Shifted<D>, DistError> {
+        if offset.is_finite() {
+            Ok(Shifted { base, offset })
+        } else {
+            Err(DistError::NonPositive {
+                what: "shift offset",
+                value: offset,
+            })
+        }
+    }
+}
+
+impl<D: Dist> Dist for Shifted<D> {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.base.sample(rng) + self.offset
+    }
+
+    fn mean(&self) -> f64 {
+        self.base.mean() + self.offset
+    }
+}
+
+/// A serializable, cloneable description of a distribution, resolvable to
+/// a sampler. This is what configuration files carry.
+///
+/// ```
+/// use sda_sim::dist::{Dist, DistSpec};
+/// let spec = DistSpec::Exponential { mean: 1.0 };
+/// let d = spec.build()?;
+/// assert_eq!(d.mean(), 1.0);
+/// # Ok::<(), sda_sim::dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DistSpec {
+    /// See [`Constant`].
+    Constant {
+        /// The constant value.
+        value: f64,
+    },
+    /// See [`Uniform`].
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// See [`Exponential`].
+    Exponential {
+        /// Mean (`1/λ`).
+        mean: f64,
+    },
+    /// See [`Erlang`].
+    Erlang {
+        /// Number of phases.
+        stages: u32,
+        /// Mean of each phase.
+        stage_mean: f64,
+    },
+    /// See [`Hyper2`].
+    Hyper2 {
+        /// Probability of the first phase.
+        p: f64,
+        /// Mean of the first phase.
+        mean1: f64,
+        /// Mean of the second phase.
+        mean2: f64,
+    },
+    /// See [`LogNormal`].
+    LogNormal {
+        /// The distribution mean.
+        mean: f64,
+        /// Squared coefficient of variation.
+        cv2: f64,
+    },
+    /// See [`Pareto`].
+    Pareto {
+        /// The distribution mean.
+        mean: f64,
+        /// Tail index (> 1).
+        alpha: f64,
+    },
+}
+
+impl DistSpec {
+    /// Builds a boxed sampler from the description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if the parameters are invalid, with the same
+    /// rules as the concrete constructors.
+    pub fn build(&self) -> Result<Box<dyn Dist + Send + Sync>, DistError> {
+        Ok(match *self {
+            DistSpec::Constant { value } => Box::new(Constant::new(value)?),
+            DistSpec::Uniform { lo, hi } => Box::new(Uniform::new(lo, hi)?),
+            DistSpec::Exponential { mean } => Box::new(Exponential::with_mean(mean)?),
+            DistSpec::Erlang { stages, stage_mean } => Box::new(Erlang::new(stages, stage_mean)?),
+            DistSpec::Hyper2 { p, mean1, mean2 } => Box::new(Hyper2::new(p, mean1, mean2)?),
+            DistSpec::LogNormal { mean, cv2 } => Box::new(LogNormal::with_mean_cv2(mean, cv2)?),
+            DistSpec::Pareto { mean, alpha } => Box::new(Pareto::with_mean(mean, alpha)?),
+        })
+    }
+
+    /// Analytic mean of the described distribution, if the parameters are
+    /// valid.
+    pub fn mean(&self) -> Result<f64, DistError> {
+        Ok(self.build()?.mean())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngFactory;
+
+    fn rng() -> crate::rng::Stream {
+        RngFactory::new(2024).stream("dist-tests")
+    }
+
+    fn sample_mean(d: &dyn Dist, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_returns_value() {
+        let c = Constant::new(3.5).unwrap();
+        let mut r = rng();
+        assert_eq!(c.sample(&mut r), 3.5);
+        assert_eq!(c.mean(), 3.5);
+        assert!(Constant::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let u = Uniform::new(0.25, 2.5).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = u.sample(&mut r);
+            assert!((0.25..=2.5).contains(&x));
+        }
+        assert!((sample_mean(&u, 100_000) - 1.375).abs() < 0.01);
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn uniform_scaled() {
+        let u = Uniform::new(0.25, 2.5).unwrap().scaled(4.0).unwrap();
+        assert_eq!(u.lo(), 1.0);
+        assert_eq!(u.hi(), 10.0);
+        assert!(Uniform::new(0.0, 1.0).unwrap().scaled(-1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let e = Exponential::with_mean(2.0).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(e.sample(&mut r) >= 0.0);
+        }
+        assert!((sample_mean(&e, 200_000) - 2.0).abs() < 0.05);
+        assert_eq!(e.rate(), 0.5);
+        assert!(Exponential::with_mean(0.0).is_err());
+        assert!(Exponential::with_rate(-1.0).is_err());
+    }
+
+    #[test]
+    fn exponential_with_rate_matches_mean() {
+        let e = Exponential::with_rate(4.0).unwrap();
+        assert_eq!(e.mean(), 0.25);
+    }
+
+    #[test]
+    fn erlang_mean_and_shape() {
+        let e = Erlang::new(4, 1.0).unwrap();
+        assert_eq!(e.mean(), 4.0);
+        assert!((sample_mean(&e, 100_000) - 4.0).abs() < 0.1);
+        // Erlang-4 has CV² = 1/4; check the variance is clearly below the
+        // exponential's (which would be mean² = 16).
+        let mut r = rng();
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| e.sample(&mut r)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((var - 4.0).abs() < 0.3, "Erlang-4(1) variance ≈ 4, got {var}");
+        assert!(Erlang::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn hyper2_mean() {
+        let h = Hyper2::new(0.3, 1.0, 5.0).unwrap();
+        assert!((h.mean() - 3.8).abs() < 1e-12);
+        assert!((sample_mean(&h, 300_000) - 3.8).abs() < 0.1);
+        assert!(Hyper2::new(1.5, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn shifted_adds_offset() {
+        let s = Shifted::new(Constant::new(1.0).unwrap(), 2.0).unwrap();
+        let mut r = rng();
+        assert_eq!(s.sample(&mut r), 3.0);
+        assert_eq!(s.mean(), 3.0);
+    }
+
+    #[test]
+    fn spec_builds_and_reports_mean() {
+        let specs = [
+            DistSpec::Constant { value: 1.0 },
+            DistSpec::Uniform { lo: 0.0, hi: 2.0 },
+            DistSpec::Exponential { mean: 1.5 },
+            DistSpec::Erlang {
+                stages: 3,
+                stage_mean: 2.0,
+            },
+            DistSpec::Hyper2 {
+                p: 0.5,
+                mean1: 1.0,
+                mean2: 2.0,
+            },
+        ];
+        let means = [1.0, 1.0, 1.5, 6.0, 1.5];
+        for (spec, want) in specs.iter().zip(means) {
+            assert!((spec.mean().unwrap() - want).abs() < 1e-12);
+        }
+        assert!(DistSpec::Exponential { mean: -1.0 }.build().is_err());
+    }
+
+    #[test]
+    fn lognormal_mean_and_cv2() {
+        let ln = LogNormal::with_mean_cv2(2.0, 4.0).unwrap();
+        assert_eq!(ln.mean(), 2.0);
+        assert!((ln.cv2() - 4.0).abs() < 1e-9);
+        let m = sample_mean(&ln, 400_000);
+        assert!((m - 2.0).abs() < 0.1, "lognormal sample mean {m}");
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(ln.sample(&mut r) > 0.0);
+        }
+        assert!(LogNormal::with_mean_cv2(0.0, 1.0).is_err());
+        assert!(LogNormal::with_mean_cv2(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn pareto_mean_and_tail() {
+        let p = Pareto::with_mean(1.0, 2.5).unwrap();
+        assert!((p.mean() - 1.0).abs() < 1e-12);
+        assert_eq!(p.alpha(), 2.5);
+        let m = sample_mean(&p, 400_000);
+        assert!((m - 1.0).abs() < 0.05, "pareto sample mean {m}");
+        // Support starts at x_m = 1·1.5/2.5 = 0.6.
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(p.sample(&mut r) >= 0.6 - 1e-12);
+        }
+        assert!(Pareto::with_mean(1.0, 1.0).is_err());
+        assert!(Pareto::with_mean(-1.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn new_specs_build() {
+        assert!((DistSpec::LogNormal { mean: 1.0, cv2: 2.0 }.mean().unwrap() - 1.0).abs() < 1e-12);
+        assert!((DistSpec::Pareto { mean: 3.0, alpha: 2.0 }.mean().unwrap() - 3.0).abs() < 1e-12);
+        assert!(DistSpec::Pareto { mean: 3.0, alpha: 0.5 }.build().is_err());
+    }
+
+    #[test]
+    fn errors_display_nonempty() {
+        let e = Uniform::new(2.0, 1.0).unwrap_err();
+        assert!(!e.to_string().is_empty());
+        let e = Exponential::with_mean(0.0).unwrap_err();
+        assert!(e.to_string().contains("positive"));
+    }
+}

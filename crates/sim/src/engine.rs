@@ -1,0 +1,360 @@
+//! The event loop: [`Engine`], [`Context`] and the [`Simulation`] trait.
+
+use std::fmt;
+
+use crate::event::{EventHandle, EventQueue};
+use crate::time::SimTime;
+
+/// A discrete-event model.
+///
+/// The engine pops the earliest event, advances the clock, and calls
+/// [`Simulation::handle`], which may schedule further events through the
+/// [`Context`]. See the [crate-level example](crate).
+pub trait Simulation {
+    /// The model-defined event payload type.
+    type Event;
+
+    /// Reacts to `event` firing at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut Context<Self::Event>, event: Self::Event);
+}
+
+/// The engine-side state visible to a model while it handles an event:
+/// the clock and the future-event list.
+pub struct Context<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    stop_requested: bool,
+    events_handled: u64,
+}
+
+impl<E> Context<E> {
+    fn new() -> Context<E> {
+        Context {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            stop_requested: false,
+            events_handled: 0,
+        }
+    }
+
+    /// The current simulation time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time: the simulation
+    /// cannot travel into the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: now={}, requested={}",
+            self.now,
+            at
+        );
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules `event` after a delay of `dt ≥ 0` model units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or NaN.
+    pub fn schedule_in(&mut self, dt: f64, event: E) -> EventHandle {
+        assert!(dt >= 0.0, "delay must be non-negative, got {dt}");
+        self.queue.schedule(self.now + dt, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if it was still pending.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+
+    /// Asks the engine to stop after the current event completes.
+    pub fn stop(&mut self) {
+        self.stop_requested = true;
+    }
+
+    /// Number of events pending in the future-event list.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of events handled so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+}
+
+impl<E> fmt::Debug for Context<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("handled", &self.events_handled)
+            .finish()
+    }
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The future-event list drained.
+    Exhausted,
+    /// The model called [`Context::stop`].
+    Stopped,
+    /// The time horizon given to [`Engine::run_until`] was reached.
+    HorizonReached,
+    /// The event budget given to [`Engine::run_events`] was exhausted.
+    BudgetExhausted,
+}
+
+/// Summary of a completed run loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunReport {
+    /// Why the loop returned.
+    pub reason: StopReason,
+    /// The clock value when the loop returned.
+    pub end_time: SimTime,
+    /// Total events handled during this call.
+    pub events: u64,
+}
+
+/// The discrete-event engine: owns the model and the [`Context`].
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub struct Engine<S: Simulation> {
+    model: S,
+    ctx: Context<S::Event>,
+}
+
+impl<S: Simulation> Engine<S> {
+    /// Creates an engine around `model` with an empty event list at `t = 0`.
+    pub fn new(model: S) -> Engine<S> {
+        Engine {
+            model,
+            ctx: Context::new(),
+        }
+    }
+
+    /// Borrows the model.
+    pub fn model(&self) -> &S {
+        &self.model
+    }
+
+    /// Mutably borrows the model.
+    pub fn model_mut(&mut self) -> &mut S {
+        &mut self.model
+    }
+
+    /// Borrows the context (clock + event list).
+    pub fn context(&self) -> &Context<S::Event> {
+        &self.ctx
+    }
+
+    /// Mutably borrows the context, e.g. to seed initial events.
+    pub fn context_mut(&mut self) -> &mut Context<S::Event> {
+        &mut self.ctx
+    }
+
+    /// Consumes the engine, returning the model (e.g. to read final state).
+    pub fn into_model(self) -> S {
+        self.model
+    }
+
+    /// Handles exactly one event. Returns `false` if none was pending or a
+    /// stop was requested.
+    pub fn step(&mut self) -> bool {
+        if self.ctx.stop_requested {
+            return false;
+        }
+        match self.ctx.queue.pop() {
+            Some(scheduled) => {
+                debug_assert!(scheduled.time >= self.ctx.now, "event list went backwards");
+                self.ctx.now = scheduled.time;
+                self.ctx.events_handled += 1;
+                self.model.handle(&mut self.ctx, scheduled.event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event list drains or the model stops.
+    pub fn run(&mut self) -> RunReport {
+        let start_events = self.ctx.events_handled;
+        while self.step() {}
+        self.report(start_events, None)
+    }
+
+    /// Runs until `horizon` (inclusive of events at exactly `horizon`),
+    /// the event list drains, or the model stops. The clock is left at the
+    /// later of its current value and `horizon` when the horizon is the
+    /// binding constraint.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        let start_events = self.ctx.events_handled;
+        loop {
+            if self.ctx.stop_requested {
+                return self.report(start_events, None);
+            }
+            match self.ctx.queue.peek_time() {
+                Some(t) if t <= horizon => {
+                    self.step();
+                }
+                _ => {
+                    if self.ctx.now < horizon {
+                        self.ctx.now = horizon;
+                    }
+                    return self.report(start_events, Some(StopReason::HorizonReached));
+                }
+            }
+        }
+    }
+
+    /// Runs at most `budget` events.
+    pub fn run_events(&mut self, budget: u64) -> RunReport {
+        let start_events = self.ctx.events_handled;
+        for _ in 0..budget {
+            if !self.step() {
+                return self.report(start_events, None);
+            }
+        }
+        self.report(start_events, Some(StopReason::BudgetExhausted))
+    }
+
+    fn report(&self, start_events: u64, forced: Option<StopReason>) -> RunReport {
+        let reason = if self.ctx.stop_requested {
+            StopReason::Stopped
+        } else if let Some(r) = forced {
+            r
+        } else {
+            StopReason::Exhausted
+        };
+        RunReport {
+            reason,
+            end_time: self.ctx.now,
+            events: self.ctx.events_handled - start_events,
+        }
+    }
+}
+
+impl<S: Simulation + fmt::Debug> fmt::Debug for Engine<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("model", &self.model)
+            .field("ctx", &self.ctx)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Ticker {
+        ticks: u32,
+        limit: u32,
+    }
+
+    #[derive(Debug)]
+    struct Tick;
+
+    impl Simulation for Ticker {
+        type Event = Tick;
+        fn handle(&mut self, ctx: &mut Context<Tick>, _: Tick) {
+            self.ticks += 1;
+            if self.ticks < self.limit {
+                ctx.schedule_in(1.0, Tick);
+            }
+        }
+    }
+
+    fn ticker(limit: u32) -> Engine<Ticker> {
+        let mut e = Engine::new(Ticker { ticks: 0, limit });
+        e.context_mut().schedule_at(SimTime::ZERO, Tick);
+        e
+    }
+
+    #[test]
+    fn run_drains_queue() {
+        let mut e = ticker(5);
+        let report = e.run();
+        assert_eq!(report.reason, StopReason::Exhausted);
+        assert_eq!(e.model().ticks, 5);
+        assert_eq!(report.events, 5);
+        assert_eq!(report.end_time, SimTime::from(4.0));
+    }
+
+    #[test]
+    fn run_until_respects_horizon_and_advances_clock() {
+        let mut e = ticker(100);
+        let report = e.run_until(SimTime::from(2.5));
+        assert_eq!(report.reason, StopReason::HorizonReached);
+        // Events at t = 0, 1, 2 fire; the next would be at 3.0 > 2.5.
+        assert_eq!(e.model().ticks, 3);
+        assert_eq!(e.context().now(), SimTime::from(2.5));
+        // Continuing picks up where we left off.
+        let report = e.run();
+        assert_eq!(report.reason, StopReason::Exhausted);
+        assert_eq!(e.model().ticks, 100);
+    }
+
+    #[test]
+    fn run_events_respects_budget() {
+        let mut e = ticker(100);
+        let report = e.run_events(10);
+        assert_eq!(report.reason, StopReason::BudgetExhausted);
+        assert_eq!(e.model().ticks, 10);
+    }
+
+    #[test]
+    fn stop_request_halts_loop() {
+        #[derive(Debug)]
+        struct Stopper;
+        impl Simulation for Stopper {
+            type Event = u32;
+            fn handle(&mut self, ctx: &mut Context<u32>, n: u32) {
+                if n >= 3 {
+                    ctx.stop();
+                } else {
+                    ctx.schedule_in(1.0, n + 1);
+                }
+            }
+        }
+        let mut e = Engine::new(Stopper);
+        e.context_mut().schedule_at(SimTime::ZERO, 0);
+        let report = e.run();
+        assert_eq!(report.reason, StopReason::Stopped);
+        assert_eq!(report.end_time, SimTime::from(3.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_the_past_panics() {
+        let mut e = ticker(2);
+        e.run();
+        e.context_mut().schedule_at(SimTime::ZERO, Tick);
+    }
+
+    #[test]
+    fn into_model_returns_state() {
+        let mut e = ticker(2);
+        e.run();
+        assert_eq!(e.into_model().ticks, 2);
+    }
+
+    #[test]
+    fn events_handled_accumulates_across_calls() {
+        let mut e = ticker(10);
+        e.run_events(4);
+        e.run();
+        assert_eq!(e.context().events_handled(), 10);
+    }
+}

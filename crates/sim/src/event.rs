@@ -1,0 +1,247 @@
+//! The future-event list.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashSet};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// Handles are unique for the lifetime of an [`EventQueue`]; cancelling an
+/// already-fired or already-cancelled event is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventHandle(u64);
+
+/// An event extracted from the queue: its firing time plus the payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The simulation time at which the event fires.
+    pub time: SimTime,
+    /// The model-defined payload.
+    pub event: E,
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Primary key: time. Secondary key: insertion sequence, which makes
+        // simultaneous events fire in FIFO order — the property that makes
+        // the whole simulation deterministic.
+        self.time
+            .cmp(&other.time)
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// A future-event list: a priority queue of `(time, payload)` pairs with
+/// deterministic FIFO ordering among simultaneous events and lazy O(log n)
+/// cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use sda_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from(2.0), "late");
+/// let h = q.schedule(SimTime::from(1.0), "early");
+/// q.schedule(SimTime::from(1.0), "early-2nd");
+/// q.cancel(h);
+/// assert_eq!(q.pop().unwrap().event, "early-2nd");
+/// assert_eq!(q.pop().unwrap().event, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    /// Seqs scheduled but neither fired nor cancelled.
+    pending: HashSet<u64>,
+    /// Seqs cancelled while still in the heap; skipped lazily on pop.
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`. Returns a handle usable with
+    /// [`EventQueue::cancel`].
+    pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+        self.pending.insert(seq);
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (and is now cancelled), `false` if it had already fired
+    /// or been cancelled.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if self.pending.remove(&handle.0) {
+            self.cancelled.insert(handle.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest pending event, skipping cancelled
+    /// entries. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            return Some(ScheduledEvent {
+                time: entry.time,
+                event: entry.event,
+            });
+        }
+        None
+    }
+
+    /// The firing time of the earliest pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the top so the peeked time is live.
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total number of events ever scheduled (fired, pending or cancelled).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.pending.len())
+            .field("scheduled_total", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from(3.0), 3);
+        q.schedule(SimTime::from(1.0), 1);
+        q.schedule(SimTime::from(2.0), 2);
+        assert_eq!(q.pop().unwrap().event, 1);
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert_eq!(q.pop().unwrap().event, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from(1.0), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_events_and_tracks_len() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from(1.0), "a");
+        q.schedule(SimTime::from(2.0), "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_of_unknown_handle_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from(1.0), "a");
+        q.schedule(SimTime::from(5.0), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from(5.0)));
+        assert_eq!(q.pop().unwrap().event, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn scheduled_total_counts_everything() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::ZERO, 0);
+        q.schedule(SimTime::ZERO, 1);
+        q.cancel(h);
+        q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

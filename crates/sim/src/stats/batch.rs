@@ -1,0 +1,124 @@
+//! Batch-means confidence intervals for within-run output analysis.
+
+use serde::{Deserialize, Serialize};
+
+use super::ci::ConfidenceInterval;
+use super::tally::Tally;
+
+/// The method of batch means: consecutive observations are grouped into
+/// fixed-size batches, and the batch averages — approximately independent
+/// for large batches — feed a Student-t confidence interval.
+///
+/// This is the classic single-long-run output analysis used by DeNet-era
+/// simulation studies (the paper runs 10⁶ time units per run and reports
+/// ±0.35 pp at 95%).
+///
+/// # Examples
+///
+/// ```
+/// use sda_sim::stats::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..1000 {
+///     bm.add(f64::from(i % 10));
+/// }
+/// assert_eq!(bm.completed_batches(), 10);
+/// let ci = bm.confidence_interval().unwrap();
+/// assert!((ci.mean - 4.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: Tally,
+    batch_means: Tally,
+}
+
+impl BatchMeans {
+    /// Creates a collector with the given batch size (`≥ 1`; a size of 0 is
+    /// coerced to 1).
+    pub fn new(batch_size: u64) -> BatchMeans {
+        BatchMeans {
+            batch_size: batch_size.max(1),
+            current: Tally::new(),
+            batch_means: Tally::new(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.current.add(x);
+        if self.current.count() >= self.batch_size {
+            self.batch_means.add(self.current.mean());
+            self.current = Tally::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.batch_means.count()
+    }
+
+    /// Mean over completed batches (ignores the partial batch in progress).
+    pub fn mean(&self) -> f64 {
+        self.batch_means.mean()
+    }
+
+    /// A 95% confidence interval over the batch means; `None` until at
+    /// least two batches have completed.
+    pub fn confidence_interval(&self) -> Option<ConfidenceInterval> {
+        if self.batch_means.count() < 2 {
+            return None;
+        }
+        Some(ConfidenceInterval::from_moments(
+            self.batch_means.mean(),
+            self.batch_means.std_dev(),
+            self.batch_means.count(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_complete_at_size() {
+        let mut bm = BatchMeans::new(5);
+        for _ in 0..14 {
+            bm.add(1.0);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+    }
+
+    #[test]
+    fn zero_batch_size_coerced() {
+        let mut bm = BatchMeans::new(0);
+        bm.add(2.0);
+        assert_eq!(bm.completed_batches(), 1);
+    }
+
+    #[test]
+    fn ci_unavailable_below_two_batches() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..10 {
+            bm.add(1.0);
+        }
+        assert!(bm.confidence_interval().is_none());
+        for _ in 0..10 {
+            bm.add(3.0);
+        }
+        let ci = bm.confidence_interval().unwrap();
+        assert_eq!(ci.mean, 2.0);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_width() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..100 {
+            bm.add(7.0);
+        }
+        let ci = bm.confidence_interval().unwrap();
+        assert_eq!(ci.mean, 7.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+}

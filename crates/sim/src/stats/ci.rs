@@ -1,0 +1,158 @@
+//! Confidence intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 97.5% quantile of Student's t distribution with `df` degrees
+/// of freedom — i.e. the multiplier for a 95% confidence interval.
+///
+/// Exact table values for df ≤ 30; the normal approximation (1.96) beyond.
+/// `df = 0` returns infinity (no interval can be formed from one point).
+///
+/// ```
+/// use sda_sim::stats::student_t_975;
+/// assert!((student_t_975(1) - 12.706).abs() < 1e-3);
+/// assert!((student_t_975(10) - 2.228).abs() < 1e-3);
+/// assert!((student_t_975(1000) - 1.96).abs() < 1e-6);
+/// ```
+pub fn student_t_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=40 => 2.021,
+        41..=60 => 2.000,
+        61..=120 => 1.980,
+        _ => 1.96,
+    }
+}
+
+/// A symmetric confidence interval `mean ± half_width`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// The point estimate.
+    pub mean: f64,
+    /// Half the interval width; the interval is `[mean − hw, mean + hw]`.
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Builds a 95% CI for the mean of `n` i.i.d. observations with sample
+    /// mean `mean` and sample standard deviation `std_dev`.
+    pub fn from_moments(mean: f64, std_dev: f64, n: u64) -> ConfidenceInterval {
+        if n < 2 {
+            return ConfidenceInterval {
+                mean,
+                half_width: f64::INFINITY,
+            };
+        }
+        let t = student_t_975(n - 1);
+        ConfidenceInterval {
+            mean,
+            half_width: t * std_dev / (n as f64).sqrt(),
+        }
+    }
+
+    /// Lower endpoint.
+    pub fn lo(&self) -> f64 {
+        self.mean - self.half_width
+    }
+
+    /// Upper endpoint.
+    pub fn hi(&self) -> f64 {
+        self.mean + self.half_width
+    }
+
+    /// Whether `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo() && value <= self.hi()
+    }
+
+    /// Whether two intervals overlap (a quick, conservative test for
+    /// "statistically indistinguishable").
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo() <= other.hi() && other.lo() <= self.hi()
+    }
+}
+
+impl std::fmt::Display for ConfidenceInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.4} ± {:.4}", self.mean, self.half_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_spot_checks() {
+        assert!((student_t_975(2) - 4.303).abs() < 1e-9);
+        assert!((student_t_975(30) - 2.042).abs() < 1e-9);
+        assert_eq!(student_t_975(0), f64::INFINITY);
+        assert_eq!(student_t_975(50), 2.000);
+        assert_eq!(student_t_975(10_000), 1.96);
+    }
+
+    #[test]
+    fn t_decreases_with_df() {
+        let mut prev = student_t_975(1);
+        for df in 2..200 {
+            let t = student_t_975(df);
+            assert!(t <= prev + 1e-12, "t({df}) = {t} > t({}) = {prev}", df - 1);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn interval_endpoints_and_contains() {
+        let ci = ConfidenceInterval {
+            mean: 10.0,
+            half_width: 2.0,
+        };
+        assert_eq!(ci.lo(), 8.0);
+        assert_eq!(ci.hi(), 12.0);
+        assert!(ci.contains(9.0));
+        assert!(!ci.contains(12.5));
+    }
+
+    #[test]
+    fn from_moments_uses_t() {
+        // n = 4 → df = 3 → t = 3.182; hw = 3.182 * 2 / 2 = 3.182.
+        let ci = ConfidenceInterval::from_moments(5.0, 2.0, 4);
+        assert!((ci.half_width - 3.182).abs() < 1e-9);
+        let degenerate = ConfidenceInterval::from_moments(5.0, 2.0, 1);
+        assert_eq!(degenerate.half_width, f64::INFINITY);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = ConfidenceInterval {
+            mean: 0.0,
+            half_width: 1.0,
+        };
+        let b = ConfidenceInterval {
+            mean: 1.5,
+            half_width: 1.0,
+        };
+        let c = ConfidenceInterval {
+            mean: 5.0,
+            half_width: 1.0,
+        };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn display_formats() {
+        let ci = ConfidenceInterval {
+            mean: 0.4,
+            half_width: 0.0035,
+        };
+        assert_eq!(ci.to_string(), "0.4000 ± 0.0035");
+    }
+}

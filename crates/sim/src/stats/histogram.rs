@@ -1,0 +1,205 @@
+//! Fixed-width histograms with under/overflow buckets.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins, plus underflow and
+/// overflow buckets. Used for lateness/tardiness distributions.
+///
+/// # Examples
+///
+/// ```
+/// use sda_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 10)?;
+/// for x in [0.5, 1.5, 1.7, 25.0, -3.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(1), 2);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.total(), 5);
+/// # Ok::<(), sda_sim::stats::HistogramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+/// Error constructing a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramError;
+
+impl std::fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "histogram needs finite lo < hi and at least one bin")
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins ≥ 1` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError`] if `lo ≥ hi`, a bound is non-finite, or
+    /// `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Histogram, HistogramError> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi && bins > 0) {
+            return Err(HistogramError);
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.underflow + self.overflow + self.bins.iter().sum::<u64>()
+    }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// within the containing bin. Under/overflow observations clamp to the
+    /// range bounds. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = q * total as f64;
+        let mut cum = self.underflow as f64;
+        if target <= cum {
+            return Some(self.lo);
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = cum + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - cum) / c as f64;
+                return Some(self.lo + w * (i as f64 + frac));
+            }
+            cum = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Iterates over `(bin_lo, bin_hi, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins.len()).map(move |i| {
+            let (lo, hi) = self.bin_edges(i);
+            (lo, hi, self.bins[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bins_and_edges() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.add(0.0);
+        h.add(0.999);
+        h.add(1.0);
+        h.add(3.9999);
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.bin_edges(2), (2.0, 3.0));
+    }
+
+    #[test]
+    fn boundary_value_goes_to_overflow() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.add(4.0);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin_count(3), 0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..100 {
+            h.add(f64::from(i) / 10.0); // uniform 0.0..9.9
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 5.0).abs() < 0.5, "median {median}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+        assert!(h.quantile(1.0).unwrap() <= 10.0);
+    }
+
+    #[test]
+    fn quantile_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn iter_covers_all_bins() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.add(0.5);
+        h.add(1.5);
+        let v: Vec<_> = h.iter().collect();
+        assert_eq!(v, vec![(0.0, 1.0, 1), (1.0, 2.0, 1)]);
+    }
+}

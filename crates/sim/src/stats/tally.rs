@@ -1,0 +1,230 @@
+//! Streaming sample statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// A streaming tally of observations: count, mean, variance (Welford's
+/// numerically stable one-pass algorithm), min, max and sum.
+///
+/// # Examples
+///
+/// ```
+/// use sda_sim::stats::Tally;
+///
+/// let mut t = Tally::new();
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     t.add(x);
+/// }
+/// assert_eq!(t.count(), 4);
+/// assert_eq!(t.mean(), 2.5);
+/// assert!((t.variance() - 5.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(t.min(), 1.0);
+/// assert_eq!(t.max(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tally {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Tally {
+    /// An empty tally.
+    pub fn new() -> Tally {
+        Tally {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.sum += x;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another tally into this one (parallel Welford combination).
+    pub fn merge(&mut self, other: &Tally) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator); `0.0` for fewer than
+    /// two observations.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation; `+∞` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation; `−∞` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+impl Default for Tally {
+    fn default() -> Self {
+        Tally::new()
+    }
+}
+
+impl Extend<f64> for Tally {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.add(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Tally {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Tally {
+        let mut t = Tally::new();
+        t.extend(iter);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tally_is_sane() {
+        let t = Tally::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.std_error(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let t: Tally = [7.0].into_iter().collect();
+        assert_eq!(t.mean(), 7.0);
+        assert_eq!(t.variance(), 0.0);
+        assert_eq!(t.min(), 7.0);
+        assert_eq!(t.max(), 7.0);
+    }
+
+    #[test]
+    fn welford_matches_naive_two_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.13).collect();
+        let t: Tally = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((t.mean() - mean).abs() < 1e-10);
+        assert!((t.variance() - var).abs() < 1e-10);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin()).collect();
+        let (a, b) = xs.split_at(123);
+        let mut ta: Tally = a.iter().copied().collect();
+        let tb: Tally = b.iter().copied().collect();
+        let tall: Tally = xs.iter().copied().collect();
+        ta.merge(&tb);
+        assert_eq!(ta.count(), tall.count());
+        assert!((ta.mean() - tall.mean()).abs() < 1e-12);
+        assert!((ta.variance() - tall.variance()).abs() < 1e-10);
+        assert_eq!(ta.min(), tall.min());
+        assert_eq!(ta.max(), tall.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut t: Tally = [1.0, 2.0].into_iter().collect();
+        let before = t;
+        t.merge(&Tally::new());
+        assert_eq!(t, before);
+        let mut e = Tally::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn numerical_stability_with_large_offsets() {
+        // Welford should not lose the variance of small deviations around a
+        // huge mean.
+        let t: Tally = (0..1000)
+            .map(|i| 1.0e9 + f64::from(i % 2))
+            .collect();
+        assert!((t.variance() - 0.2503).abs() < 0.01, "var={}", t.variance());
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use sda_sim::dist::{Dist, Erlang, Exponential, Uniform};
+use sda_sim::rng::RngFactory;
+use sda_sim::stats::{BatchMeans, Histogram, Ratio, Tally};
+use sda_sim::{EventQueue, SimTime};
+
+proptest! {
+    /// The event queue pops every scheduled event exactly once, in
+    /// non-decreasing time order, with FIFO order among equal times —
+    /// i.e. it is a stable sort of the input by time.
+    #[test]
+    fn event_queue_is_stable_time_sort(times in prop::collection::vec(0.0f64..100.0, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            // Quantize times so duplicates actually occur.
+            q.schedule(SimTime::from((t * 4.0).floor() / 4.0), i);
+        }
+        let mut popped = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push((ev.time, ev.event));
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation_is_exact(
+        n in 1usize..100,
+        cancel_mask in prop::collection::vec(any::<bool>(), 100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..n).map(|i| q.schedule(SimTime::from(i as f64), i)).collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, h) in handles.iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(q.cancel(*h));
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut got = Vec::new();
+        while let Some(ev) = q.pop() {
+            got.push(ev.event);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Welford tally matches the naive two-pass computation.
+    #[test]
+    fn tally_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..300)) {
+        let t: Tally = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((t.mean() - mean).abs() < 1e-6);
+        prop_assert!((t.variance() - var).abs() < 1e-4 * var.max(1.0));
+        prop_assert_eq!(t.count(), xs.len() as u64);
+    }
+
+    /// Merging split tallies equals the whole, at any split point.
+    #[test]
+    fn tally_merge_associative(xs in prop::collection::vec(-50.0f64..50.0, 2..100), cut in 0usize..100) {
+        let cut = cut % xs.len();
+        let (a, b) = xs.split_at(cut);
+        let mut ta: Tally = a.iter().copied().collect();
+        let tb: Tally = b.iter().copied().collect();
+        ta.merge(&tb);
+        let whole: Tally = xs.iter().copied().collect();
+        prop_assert!((ta.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((ta.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    /// Histogram conserves observations: total = in-bins + under + over.
+    #[test]
+    fn histogram_conserves_counts(xs in prop::collection::vec(-10.0f64..20.0, 0..500)) {
+        let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+        for &x in &xs {
+            h.add(x);
+        }
+        let binned: u64 = (0..h.num_bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+    }
+
+    /// Uniform samples stay in range; exponential and Erlang samples are
+    /// non-negative, for arbitrary parameters and seeds.
+    #[test]
+    fn distribution_supports(seed in any::<u64>(), lo in -5.0f64..5.0, width in 0.0f64..10.0, mean in 0.01f64..100.0) {
+        let mut rng = RngFactory::new(seed).stream("support");
+        let u = Uniform::new(lo, lo + width).unwrap();
+        let e = Exponential::with_mean(mean).unwrap();
+        let g = Erlang::new(3, mean).unwrap();
+        for _ in 0..100 {
+            let x = u.sample(&mut rng);
+            prop_assert!(x >= lo - 1e-12 && x <= lo + width + 1e-12);
+            prop_assert!(e.sample(&mut rng) >= 0.0);
+            prop_assert!(g.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    /// Ratio merge adds counts; percent stays within [0, 100].
+    #[test]
+    fn ratio_merge_and_bounds(hits in prop::collection::vec(any::<bool>(), 0..200), cut in 0usize..200) {
+        let cut = if hits.is_empty() { 0 } else { cut % hits.len() };
+        let mut a = Ratio::new();
+        let mut b = Ratio::new();
+        for (i, &h) in hits.iter().enumerate() {
+            if i < cut { a.record(h) } else { b.record(h) }
+        }
+        let mut merged = a;
+        merged.merge(&b);
+        prop_assert_eq!(merged.denominator(), hits.len() as u64);
+        prop_assert_eq!(merged.numerator(), hits.iter().filter(|&&h| h).count() as u64);
+        prop_assert!((0.0..=100.0).contains(&merged.percent()));
+    }
+
+    /// Batch means of a constant stream has zero-width CI at the value.
+    #[test]
+    fn batch_means_constant_stream(value in -100.0f64..100.0, batches in 2u64..20) {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..(batches * 10) {
+            bm.add(value);
+        }
+        let ci = bm.confidence_interval().unwrap();
+        prop_assert!((ci.mean - value).abs() < 1e-9);
+        prop_assert!(ci.half_width.abs() < 1e-9);
+    }
+
+    /// Named RNG streams never collide for distinct labels (statistical:
+    /// first outputs differ for a few hundred label pairs).
+    #[test]
+    fn rng_streams_distinct(seed in any::<u64>(), a in 0usize..500, b in 0usize..500) {
+        prop_assume!(a != b);
+        let f = RngFactory::new(seed);
+        let mut sa = f.stream_indexed("lbl", a);
+        let mut sb = f.stream_indexed("lbl", b);
+        use rand::RngCore;
+        prop_assert_ne!(sa.next_u64(), sb.next_u64());
+    }
+}

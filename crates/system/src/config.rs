@@ -1,0 +1,92 @@
+//! Top-level system configuration.
+
+use serde::{Deserialize, Serialize};
+
+use sda_core::SdaStrategy;
+use sda_sched::Policy;
+use sda_workload::WorkloadConfig;
+
+/// What a node does when it is about to dispatch a job whose (virtual)
+/// deadline has already passed.
+///
+/// Table 1's baseline is `NoAbort` ("tardy tasks are not aborted"); the
+/// §4.3 extension studies the firm-deadline `AbortTardy` policy, under
+/// which a discarded subtask kills its whole global task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OverloadPolicy {
+    /// Serve tardy jobs anyway (soft deadlines).
+    #[default]
+    NoAbort,
+    /// Discard jobs that are already past their deadline at dispatch
+    /// time (firm deadlines).
+    AbortTardy,
+}
+
+/// The full experiment configuration: workload, deadline-assignment
+/// strategy, local scheduling policy and overload policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// The stochastic workload (Table 1 and variations).
+    pub workload: WorkloadConfig,
+    /// The SDA strategy under test.
+    pub strategy: SdaStrategy,
+    /// The local scheduling discipline at every node (baseline: EDF).
+    pub policy: Policy,
+    /// Overload handling (baseline: no abort).
+    pub overload: OverloadPolicy,
+    /// Whether node servers preempt the running job when a
+    /// higher-priority job arrives (the paper's model is non-preemptive;
+    /// this enables the preemption ablation).
+    pub preemptive: bool,
+}
+
+impl SystemConfig {
+    /// The §4 SSP baseline (Table 1) under the given strategy.
+    pub fn ssp_baseline(strategy: SdaStrategy) -> SystemConfig {
+        SystemConfig {
+            workload: WorkloadConfig::baseline(),
+            strategy,
+            policy: Policy::EarliestDeadlineFirst,
+            overload: OverloadPolicy::NoAbort,
+            preemptive: false,
+        }
+    }
+
+    /// The §5 PSP baseline (parallel fans, slack `U[1.25, 5]`).
+    pub fn psp_baseline(strategy: SdaStrategy) -> SystemConfig {
+        SystemConfig {
+            workload: WorkloadConfig::psp_baseline(),
+            ..SystemConfig::ssp_baseline(strategy)
+        }
+    }
+
+    /// The §6 serial-parallel baseline (pipelines of fans).
+    pub fn combined_baseline(strategy: SdaStrategy) -> SystemConfig {
+        SystemConfig {
+            workload: WorkloadConfig::combined_baseline(),
+            ..SystemConfig::ssp_baseline(strategy)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baselines_use_edf_no_abort() {
+        let c = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+        assert_eq!(c.policy, Policy::EarliestDeadlineFirst);
+        assert_eq!(c.overload, OverloadPolicy::NoAbort);
+        assert_eq!(c.workload.nodes, 6);
+        let p = SystemConfig::psp_baseline(SdaStrategy::ud_div1());
+        assert!(p.workload.shape.has_parallelism());
+        let s = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+        assert_eq!(s.workload.shape.expected_subtasks(), 6.0);
+    }
+
+    #[test]
+    fn overload_default_is_no_abort() {
+        assert_eq!(OverloadPolicy::default(), OverloadPolicy::NoAbort);
+    }
+}

@@ -1,0 +1,54 @@
+//! # sda-system — the distributed soft real-time system model
+//!
+//! The executable model of the paper's §3.2 architecture:
+//!
+//! * `k` homogeneous **nodes**, each a non-preemptive single server with
+//!   its own [`ReadyQueue`](sda_sched::ReadyQueue) — schedulers are
+//!   independent and never coordinate;
+//! * a **process manager** that receives global tasks, assigns virtual
+//!   deadlines via an [`SdaStrategy`](sda_core::SdaStrategy), submits
+//!   simple subtasks to their nodes and enforces precedence
+//!   (via [`TaskRun`](sda_core::TaskRun));
+//! * per-node **local task** streams competing with global subtasks;
+//! * **metrics**: per-class missed-deadline ratios (the paper's primary
+//!   measure), response times, tardiness, subtask-level virtual-deadline
+//!   misses and node utilizations, with warm-up deletion.
+//!
+//! The model runs on the deterministic [`sda_sim`] engine;
+//! [`run_replications`] executes independent replications and reports
+//! 95% confidence intervals, like the paper's two-run experiments.
+//!
+//! ## Example: UD vs EQF at the baseline
+//!
+//! ```
+//! use sda_core::SdaStrategy;
+//! use sda_system::{RunConfig, SystemConfig};
+//!
+//! let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+//! let run = RunConfig { warmup: 100.0, duration: 2_000.0, seed: 1 };
+//! let result = sda_system::run_once(&cfg, &run)?;
+//! assert!(result.metrics.global.completed() > 0);
+//!
+//! cfg.strategy = SdaStrategy::ud_ud();
+//! let ud = sda_system::run_once(&cfg, &run)?;
+//! // Same workload (same seed & streams), different strategy.
+//! assert!(ud.metrics.local.completed() > 0);
+//! # Ok::<(), sda_workload::ConfigError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod config;
+mod metrics;
+mod model;
+mod node;
+mod runner;
+
+pub use batch::{run_batch_means, BatchedResult};
+pub use config::{OverloadPolicy, SystemConfig};
+pub use metrics::{ClassMetrics, Metrics};
+pub use model::{Event, SystemModel, TraceEvent};
+pub use node::Node;
+pub use runner::{run_once, run_replications, ReplicatedResult, RunConfig, RunResult};

@@ -1,0 +1,189 @@
+//! Output metrics: the paper's missed-deadline ratios plus richer
+//! distributions.
+
+use serde::{Deserialize, Serialize};
+
+use sda_sim::stats::{P2Quantile, Ratio, Tally};
+
+/// Per-class statistics (one for locals, one for globals).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    miss: Ratio,
+    response: Tally,
+    tardiness: Tally,
+    lateness: Tally,
+    response_p95: P2Quantile,
+    tardiness_p99: P2Quantile,
+}
+
+impl Default for ClassMetrics {
+    fn default() -> Self {
+        ClassMetrics {
+            miss: Ratio::new(),
+            response: Tally::new(),
+            tardiness: Tally::new(),
+            lateness: Tally::new(),
+            response_p95: P2Quantile::new(0.95).expect("0.95 is a valid quantile"),
+            tardiness_p99: P2Quantile::new(0.99).expect("0.99 is a valid quantile"),
+        }
+    }
+}
+
+impl ClassMetrics {
+    /// Records a completed task of this class.
+    pub fn record(&mut self, arrival: f64, deadline: f64, completion: f64) {
+        let missed = completion > deadline;
+        self.miss.record(missed);
+        self.response.add(completion - arrival);
+        self.lateness.add(completion - deadline);
+        self.tardiness.add((completion - deadline).max(0.0));
+        self.response_p95.add(completion - arrival);
+        self.tardiness_p99.add((completion - deadline).max(0.0));
+    }
+
+    /// Records a task discarded by the firm-deadline policy — counts as a
+    /// miss with no response-time observation.
+    pub fn record_aborted(&mut self) {
+        self.miss.record(true);
+    }
+
+    /// The missed-deadline ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        self.miss.fraction()
+    }
+
+    /// The missed-deadline percentage — the paper's `MD` measure.
+    pub fn miss_percent(&self) -> f64 {
+        self.miss.percent()
+    }
+
+    /// Number of tasks that reached a terminal state (completed or
+    /// aborted).
+    pub fn completed(&self) -> u64 {
+        self.miss.denominator()
+    }
+
+    /// Number of missed deadlines.
+    pub fn missed(&self) -> u64 {
+        self.miss.numerator()
+    }
+
+    /// Response time statistics (completion − arrival).
+    pub fn response(&self) -> &Tally {
+        &self.response
+    }
+
+    /// Tardiness statistics (`max(0, completion − deadline)`).
+    pub fn tardiness(&self) -> &Tally {
+        &self.tardiness
+    }
+
+    /// Lateness statistics (`completion − deadline`, negative = early).
+    pub fn lateness(&self) -> &Tally {
+        &self.lateness
+    }
+
+    /// Streaming estimate of the 95th-percentile response time.
+    pub fn response_p95(&self) -> Option<f64> {
+        self.response_p95.estimate()
+    }
+
+    /// Streaming estimate of the 99th-percentile tardiness.
+    pub fn tardiness_p99(&self) -> Option<f64> {
+        self.tardiness_p99.estimate()
+    }
+
+    /// Discards all observations (warm-up deletion).
+    pub fn reset(&mut self) {
+        *self = ClassMetrics::default();
+    }
+}
+
+/// All simulation output: per-class metrics, subtask-level virtual
+/// deadline accounting and abort counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Statistics over local tasks.
+    pub local: ClassMetrics,
+    /// Statistics over global tasks (end-to-end).
+    pub global: ClassMetrics,
+    /// Virtual-deadline misses at the *subtask* level: how often an
+    /// individual global subtask finished after its assigned virtual
+    /// deadline. Not a paper figure, but explains the end-to-end numbers.
+    pub subtask_virtual_miss: Ratio,
+    /// Global tasks aborted by the firm-deadline policy.
+    pub aborted_globals: u64,
+    /// Local tasks discarded by the firm-deadline policy.
+    pub aborted_locals: u64,
+}
+
+impl Metrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Discards all observations (called at the end of warm-up).
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_metrics_records_misses_and_response() {
+        let mut m = ClassMetrics::default();
+        m.record(0.0, 10.0, 8.0); // met
+        m.record(0.0, 10.0, 12.0); // missed
+        assert_eq!(m.completed(), 2);
+        assert_eq!(m.missed(), 1);
+        assert_eq!(m.miss_percent(), 50.0);
+        assert_eq!(m.response().mean(), 10.0);
+        assert_eq!(m.tardiness().mean(), 1.0);
+        assert_eq!(m.lateness().mean(), 0.0);
+    }
+
+    #[test]
+    fn deadline_boundary_is_a_met_deadline() {
+        let mut m = ClassMetrics::default();
+        m.record(0.0, 10.0, 10.0);
+        assert_eq!(m.missed(), 0);
+    }
+
+    #[test]
+    fn aborted_counts_as_miss_without_response() {
+        let mut m = ClassMetrics::default();
+        m.record_aborted();
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.missed(), 1);
+        assert_eq!(m.response().count(), 0);
+    }
+
+    #[test]
+    fn tail_quantiles_track_response_and_tardiness() {
+        let mut m = ClassMetrics::default();
+        for i in 0..1_000 {
+            let completion = 1.0 + f64::from(i % 100) / 100.0;
+            m.record(0.0, 1.5, completion);
+        }
+        let p95 = m.response_p95().unwrap();
+        assert!((1.90..2.0).contains(&p95), "P95 response {p95}");
+        let p99 = m.tardiness_p99().unwrap();
+        assert!((0.40..0.50).contains(&p99), "P99 tardiness {p99}");
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.local.record(0.0, 1.0, 2.0);
+        m.subtask_virtual_miss.record(true);
+        m.aborted_globals = 3;
+        m.reset();
+        assert_eq!(m.local.completed(), 0);
+        assert_eq!(m.subtask_virtual_miss.denominator(), 0);
+        assert_eq!(m.aborted_globals, 0);
+    }
+}

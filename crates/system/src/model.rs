@@ -1,0 +1,661 @@
+//! The executable system model: events, arrivals, dispatching,
+//! precedence enforcement.
+
+use std::collections::HashMap;
+
+use sda_core::{Completion, NodeId, TaskId, TaskRun};
+use sda_sched::{Job, JobOrigin};
+use sda_sim::rng::RngFactory;
+use sda_sim::{Context, Simulation};
+use sda_workload::{ConfigError, TaskFactory};
+
+use crate::config::{OverloadPolicy, SystemConfig};
+use crate::metrics::Metrics;
+use crate::node::Node;
+
+/// Simulation events of the system model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// Schedules the initial arrivals and the end-of-warm-up marker; must
+    /// fire exactly once at the start of the run.
+    Init {
+        /// When the warm-up transient ends and statistics restart.
+        warmup_end: f64,
+    },
+    /// A local task arrives at `node` (per-node Poisson stream).
+    LocalArrival {
+        /// The generating (and executing) node.
+        node: NodeId,
+    },
+    /// A global task arrives (system-wide Poisson stream) and is handed
+    /// to the process manager.
+    GlobalArrival,
+    /// The job in service at `node` completes.
+    ServiceComplete {
+        /// The node whose server finished.
+        node: NodeId,
+    },
+    /// Warm-up ends: all statistics restart.
+    EndWarmup,
+}
+
+/// One record of a traced global task's lifecycle. Enable tracing with
+/// [`SystemModel::set_trace_tasks`]; traces show exactly which virtual
+/// deadlines the strategy assigned and when each precedence step fired.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A traced global task arrived.
+    Arrival {
+        /// The task.
+        task: TaskId,
+        /// Arrival time.
+        time: f64,
+        /// End-to-end deadline.
+        deadline: f64,
+    },
+    /// A subtask of a traced task was submitted to its node.
+    Submitted {
+        /// The owning task.
+        task: TaskId,
+        /// Submission time.
+        time: f64,
+        /// Destination node.
+        node: NodeId,
+        /// The assigned virtual deadline.
+        deadline: f64,
+    },
+    /// A subtask of a traced task completed service.
+    SubtaskDone {
+        /// The owning task.
+        task: TaskId,
+        /// Completion time.
+        time: f64,
+        /// The node that served it.
+        node: NodeId,
+        /// Whether the subtask finished after its virtual deadline.
+        virtual_miss: bool,
+    },
+    /// A traced task finished.
+    Finished {
+        /// The task.
+        task: TaskId,
+        /// Completion time.
+        time: f64,
+        /// Whether the end-to-end deadline was missed.
+        missed: bool,
+    },
+    /// A traced task was killed by the firm-deadline policy.
+    Aborted {
+        /// The task.
+        task: TaskId,
+        /// Abort time.
+        time: f64,
+    },
+}
+
+/// One in-flight global task tracked by the process manager.
+#[derive(Debug)]
+struct InFlight {
+    run: TaskRun,
+    arrival: f64,
+    deadline: f64,
+    /// Set under the firm-deadline policy when any subtask is discarded;
+    /// the task is finished as missed and submits nothing further.
+    aborted: bool,
+    /// Jobs of this task currently queued or in service anywhere.
+    outstanding: usize,
+}
+
+/// The distributed system of paper §3.2 as a discrete-event model:
+/// `k` nodes with independent schedulers, per-node local arrivals, a
+/// global arrival stream feeding the process manager, and metrics.
+///
+/// Drive it with an [`Engine`](sda_sim::Engine); see
+/// [`run_once`](crate::run_once) for the canonical harness.
+#[derive(Debug)]
+pub struct SystemModel {
+    config: SystemConfig,
+    factory: TaskFactory,
+    nodes: Vec<Node>,
+    tasks: HashMap<u64, InFlight>,
+    next_task_id: u64,
+    metrics: Metrics,
+    /// How many more global tasks may start tracing.
+    trace_budget: u64,
+    /// Ids of global tasks currently being traced.
+    trace_ids: std::collections::HashSet<u64>,
+    trace: Vec<TraceEvent>,
+}
+
+impl SystemModel {
+    /// Builds the model: validates the workload and derives all RNG
+    /// streams from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for invalid workload parameters.
+    pub fn new(config: SystemConfig, rng: &RngFactory) -> Result<SystemModel, ConfigError> {
+        let factory = TaskFactory::new(config.workload.clone(), rng)?;
+        let nodes = (0..config.workload.nodes)
+            .map(|i| Node::new(NodeId::new(i as u32), config.policy))
+            .collect();
+        Ok(SystemModel {
+            config,
+            factory,
+            nodes,
+            tasks: HashMap::new(),
+            next_task_id: 0,
+            metrics: Metrics::new(),
+            trace_budget: 0,
+            trace_ids: std::collections::HashSet::new(),
+            trace: Vec::new(),
+        })
+    }
+
+    /// Enables lifecycle tracing for the next `n` global tasks to
+    /// arrive (call before running). Tracing is off by default and costs
+    /// nothing when off.
+    pub fn set_trace_tasks(&mut self, n: u64) {
+        self.trace_budget = n;
+    }
+
+    /// The recorded trace events, in occurrence order.
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    #[inline]
+    fn traced(&self, task: TaskId) -> bool {
+        !self.trace_ids.is_empty() && self.trace_ids.contains(&task.raw())
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Collected metrics (so far).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The nodes, for utilization/queue-length inspection.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of global tasks currently in flight.
+    pub fn tasks_in_flight(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn fresh_task_id(&mut self) -> TaskId {
+        let id = TaskId::new(self.next_task_id);
+        self.next_task_id += 1;
+        id
+    }
+
+    fn schedule_next_local(&mut self, ctx: &mut Context<Event>, node: NodeId) {
+        if let Some(gap) = self.factory.next_local_interarrival(node) {
+            ctx.schedule_in(gap, Event::LocalArrival { node });
+        }
+    }
+
+    fn schedule_next_global(&mut self, ctx: &mut Context<Event>) {
+        if let Some(gap) = self.factory.next_global_interarrival() {
+            ctx.schedule_in(gap, Event::GlobalArrival);
+        }
+    }
+
+    fn handle_local_arrival(&mut self, ctx: &mut Context<Event>, node: NodeId) {
+        let now = ctx.now().as_f64();
+        let task = self.factory.make_local(node, now);
+        let id = self.fresh_task_id();
+        let job = Job::local(id, now, task.attrs.ex, task.attrs.deadline);
+        self.nodes[node.index()].enqueue(ctx.now(), job);
+        self.schedule_next_local(ctx, node);
+        self.dispatch(ctx, node);
+    }
+
+    fn handle_global_arrival(&mut self, ctx: &mut Context<Event>) {
+        let now = ctx.now().as_f64();
+        let global = self.factory.make_global(now);
+        let id = self.fresh_task_id();
+        let mut run = TaskRun::new(&global.spec, global.arrival, global.deadline)
+            .expect("factory produces valid specs");
+        if self.trace_budget > 0 {
+            self.trace_budget -= 1;
+            self.trace_ids.insert(id.raw());
+            self.trace.push(TraceEvent::Arrival {
+                task: id,
+                time: now,
+                deadline: global.deadline,
+            });
+        }
+        let submissions = run.start(&self.config.strategy, now);
+        let outstanding = submissions.len();
+        self.tasks.insert(
+            id.raw(),
+            InFlight {
+                run,
+                arrival: global.arrival,
+                deadline: global.deadline,
+                aborted: false,
+                outstanding,
+            },
+        );
+        let affected = self.submit(ctx, id, &submissions);
+        self.schedule_next_global(ctx);
+        for node in affected {
+            self.dispatch(ctx, node);
+        }
+    }
+
+    /// Enqueues submissions as jobs; returns the affected nodes (for
+    /// dispatching after the task bookkeeping is consistent).
+    fn submit(
+        &mut self,
+        ctx: &mut Context<Event>,
+        task: TaskId,
+        submissions: &[sda_core::Submission],
+    ) -> Vec<NodeId> {
+        let now = ctx.now().as_f64();
+        let mut affected = Vec::with_capacity(submissions.len());
+        for sub in submissions {
+            let job = Job::global(
+                task,
+                sub.subtask,
+                now,
+                sub.ex,
+                sub.pex,
+                sub.deadline,
+                sub.priority,
+            );
+            self.nodes[sub.node.index()].enqueue(ctx.now(), job);
+            if self.traced(task) {
+                self.trace.push(TraceEvent::Submitted {
+                    task,
+                    time: now,
+                    node: sub.node,
+                    deadline: sub.deadline,
+                });
+            }
+            affected.push(sub.node);
+        }
+        affected
+    }
+
+    fn handle_service_complete(&mut self, ctx: &mut Context<Event>, node: NodeId) {
+        let job = self.nodes[node.index()].finish_service(ctx.now());
+        self.on_job_done(ctx, job, node);
+        self.dispatch(ctx, node);
+    }
+
+    fn on_job_done(&mut self, ctx: &mut Context<Event>, job: Job, node: NodeId) {
+        let now = ctx.now().as_f64();
+        match job.origin {
+            JobOrigin::Local { .. } => {
+                self.metrics
+                    .local
+                    .record(job.enqueue_time, job.deadline, now);
+            }
+            JobOrigin::Global { task, subtask } => {
+                self.metrics.subtask_virtual_miss.record(now > job.deadline);
+                if self.traced(task) {
+                    self.trace.push(TraceEvent::SubtaskDone {
+                        task,
+                        time: now,
+                        node,
+                        virtual_miss: now > job.deadline,
+                    });
+                }
+                let Some(inflight) = self.tasks.get_mut(&task.raw()) else {
+                    debug_assert!(false, "completion for unknown task {task}");
+                    return;
+                };
+                inflight.outstanding -= 1;
+                if inflight.aborted {
+                    if inflight.outstanding == 0 {
+                        self.tasks.remove(&task.raw());
+                    }
+                    return;
+                }
+                match inflight.run.complete(subtask, &self.config.strategy, now) {
+                    Completion::Submitted(subs) => {
+                        inflight.outstanding += subs.len();
+                        let affected = self.submit(ctx, task, &subs);
+                        for n in affected {
+                            self.dispatch(ctx, n);
+                        }
+                    }
+                    Completion::Finished => {
+                        let (arrival, deadline) = (inflight.arrival, inflight.deadline);
+                        self.metrics.global.record(arrival, deadline, now);
+                        self.tasks.remove(&task.raw());
+                        if self.traced(task) {
+                            self.trace.push(TraceEvent::Finished {
+                                task,
+                                time: now,
+                                missed: now > deadline,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_job_discarded(&mut self, now: f64, job: Job) {
+        match job.origin {
+            JobOrigin::Local { .. } => {
+                self.metrics.local.record_aborted();
+                self.metrics.aborted_locals += 1;
+            }
+            JobOrigin::Global { task, .. } => {
+                self.metrics.subtask_virtual_miss.record(true);
+                let traced = self.traced(task);
+                let Some(inflight) = self.tasks.get_mut(&task.raw()) else {
+                    return;
+                };
+                inflight.outstanding -= 1;
+                if !inflight.aborted {
+                    inflight.aborted = true;
+                    self.metrics.global.record_aborted();
+                    self.metrics.aborted_globals += 1;
+                    if traced {
+                        self.trace.push(TraceEvent::Aborted { task, time: now });
+                    }
+                }
+                if inflight.outstanding == 0 {
+                    self.tasks.remove(&task.raw());
+                }
+            }
+        }
+    }
+
+    /// Starts the next job at `node` if the server is idle, applying the
+    /// overload policy, and schedules its completion. In preemptive mode
+    /// a busy server is first preempted when the queue head outranks the
+    /// running job.
+    fn dispatch(&mut self, ctx: &mut Context<Event>, node: NodeId) {
+        if self.config.preemptive && self.nodes[node.index()].should_preempt() {
+            let (job, handle) = self.nodes[node.index()].preempt(ctx.now());
+            if let Some(h) = handle {
+                let cancelled = ctx.cancel(h);
+                debug_assert!(cancelled, "stale completion handle");
+            }
+            self.nodes[node.index()].enqueue(ctx.now(), job);
+        }
+        let started = match self.config.overload {
+            OverloadPolicy::NoAbort => self.nodes[node.index()].try_start(ctx.now()),
+            OverloadPolicy::AbortTardy => {
+                let now = ctx.now().as_f64();
+                let (started, discarded) = self.nodes[node.index()]
+                    .try_start_with_admission(ctx.now(), |j| !j.is_tardy(now));
+                for j in discarded {
+                    self.on_job_discarded(now, j);
+                }
+                started
+            }
+        };
+        if let Some(job) = started {
+            let handle = ctx.schedule_in(job.service, Event::ServiceComplete { node });
+            self.nodes[node.index()].set_completion_handle(handle);
+        }
+    }
+}
+
+impl Simulation for SystemModel {
+    type Event = Event;
+
+    fn handle(&mut self, ctx: &mut Context<Event>, event: Event) {
+        match event {
+            Event::Init { warmup_end } => {
+                let nodes: Vec<NodeId> = self.nodes.iter().map(Node::id).collect();
+                for node in nodes {
+                    self.schedule_next_local(ctx, node);
+                }
+                self.schedule_next_global(ctx);
+                if warmup_end > 0.0 {
+                    ctx.schedule_in(warmup_end, Event::EndWarmup);
+                }
+            }
+            Event::LocalArrival { node } => self.handle_local_arrival(ctx, node),
+            Event::GlobalArrival => self.handle_global_arrival(ctx),
+            Event::ServiceComplete { node } => self.handle_service_complete(ctx, node),
+            Event::EndWarmup => {
+                self.metrics.reset();
+                for node in &mut self.nodes {
+                    node.reset_stats(ctx.now());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::SdaStrategy;
+    use sda_sim::{Engine, SimTime};
+
+    fn engine(config: SystemConfig, seed: u64) -> Engine<SystemModel> {
+        let model = SystemModel::new(config, &RngFactory::new(seed)).unwrap();
+        let mut e = Engine::new(model);
+        e.context_mut()
+            .schedule_at(SimTime::ZERO, Event::Init { warmup_end: 100.0 });
+        e
+    }
+
+    #[test]
+    fn baseline_run_completes_tasks() {
+        let mut e = engine(SystemConfig::ssp_baseline(SdaStrategy::eqf_ud()), 1);
+        e.run_until(SimTime::from(2_000.0));
+        let m = e.model().metrics();
+        assert!(m.local.completed() > 500, "locals: {}", m.local.completed());
+        assert!(m.global.completed() > 100, "globals: {}", m.global.completed());
+        assert!(m.local.response().mean() > 0.0);
+    }
+
+    #[test]
+    fn utilization_approaches_configured_load() {
+        let mut e = engine(SystemConfig::ssp_baseline(SdaStrategy::ud_ud()), 2);
+        let horizon = SimTime::from(20_000.0);
+        e.run_until(horizon);
+        let model = e.model();
+        let mean_util: f64 = model
+            .nodes()
+            .iter()
+            .map(|n| n.utilization(horizon))
+            .sum::<f64>()
+            / model.nodes().len() as f64;
+        assert!(
+            (mean_util - 0.5).abs() < 0.03,
+            "utilization {mean_util} should be near load 0.5"
+        );
+    }
+
+    #[test]
+    fn no_tasks_leak() {
+        let mut e = engine(SystemConfig::psp_baseline(SdaStrategy::ud_div1()), 3);
+        e.run_until(SimTime::from(5_000.0));
+        // In-flight tasks should be bounded (queued work), not growing
+        // with the number of generated tasks.
+        let inflight = e.model().tasks_in_flight();
+        let completed = e.model().metrics().global.completed();
+        assert!(completed > 500);
+        assert!(
+            inflight < 200,
+            "{inflight} tasks in flight — leak? completed {completed}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut e = engine(SystemConfig::ssp_baseline(SdaStrategy::eqf_ud()), seed);
+            e.run_until(SimTime::from(3_000.0));
+            let m = e.model().metrics();
+            (
+                m.local.completed(),
+                m.global.completed(),
+                m.local.miss_percent(),
+                m.global.miss_percent(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn abort_tardy_discards_and_counts() {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+        cfg.overload = OverloadPolicy::AbortTardy;
+        // Push load high enough that some jobs are tardy at dispatch.
+        cfg.workload.load = 0.9;
+        let mut e = engine(cfg, 4);
+        e.run_until(SimTime::from(5_000.0));
+        let m = e.model().metrics();
+        assert!(
+            m.aborted_locals + m.aborted_globals > 0,
+            "at load 0.9 with tight slack, some aborts must occur"
+        );
+        // Aborted tasks count as misses.
+        assert!(m.global.miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn warmup_resets_statistics() {
+        let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        let model = SystemModel::new(cfg, &RngFactory::new(5)).unwrap();
+        let mut e = Engine::new(model);
+        e.context_mut()
+            .schedule_at(SimTime::ZERO, Event::Init { warmup_end: 1_000.0 });
+        e.run_until(SimTime::from(999.0));
+        assert!(e.model().metrics().local.completed() > 0);
+        e.run_until(SimTime::from(1_000.5));
+        // Just past warm-up: counters were cleared at exactly t=1000.
+        let after = e.model().metrics().local.completed();
+        assert!(after < 10, "warm-up reset failed: {after} completions");
+    }
+
+    #[test]
+    fn preemptive_edf_runs_and_preempts() {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        cfg.preemptive = true;
+        cfg.workload.load = 0.7;
+        let mut e = engine(cfg.clone(), 14);
+        e.run_until(SimTime::from(5_000.0));
+        let preemptions: u64 = e.model().nodes().iter().map(|n| n.preemptions()).sum();
+        assert!(preemptions > 0, "busy preemptive system must preempt");
+        let m = e.model().metrics();
+        assert!(m.local.completed() > 1_000);
+
+        // Work conservation: same total completions as non-preemptive,
+        // up to boundary effects.
+        cfg.preemptive = false;
+        let mut e2 = engine(cfg, 14);
+        e2.run_until(SimTime::from(5_000.0));
+        let a =
+            m.local.completed() as f64 + e.model().metrics().global.completed() as f64;
+        let b = e2.model().metrics().local.completed() as f64
+            + e2.model().metrics().global.completed() as f64;
+        assert!(
+            (a - b).abs() / b < 0.02,
+            "work conservation: {a} vs {b} completions"
+        );
+    }
+
+    #[test]
+    fn trace_captures_complete_lifecycles() {
+        let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        let model = SystemModel::new(cfg, &RngFactory::new(12)).unwrap();
+        let mut e = Engine::new(model);
+        e.model_mut().set_trace_tasks(u64::MAX); // trace everything briefly
+        e.context_mut()
+            .schedule_at(SimTime::ZERO, Event::Init { warmup_end: 0.0 });
+        e.run_until(SimTime::from(300.0));
+        let trace = e.model().trace();
+        assert!(!trace.is_empty());
+
+        // Pick the first task that finished and check its event sequence.
+        let finished_task = trace
+            .iter()
+            .find_map(|ev| match ev {
+                TraceEvent::Finished { task, .. } => Some(*task),
+                _ => None,
+            })
+            .expect("some task finishes within 300 units");
+        let events: Vec<&TraceEvent> = trace
+            .iter()
+            .filter(|ev| match ev {
+                TraceEvent::Arrival { task, .. }
+                | TraceEvent::Submitted { task, .. }
+                | TraceEvent::SubtaskDone { task, .. }
+                | TraceEvent::Finished { task, .. }
+                | TraceEvent::Aborted { task, .. } => *task == finished_task,
+            })
+            .collect();
+        assert!(matches!(events[0], TraceEvent::Arrival { .. }));
+        assert!(matches!(events.last().unwrap(), TraceEvent::Finished { .. }));
+        // Serial m=4 task: 4 submissions and 4 completions, alternating.
+        let submits = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Submitted { .. }))
+            .count();
+        let dones = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::SubtaskDone { .. }))
+            .count();
+        assert_eq!(submits, 4);
+        assert_eq!(dones, 4);
+        // Times are monotone.
+        let times: Vec<f64> = events
+            .iter()
+            .map(|ev| match ev {
+                TraceEvent::Arrival { time, .. }
+                | TraceEvent::Submitted { time, .. }
+                | TraceEvent::SubtaskDone { time, .. }
+                | TraceEvent::Finished { time, .. }
+                | TraceEvent::Aborted { time, .. } => *time,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tracing_disabled_records_nothing() {
+        let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        let model = SystemModel::new(cfg, &RngFactory::new(13)).unwrap();
+        let mut e = Engine::new(model);
+        e.context_mut()
+            .schedule_at(SimTime::ZERO, Event::Init { warmup_end: 0.0 });
+        e.run_until(SimTime::from(200.0));
+        assert!(e.model().trace().is_empty());
+    }
+
+    #[test]
+    fn globals_first_elevates_subtasks_over_locals() {
+        // With GF, global subtasks should rarely wait behind locals; the
+        // end-to-end global miss rate must be far below UD's at the same
+        // seed and load.
+        use sda_core::{ParallelStrategy, SerialStrategy};
+        let mut cfg = SystemConfig::psp_baseline(SdaStrategy::ud_ud());
+        cfg.workload.load = 0.8;
+        let mut e_ud = engine(cfg.clone(), 6);
+        e_ud.run_until(SimTime::from(8_000.0));
+        let ud_miss = e_ud.model().metrics().global.miss_percent();
+
+        cfg.strategy = SdaStrategy::new(
+            SerialStrategy::UltimateDeadline,
+            ParallelStrategy::GlobalsFirst,
+        );
+        let mut e_gf = engine(cfg, 6);
+        e_gf.run_until(SimTime::from(8_000.0));
+        let gf_miss = e_gf.model().metrics().global.miss_percent();
+        assert!(
+            gf_miss < ud_miss,
+            "GF ({gf_miss:.2}%) should beat UD ({ud_miss:.2}%) for globals"
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! A processing node: one single-job server plus its ready queue.
+//! Non-preemptive by default (the paper's model); the preemption hooks
+//! ([`Node::should_preempt`], [`Node::preempt`]) support the preemptive
+//! ablation study.
+
+use sda_core::NodeId;
+use sda_sched::{Job, Policy, ReadyQueue};
+use sda_sim::stats::TimeWeighted;
+use sda_sim::{EventHandle, SimTime};
+
+#[derive(Debug)]
+struct InService {
+    job: Job,
+    started: SimTime,
+    /// Completion event, cancellable on preemption.
+    completion: Option<EventHandle>,
+}
+
+/// One node of the distributed system: an independent server with its own
+/// scheduler (paper §3.2). The simulation model drives it; the node only
+/// owns local state (queue, busy server, utilization accounting).
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    queue: ReadyQueue,
+    in_service: Option<InService>,
+    utilization: TimeWeighted,
+    queue_length: TimeWeighted,
+    served: u64,
+    preemptions: u64,
+}
+
+impl Node {
+    /// A new idle node with an empty queue under `policy`.
+    pub fn new(id: NodeId, policy: Policy) -> Node {
+        Node {
+            id,
+            queue: ReadyQueue::new(policy),
+            in_service: None,
+            utilization: TimeWeighted::new(SimTime::ZERO, 0.0),
+            queue_length: TimeWeighted::new(SimTime::ZERO, 0.0),
+            served: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether the server is currently serving a job.
+    pub fn is_busy(&self) -> bool {
+        self.in_service.is_some()
+    }
+
+    /// The job in service, if any.
+    pub fn current(&self) -> Option<&Job> {
+        self.in_service.as_ref().map(|s| &s.job)
+    }
+
+    /// Times a job was preempted at this node since the last reset.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// Records the engine handle of the in-service job's completion
+    /// event, so a later preemption can cancel it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is idle.
+    pub fn set_completion_handle(&mut self, handle: EventHandle) {
+        self.in_service
+            .as_mut()
+            .expect("set_completion_handle on an idle server")
+            .completion = Some(handle);
+    }
+
+    /// Whether the queue head would be served strictly before the job in
+    /// service under the node's discipline — i.e. whether a preemptive
+    /// server would switch now.
+    pub fn should_preempt(&self) -> bool {
+        match (self.in_service.as_ref(), self.queue.peek()) {
+            (Some(cur), Some(head)) => self.queue.policy().beats(head, &cur.job),
+            _ => false,
+        }
+    }
+
+    /// Stops the in-service job at `now`, reducing its remaining service
+    /// (and prediction) by the time already received, and returns it with
+    /// the completion handle to cancel. The caller re-enqueues the job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is idle.
+    pub fn preempt(&mut self, now: SimTime) -> (Job, Option<EventHandle>) {
+        let mut cur = self.in_service.take().expect("preempt on an idle server");
+        let elapsed = now - cur.started;
+        cur.job.service = (cur.job.service - elapsed).max(0.0);
+        cur.job.pex = (cur.job.pex - elapsed).max(0.0);
+        self.utilization.update(now, 0.0);
+        self.preemptions += 1;
+        (cur.job, cur.completion)
+    }
+
+    /// Queued jobs (not counting the one in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs completely served since the last reset.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Enqueues a job at `now`.
+    pub fn enqueue(&mut self, now: SimTime, job: Job) {
+        self.queue.push(job);
+        self.queue_length.update(now, self.queue.len() as f64);
+    }
+
+    /// If the server is idle, pops the next job (per the discipline) and
+    /// marks the server busy. Returns a copy of the started job so the
+    /// caller can schedule its completion. Does nothing when busy or
+    /// empty.
+    pub fn try_start(&mut self, now: SimTime) -> Option<Job> {
+        if self.in_service.is_some() {
+            return None;
+        }
+        let job = self.queue.pop()?;
+        self.queue_length.update(now, self.queue.len() as f64);
+        self.utilization.update(now, 1.0);
+        self.in_service = Some(InService {
+            job,
+            started: now,
+            completion: None,
+        });
+        Some(job)
+    }
+
+    /// Like [`Node::try_start`] but discards queued jobs failing
+    /// `admit` (the firm-deadline overload policy) instead of serving
+    /// them; discarded jobs are returned in the second slot.
+    pub fn try_start_with_admission(
+        &mut self,
+        now: SimTime,
+        mut admit: impl FnMut(&Job) -> bool,
+    ) -> (Option<Job>, Vec<Job>) {
+        if self.in_service.is_some() {
+            return (None, Vec::new());
+        }
+        let mut discarded = Vec::new();
+        while let Some(job) = self.queue.pop() {
+            if admit(&job) {
+                self.queue_length.update(now, self.queue.len() as f64);
+                self.utilization.update(now, 1.0);
+                self.in_service = Some(InService {
+                    job,
+                    started: now,
+                    completion: None,
+                });
+                return (Some(job), discarded);
+            }
+            discarded.push(job);
+        }
+        self.queue_length.update(now, self.queue.len() as f64);
+        (None, discarded)
+    }
+
+    /// Marks the in-service job finished at `now`, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server was idle — a completion event without a job
+    /// in service indicates a model bug.
+    pub fn finish_service(&mut self, now: SimTime) -> Job {
+        let cur = self
+            .in_service
+            .take()
+            .expect("finish_service on an idle server");
+        self.utilization.update(now, 0.0);
+        self.served += 1;
+        cur.job
+    }
+
+    /// Time-average server utilization since the last reset.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.utilization.time_average(now)
+    }
+
+    /// Time-average queue length since the last reset.
+    pub fn mean_queue_length(&self, now: SimTime) -> f64 {
+        self.queue_length.time_average(now)
+    }
+
+    /// Restarts the node's statistics at `now` (warm-up deletion); the
+    /// queue and server state are preserved.
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.utilization.reset(now);
+        self.queue_length.reset(now);
+        self.served = 0;
+        self.preemptions = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::TaskId;
+
+    fn t(x: f64) -> SimTime {
+        SimTime::from(x)
+    }
+
+    fn job(deadline: f64, service: f64) -> Job {
+        Job::local(TaskId::new(0), 0.0, service, deadline)
+    }
+
+    #[test]
+    fn idle_node_starts_earliest_deadline() {
+        let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        n.enqueue(t(0.0), job(9.0, 1.0));
+        n.enqueue(t(0.0), job(3.0, 1.0));
+        let started = n.try_start(t(0.0)).unwrap();
+        assert_eq!(started.deadline, 3.0);
+        assert!(n.is_busy());
+        assert!(n.try_start(t(0.0)).is_none(), "busy server refuses");
+        let done = n.finish_service(t(1.0));
+        assert_eq!(done.deadline, 3.0);
+        assert_eq!(n.served(), 1);
+        assert!(!n.is_busy());
+    }
+
+    #[test]
+    fn utilization_integrates_busy_time() {
+        let mut n = Node::new(NodeId::new(0), Policy::Fcfs);
+        n.enqueue(t(0.0), job(9.0, 2.0));
+        n.try_start(t(0.0));
+        n.finish_service(t(2.0));
+        // Busy on [0,2), idle on [2,4) → 50%.
+        assert!((n.utilization(t(4.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn admission_discards_tardy_jobs() {
+        let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        n.enqueue(t(0.0), job(1.0, 1.0)); // will be tardy at t=5
+        n.enqueue(t(0.0), job(2.0, 1.0)); // also tardy
+        n.enqueue(t(0.0), job(9.0, 1.0)); // fine
+        let now = t(5.0);
+        let (started, discarded) =
+            n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
+        assert_eq!(started.unwrap().deadline, 9.0);
+        assert_eq!(discarded.len(), 2);
+        assert_eq!(n.queue_len(), 0);
+    }
+
+    #[test]
+    fn admission_with_all_tardy_leaves_idle() {
+        let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        n.enqueue(t(0.0), job(1.0, 1.0));
+        let now = t(5.0);
+        let (started, discarded) =
+            n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
+        assert!(started.is_none());
+        assert_eq!(discarded.len(), 1);
+        assert!(!n.is_busy());
+    }
+
+    #[test]
+    fn preemption_reduces_remaining_service() {
+        let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        n.enqueue(t(0.0), job(9.0, 4.0));
+        n.try_start(t(0.0));
+        assert!(!n.should_preempt(), "empty queue never preempts");
+        // A tighter job arrives at t=1.
+        n.enqueue(t(1.0), job(3.0, 1.0));
+        assert!(n.should_preempt());
+        let (preempted, handle) = n.preempt(t(1.0));
+        assert_eq!(handle, None, "no completion handle was registered");
+        assert_eq!(preempted.deadline, 9.0);
+        assert!((preempted.service - 3.0).abs() < 1e-12, "1 of 4 units served");
+        assert_eq!(n.preemptions(), 1);
+        assert!(!n.is_busy());
+        // Re-enqueue and continue: tighter job runs first.
+        n.enqueue(t(1.0), preempted);
+        assert_eq!(n.try_start(t(1.0)).unwrap().deadline, 3.0);
+    }
+
+    #[test]
+    fn equal_deadlines_do_not_preempt() {
+        let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        n.enqueue(t(0.0), job(5.0, 2.0));
+        n.try_start(t(0.0));
+        n.enqueue(t(0.0), job(5.0, 2.0));
+        assert!(!n.should_preempt(), "FIFO ties never preempt");
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn finish_on_idle_panics() {
+        let mut n = Node::new(NodeId::new(0), Policy::Fcfs);
+        n.finish_service(t(1.0));
+    }
+
+    #[test]
+    fn reset_stats_clears_counters() {
+        let mut n = Node::new(NodeId::new(0), Policy::Fcfs);
+        n.enqueue(t(0.0), job(9.0, 1.0));
+        n.try_start(t(0.0));
+        n.finish_service(t(1.0));
+        n.reset_stats(t(1.0));
+        assert_eq!(n.served(), 0);
+        assert_eq!(n.utilization(t(2.0)), 0.0);
+    }
+
+    #[test]
+    fn queue_length_time_average() {
+        let mut n = Node::new(NodeId::new(0), Policy::Fcfs);
+        n.enqueue(t(0.0), job(9.0, 1.0));
+        n.enqueue(t(0.0), job(9.0, 1.0));
+        // 2 queued on [0,2), then one starts (1 queued) on [2,4).
+        n.try_start(t(2.0));
+        assert!((n.mean_queue_length(t(4.0)) - 1.5).abs() < 1e-12);
+    }
+}

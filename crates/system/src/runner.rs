@@ -1,0 +1,238 @@
+//! Single-run and replicated-run harnesses.
+
+use serde::{Deserialize, Serialize};
+
+use sda_sim::rng::RngFactory;
+use sda_sim::stats::Replications;
+use sda_sim::{Engine, SimTime};
+use sda_workload::ConfigError;
+
+use crate::config::SystemConfig;
+use crate::metrics::Metrics;
+use crate::model::{Event, SystemModel};
+
+/// Run-length parameters for one simulation run.
+///
+/// The paper uses runs of 10⁶ time units after warm-up with at least 10⁵
+/// tasks each; the default here is a faster setting suitable for tests
+/// and quick sweeps. Scale `duration` up (and add replications) for
+/// paper-grade confidence intervals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Warm-up transient discarded before statistics collection.
+    pub warmup: f64,
+    /// Measured duration after warm-up.
+    pub duration: f64,
+    /// Master seed; every RNG stream derives from it.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup: 1_000.0,
+            duration: 50_000.0,
+            seed: 0x5DA_5EED,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The paper's run length: 10⁶ time units per run (plus a generous
+    /// warm-up).
+    pub fn paper_scale(seed: u64) -> RunConfig {
+        RunConfig {
+            warmup: 10_000.0,
+            duration: 1_000_000.0,
+            seed,
+        }
+    }
+
+    /// A quick setting for CI and smoke tests.
+    pub fn quick(seed: u64) -> RunConfig {
+        RunConfig {
+            warmup: 500.0,
+            duration: 10_000.0,
+            seed,
+        }
+    }
+}
+
+/// Everything measured in one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Task-level metrics (post-warm-up).
+    pub metrics: Metrics,
+    /// Post-warm-up time-average utilization per node.
+    pub node_utilization: Vec<f64>,
+    /// Post-warm-up time-average ready-queue length per node.
+    pub node_queue_length: Vec<f64>,
+    /// Clock value at the end of the run.
+    pub end_time: f64,
+    /// Events handled.
+    pub events: u64,
+}
+
+impl RunResult {
+    /// Mean utilization across nodes.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.node_utilization.is_empty() {
+            0.0
+        } else {
+            self.node_utilization.iter().sum::<f64>() / self.node_utilization.len() as f64
+        }
+    }
+}
+
+/// Runs the model once.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for invalid workload parameters.
+pub fn run_once(config: &SystemConfig, run: &RunConfig) -> Result<RunResult, ConfigError> {
+    let rng = RngFactory::new(run.seed);
+    let model = SystemModel::new(config.clone(), &rng)?;
+    let mut engine = Engine::new(model);
+    engine.context_mut().schedule_at(
+        SimTime::ZERO,
+        Event::Init {
+            warmup_end: run.warmup,
+        },
+    );
+    let horizon = SimTime::from(run.warmup + run.duration);
+    let report = engine.run_until(horizon);
+    let model = engine.model();
+    Ok(RunResult {
+        metrics: model.metrics().clone(),
+        node_utilization: model.nodes().iter().map(|n| n.utilization(horizon)).collect(),
+        node_queue_length: model
+            .nodes()
+            .iter()
+            .map(|n| n.mean_queue_length(horizon))
+            .collect(),
+        end_time: report.end_time.as_f64(),
+        events: report.events,
+    })
+}
+
+/// Summary statistics across independent replications (different seeds,
+/// same configuration), as the paper's two-run-per-point methodology —
+/// generalized to any replication count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedResult {
+    /// `MD_local` (%) per replication.
+    pub local_miss_pct: Replications,
+    /// `MD_global` (%) per replication.
+    pub global_miss_pct: Replications,
+    /// Subtask-level virtual-deadline miss (%) per replication.
+    pub subtask_miss_pct: Replications,
+    /// Mean local response time per replication.
+    pub local_response: Replications,
+    /// Mean global (end-to-end) response time per replication.
+    pub global_response: Replications,
+    /// Mean node utilization per replication.
+    pub utilization: Replications,
+    /// The individual runs, for deeper inspection.
+    pub runs: Vec<RunResult>,
+}
+
+impl ReplicatedResult {
+    /// Point estimate of `MD_local` in percent.
+    pub fn md_local(&self) -> f64 {
+        self.local_miss_pct.mean()
+    }
+
+    /// Point estimate of `MD_global` in percent.
+    pub fn md_global(&self) -> f64 {
+        self.global_miss_pct.mean()
+    }
+}
+
+/// Runs `replications` independent runs, deriving per-replication seeds
+/// from `base.seed`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for invalid workload parameters.
+pub fn run_replications(
+    config: &SystemConfig,
+    base: &RunConfig,
+    replications: usize,
+) -> Result<ReplicatedResult, ConfigError> {
+    let mut result = ReplicatedResult {
+        local_miss_pct: Replications::new(),
+        global_miss_pct: Replications::new(),
+        subtask_miss_pct: Replications::new(),
+        local_response: Replications::new(),
+        global_response: Replications::new(),
+        utilization: Replications::new(),
+        runs: Vec::with_capacity(replications),
+    };
+    for r in 0..replications {
+        let seed = RngFactory::new(base.seed).subfactory(r as u64).master_seed();
+        let run_cfg = RunConfig { seed, ..*base };
+        let run = run_once(config, &run_cfg)?;
+        result.local_miss_pct.add(run.metrics.local.miss_percent());
+        result
+            .global_miss_pct
+            .add(run.metrics.global.miss_percent());
+        result
+            .subtask_miss_pct
+            .add(run.metrics.subtask_virtual_miss.percent());
+        result.local_response.add(run.metrics.local.response().mean());
+        result
+            .global_response
+            .add(run.metrics.global.response().mean());
+        result.utilization.add(run.mean_utilization());
+        result.runs.push(run);
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_core::SdaStrategy;
+
+    #[test]
+    fn run_once_reports_sane_results() {
+        let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        let run = run_once(&cfg, &RunConfig::quick(1)).unwrap();
+        assert!(run.metrics.local.completed() > 1_000);
+        assert!(run.metrics.global.completed() > 100);
+        assert_eq!(run.node_utilization.len(), 6);
+        assert!(run.mean_utilization() > 0.3 && run.mean_utilization() < 0.7);
+        assert!(run.events > 0);
+        assert!((run.end_time - 10_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replications_differ_but_are_deterministic() {
+        let cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+        let base = RunConfig::quick(7);
+        let a = run_replications(&cfg, &base, 3).unwrap();
+        let b = run_replications(&cfg, &base, 3).unwrap();
+        assert_eq!(a.local_miss_pct.values(), b.local_miss_pct.values());
+        // Replications must actually differ from each other.
+        let vals = a.global_miss_pct.values();
+        assert!(vals.windows(2).any(|w| w[0] != w[1]), "{vals:?}");
+        assert!(a.global_miss_pct.confidence_interval().is_some());
+    }
+
+    #[test]
+    fn md_accessors_match_means() {
+        let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        let res = run_replications(&cfg, &RunConfig::quick(3), 2).unwrap();
+        assert_eq!(res.md_local(), res.local_miss_pct.mean());
+        assert_eq!(res.md_global(), res.global_miss_pct.mean());
+        assert_eq!(res.runs.len(), 2);
+    }
+
+    #[test]
+    fn default_run_config_is_reasonable() {
+        let d = RunConfig::default();
+        assert!(d.warmup > 0.0 && d.duration > d.warmup);
+        let p = RunConfig::paper_scale(1);
+        assert_eq!(p.duration, 1_000_000.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Randomized whole-system invariant tests: whatever the configuration,
+//! certain accounting identities must hold after any run.
+
+use proptest::prelude::*;
+
+use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
+use sda_sched::Policy;
+use sda_system::{run_once, OverloadPolicy, RunConfig, SystemConfig};
+use sda_workload::GlobalShape;
+
+fn configs() -> impl Strategy<Value = SystemConfig> {
+    (
+        0.1f64..0.85,  // load
+        0.0f64..1.0,   // frac_local
+        0usize..3,     // shape selector
+        0usize..4,     // serial strategy
+        0usize..3,     // parallel strategy
+        0usize..4,     // policy
+        any::<bool>(), // abort
+        any::<bool>(), // preemptive
+    )
+        .prop_map(
+            |(load, frac_local, shape_sel, ser, par, pol, abort, preemptive)| {
+                let serial = [
+                    SerialStrategy::UltimateDeadline,
+                    SerialStrategy::EffectiveDeadline,
+                    SerialStrategy::EqualSlack,
+                    SerialStrategy::EqualFlexibility,
+                ][ser];
+                let parallel = [
+                    ParallelStrategy::UltimateDeadline,
+                    ParallelStrategy::Div { x: 1.0 },
+                    ParallelStrategy::GlobalsFirst,
+                ][par];
+                let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(serial, parallel));
+                cfg.workload.load = load;
+                cfg.workload.frac_local = frac_local;
+                cfg.workload.shape = match shape_sel {
+                    0 => GlobalShape::Serial { m: 3 },
+                    1 => GlobalShape::Parallel { m: 4 },
+                    _ => GlobalShape::SerialParallel {
+                        stages: 2,
+                        branches: 2,
+                    },
+                };
+                cfg.policy = Policy::ALL[pol];
+                cfg.overload = if abort {
+                    OverloadPolicy::AbortTardy
+                } else {
+                    OverloadPolicy::NoAbort
+                };
+                cfg.preemptive = preemptive;
+                cfg
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn accounting_identities_hold(cfg in configs(), seed in any::<u64>()) {
+        let run = RunConfig {
+            warmup: 200.0,
+            duration: 3_000.0,
+            seed,
+        };
+        let result = run_once(&cfg, &run).unwrap();
+        let m = &result.metrics;
+
+        // Utilizations are physical.
+        for &u in &result.node_utilization {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+        // Misses never exceed completions.
+        prop_assert!(m.local.missed() <= m.local.completed());
+        prop_assert!(m.global.missed() <= m.global.completed());
+        // Abort counters only move under the abort policy.
+        if cfg.overload == OverloadPolicy::NoAbort {
+            prop_assert_eq!(m.aborted_locals, 0);
+            prop_assert_eq!(m.aborted_globals, 0);
+        }
+        // Aborts are a subset of misses.
+        prop_assert!(m.aborted_globals <= m.global.missed());
+        prop_assert!(m.aborted_locals <= m.local.missed());
+        // Tardiness is non-negative and bounded by... nothing, but its
+        // mean must be finite; response times are positive when present.
+        if m.local.response().count() > 0 {
+            prop_assert!(m.local.response().mean() > 0.0);
+            prop_assert!(m.local.response().min() >= 0.0);
+        }
+        if m.global.response().count() > 0 {
+            prop_assert!(m.global.response().mean() > 0.0);
+        }
+        // With frac_local = 1 no global ever completes, and vice versa.
+        if cfg.workload.frac_local >= 1.0 {
+            prop_assert_eq!(m.global.completed(), 0);
+        }
+        if cfg.workload.frac_local <= 0.0 {
+            prop_assert_eq!(m.local.completed(), 0);
+        }
+        // The run is reproducible.
+        let again = run_once(&cfg, &run).unwrap();
+        prop_assert_eq!(&again, &result);
+    }
+}

@@ -1,0 +1,508 @@
+//! Workload parameterization (Table 1) and arrival-rate derivation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::pex::PexModel;
+use crate::service::ServiceVariability;
+use crate::shape::GlobalShape;
+
+/// The uniform slack range `[Smin, Smax]` of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlackRange {
+    /// `Smin`.
+    pub min: f64,
+    /// `Smax`.
+    pub max: f64,
+}
+
+impl SlackRange {
+    /// The Table 1 baseline `[0.25, 2.5]`.
+    pub const BASELINE: SlackRange = SlackRange {
+        min: 0.25,
+        max: 2.5,
+    };
+
+    /// The §5.2 PSP baseline `[1.25, 5.0]`.
+    pub const PSP_BASELINE: SlackRange = SlackRange { min: 1.25, max: 5.0 };
+
+    /// A new range; validated by [`WorkloadConfig::validate`].
+    pub fn new(min: f64, max: f64) -> SlackRange {
+        SlackRange { min, max }
+    }
+
+    /// The mean of the uniform distribution.
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.min + self.max)
+    }
+
+    /// Both endpoints multiplied by `factor`.
+    pub fn scaled(&self, factor: f64) -> SlackRange {
+        SlackRange {
+            min: self.min * factor,
+            max: self.max * factor,
+        }
+    }
+}
+
+/// Error returned for invalid workload parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A parameter outside its valid domain.
+    OutOfRange {
+        /// Parameter name.
+        what: &'static str,
+        /// Human-readable constraint.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// Parallel fan width exceeds the node count (distinct-node draws
+    /// impossible).
+    FanWiderThanNodes {
+        /// Requested fan width.
+        fan: usize,
+        /// Available nodes.
+        nodes: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::OutOfRange {
+                what,
+                constraint,
+                value,
+            } => write!(f, "{what} must satisfy {constraint}, got {value}"),
+            ConfigError::FanWiderThanNodes { fan, nodes } => write!(
+                f,
+                "parallel fan of {fan} subtasks needs {fan} distinct nodes but only {nodes} exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Arrival rates derived from `(load, frac_local)` per §4.1:
+///
+/// ```text
+/// load = (λ_global · E[W_global] + k · λ_local · E[ex_local]) / k
+/// frac_local = k · λ_local · E[ex_local] / (k · load)
+/// ```
+///
+/// Solved for the rates:
+///
+/// ```text
+/// λ_local (per node) = load · frac_local / E[ex_local]
+/// λ_global (system)  = load · k · (1 − frac_local) / E[W_global]
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedRates {
+    /// Poisson rate of local tasks at **each** node.
+    pub lambda_local_per_node: f64,
+    /// Poisson rate of the single system-wide global task stream.
+    pub lambda_global: f64,
+    /// Expected total work (summed `ex`) of one global task.
+    pub expected_global_work: f64,
+    /// Expected work per unit time contributed by local tasks (all
+    /// nodes).
+    pub local_work_rate: f64,
+    /// Expected work per unit time contributed by global tasks.
+    pub global_work_rate: f64,
+}
+
+impl DerivedRates {
+    /// The realized normalized load (should equal the configured one).
+    pub fn load(&self, nodes: usize) -> f64 {
+        (self.local_work_rate + self.global_work_rate) / nodes as f64
+    }
+}
+
+/// Full workload parameterization — Table 1 plus the §4.3/§5/§6
+/// extensions.
+///
+/// Time is relativized to the mean local execution time, as in the paper
+/// (`μ_local = 1`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of homogeneous nodes `k`.
+    pub nodes: usize,
+    /// Normalized system load in `(0, 1)`.
+    pub load: f64,
+    /// Fraction of load contributed by local tasks, in `[0, 1]`.
+    pub frac_local: f64,
+    /// Mean execution time of local tasks (`1/μ_local`; baseline 1.0).
+    pub mean_local_ex: f64,
+    /// Mean execution time of each global subtask (`1/μ_subtask`;
+    /// baseline 1.0).
+    pub mean_subtask_ex: f64,
+    /// Uniform slack range `[Smin, Smax]` for **local** tasks, and the
+    /// base range that global slack is derived from.
+    pub slack: SlackRange,
+    /// Relative flexibility of global tasks vs local tasks (baseline 1.0).
+    pub rel_flex: f64,
+    /// Structure of global tasks.
+    pub shape: GlobalShape,
+    /// Prediction model for subtask execution times.
+    pub pex: PexModel,
+    /// Shape of the execution-time distributions (both classes);
+    /// baseline exponential, CV² = 1.
+    pub service: ServiceVariability,
+    /// Optional per-node weights for local arrivals (the §4.3
+    /// "some nodes had higher local task loads" extension). Uniform when
+    /// `None`; otherwise must have one non-negative weight per node with
+    /// a positive sum. The *total* local rate is preserved.
+    pub local_weights: Option<Vec<f64>>,
+}
+
+impl WorkloadConfig {
+    /// The Table 1 baseline: `k = 6`, `m = 4` serial subtasks,
+    /// `load = 0.5`, `frac_local = 0.75`, slack `U[0.25, 2.5]`,
+    /// `rel_flex = 1`, perfect prediction.
+    pub fn baseline() -> WorkloadConfig {
+        WorkloadConfig {
+            nodes: 6,
+            load: 0.5,
+            frac_local: 0.75,
+            mean_local_ex: 1.0,
+            mean_subtask_ex: 1.0,
+            slack: SlackRange::BASELINE,
+            rel_flex: 1.0,
+            shape: GlobalShape::Serial { m: 4 },
+            pex: PexModel::Perfect,
+            service: ServiceVariability::Exponential,
+            local_weights: None,
+        }
+    }
+
+    /// The §5.2 PSP baseline: same as [`baseline`](Self::baseline) but
+    /// global tasks are parallel fans of 4 subtasks on distinct nodes and
+    /// both classes draw slack from `U[1.25, 5.0]`.
+    pub fn psp_baseline() -> WorkloadConfig {
+        WorkloadConfig {
+            slack: SlackRange::PSP_BASELINE,
+            shape: GlobalShape::Parallel { m: 4 },
+            ..WorkloadConfig::baseline()
+        }
+    }
+
+    /// A §6 serial-parallel baseline: pipelines of 2 serial stages × 3
+    /// parallel branches, PSP slack range.
+    pub fn combined_baseline() -> WorkloadConfig {
+        WorkloadConfig {
+            slack: SlackRange::PSP_BASELINE,
+            shape: GlobalShape::SerialParallel {
+                stages: 2,
+                branches: 3,
+            },
+            ..WorkloadConfig::baseline()
+        }
+    }
+
+    /// Checks every parameter's domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn check(
+            what: &'static str,
+            ok: bool,
+            constraint: &'static str,
+            value: f64,
+        ) -> Result<(), ConfigError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError::OutOfRange {
+                    what,
+                    constraint,
+                    value,
+                })
+            }
+        }
+        check("nodes", self.nodes >= 1, "≥ 1", self.nodes as f64)?;
+        check(
+            "load",
+            self.load > 0.0 && self.load < 1.0 && self.load.is_finite(),
+            "0 < load < 1",
+            self.load,
+        )?;
+        check(
+            "frac_local",
+            (0.0..=1.0).contains(&self.frac_local),
+            "0 ≤ frac_local ≤ 1",
+            self.frac_local,
+        )?;
+        check(
+            "mean_local_ex",
+            self.mean_local_ex > 0.0 && self.mean_local_ex.is_finite(),
+            "> 0",
+            self.mean_local_ex,
+        )?;
+        check(
+            "mean_subtask_ex",
+            self.mean_subtask_ex > 0.0 && self.mean_subtask_ex.is_finite(),
+            "> 0",
+            self.mean_subtask_ex,
+        )?;
+        check(
+            "slack.min",
+            self.slack.min >= 0.0 && self.slack.min.is_finite(),
+            "≥ 0",
+            self.slack.min,
+        )?;
+        check(
+            "slack range",
+            self.slack.max >= self.slack.min && self.slack.max.is_finite(),
+            "max ≥ min",
+            self.slack.max,
+        )?;
+        check(
+            "rel_flex",
+            self.rel_flex > 0.0 && self.rel_flex.is_finite(),
+            "> 0",
+            self.rel_flex,
+        )?;
+        if self.service.build(1.0).is_err() {
+            return Err(ConfigError::OutOfRange {
+                what: "service distribution",
+                constraint: "valid shape parameters",
+                value: f64::NAN,
+            });
+        }
+        match self.shape {
+            GlobalShape::Serial { m } => {
+                check("shape m", m >= 1, "≥ 1", m as f64)?;
+            }
+            GlobalShape::Parallel { m } => {
+                check("shape m", m >= 1, "≥ 1", m as f64)?;
+                if m > self.nodes {
+                    return Err(ConfigError::FanWiderThanNodes {
+                        fan: m,
+                        nodes: self.nodes,
+                    });
+                }
+            }
+            GlobalShape::SerialRandomM { min_m, max_m } => {
+                check("min_m", min_m >= 1, "≥ 1", min_m as f64)?;
+                check("max_m", max_m >= min_m, "≥ min_m", max_m as f64)?;
+            }
+            GlobalShape::SerialParallel { stages, branches } => {
+                check("stages", stages >= 1, "≥ 1", stages as f64)?;
+                check("branches", branches >= 1, "≥ 1", branches as f64)?;
+                if branches > self.nodes {
+                    return Err(ConfigError::FanWiderThanNodes {
+                        fan: branches,
+                        nodes: self.nodes,
+                    });
+                }
+            }
+        }
+        if let Some(w) = &self.local_weights {
+            check(
+                "local_weights length",
+                w.len() == self.nodes,
+                "one weight per node",
+                w.len() as f64,
+            )?;
+            check(
+                "local_weights values",
+                w.iter().all(|x| x.is_finite() && *x >= 0.0),
+                "≥ 0",
+                f64::NAN,
+            )?;
+            check(
+                "local_weights sum",
+                w.iter().sum::<f64>() > 0.0,
+                "> 0",
+                w.iter().sum::<f64>(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Derives the Poisson arrival rates from `(load, frac_local)` per
+    /// the §4.1 formulas (see [`DerivedRates`]).
+    ///
+    /// # Errors
+    ///
+    /// Validates the configuration first.
+    pub fn rates(&self) -> Result<DerivedRates, ConfigError> {
+        self.validate()?;
+        let k = self.nodes as f64;
+        let expected_global_work = self.shape.expected_subtasks() * self.mean_subtask_ex;
+        let lambda_local_per_node = self.load * self.frac_local / self.mean_local_ex;
+        let global_work_rate = self.load * k * (1.0 - self.frac_local);
+        let lambda_global = if self.frac_local >= 1.0 {
+            0.0
+        } else {
+            global_work_rate / expected_global_work
+        };
+        Ok(DerivedRates {
+            lambda_local_per_node,
+            lambda_global,
+            expected_global_work,
+            local_work_rate: lambda_local_per_node * self.mean_local_ex * k,
+            global_work_rate,
+        })
+    }
+
+    /// The slack-scaling factor applied to global task slack draws.
+    ///
+    /// * Serial shapes: `rel_flex · E[total work]/E[local ex]` — makes the
+    ///   classes' mean flexibility ratio exactly `rel_flex` (the paper's
+    ///   "same average flexibility" at 1.0, §4.2.1).
+    /// * Flat parallel fans: `1.0` — §5.2's formula (2) adds slack drawn
+    ///   from the *same* distribution as the locals', unscaled.
+    /// * Serial-parallel pipelines: `rel_flex · E[critical path]/E[local
+    ///   ex]`, the natural generalization (deadline generation is also
+    ///   critical-path-based).
+    pub fn global_slack_factor(&self) -> f64 {
+        match self.shape {
+            GlobalShape::Serial { .. } | GlobalShape::SerialRandomM { .. } => {
+                self.rel_flex * self.shape.expected_subtasks() * self.mean_subtask_ex
+                    / self.mean_local_ex
+            }
+            GlobalShape::Parallel { .. } => 1.0,
+            GlobalShape::SerialParallel { .. } => {
+                self.rel_flex * self.shape.expected_critical_path_factor() * self.mean_subtask_ex
+                    / self.mean_local_ex
+            }
+        }
+    }
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_1() {
+        let c = WorkloadConfig::baseline();
+        assert_eq!(c.nodes, 6);
+        assert_eq!(c.load, 0.5);
+        assert_eq!(c.frac_local, 0.75);
+        assert_eq!(c.slack, SlackRange::new(0.25, 2.5));
+        assert_eq!(c.rel_flex, 1.0);
+        assert_eq!(c.shape, GlobalShape::Serial { m: 4 });
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn baseline_rates_close_the_load_equation() {
+        let c = WorkloadConfig::baseline();
+        let r = c.rates().unwrap();
+        // λ_local = 0.5·0.75/1 = 0.375 per node.
+        assert!((r.lambda_local_per_node - 0.375).abs() < 1e-12);
+        // λ_global = 0.5·6·0.25/4 = 0.1875.
+        assert!((r.lambda_global - 0.1875).abs() < 1e-12);
+        assert!((r.load(c.nodes) - c.load).abs() < 1e-12);
+        assert_eq!(r.expected_global_work, 4.0);
+    }
+
+    #[test]
+    fn frac_local_extremes() {
+        let mut c = WorkloadConfig::baseline();
+        c.frac_local = 1.0;
+        let r = c.rates().unwrap();
+        assert_eq!(r.lambda_global, 0.0);
+        assert!((r.load(c.nodes) - 0.5).abs() < 1e-12);
+
+        c.frac_local = 0.0;
+        let r = c.rates().unwrap();
+        assert_eq!(r.lambda_local_per_node, 0.0);
+        assert!((r.load(c.nodes) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn psp_baseline_uses_wider_slack_and_fans() {
+        let c = WorkloadConfig::psp_baseline();
+        assert_eq!(c.slack, SlackRange::new(1.25, 5.0));
+        assert_eq!(c.shape, GlobalShape::Parallel { m: 4 });
+        assert!(c.validate().is_ok());
+        assert_eq!(c.global_slack_factor(), 1.0, "PSP slack is unscaled");
+    }
+
+    #[test]
+    fn serial_slack_factor_equalizes_mean_flexibility() {
+        let c = WorkloadConfig::baseline();
+        // E[global work] = 4, E[local ex] = 1 → factor 4.
+        assert_eq!(c.global_slack_factor(), 4.0);
+        // Mean global slack = 1.375·4 = 5.5; mean flexibility ratio
+        // (5.5/4) / (1.375/1) = 1 = rel_flex. ✓
+        let mean_fl_global = c.slack.mean() * c.global_slack_factor() / 4.0;
+        let mean_fl_local = c.slack.mean() / 1.0;
+        assert!((mean_fl_global / mean_fl_local - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rel_flex_scales_global_slack() {
+        let mut c = WorkloadConfig::baseline();
+        c.rel_flex = 2.0;
+        assert_eq!(c.global_slack_factor(), 8.0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_domains() {
+        let mut c = WorkloadConfig::baseline();
+        c.load = 0.0;
+        assert!(c.validate().is_err());
+        c = WorkloadConfig::baseline();
+        c.load = 1.0;
+        assert!(c.validate().is_err());
+        c = WorkloadConfig::baseline();
+        c.frac_local = 1.5;
+        assert!(c.validate().is_err());
+        c = WorkloadConfig::baseline();
+        c.slack = SlackRange::new(2.0, 1.0);
+        assert!(c.validate().is_err());
+        c = WorkloadConfig::baseline();
+        c.nodes = 0;
+        assert!(c.validate().is_err());
+        c = WorkloadConfig::baseline();
+        c.shape = GlobalShape::Parallel { m: 10 };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::FanWiderThanNodes { fan: 10, nodes: 6 })
+        );
+    }
+
+    #[test]
+    fn weights_validation() {
+        let mut c = WorkloadConfig::baseline();
+        c.local_weights = Some(vec![1.0; 5]);
+        assert!(c.validate().is_err(), "wrong length");
+        c.local_weights = Some(vec![0.0; 6]);
+        assert!(c.validate().is_err(), "zero sum");
+        c.local_weights = Some(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConfigError::FanWiderThanNodes { fan: 8, nodes: 6 };
+        assert!(e.to_string().contains("8"));
+        let c = WorkloadConfig {
+            load: -1.0,
+            ..WorkloadConfig::baseline()
+        };
+        assert!(c.rates().unwrap_err().to_string().contains("load"));
+    }
+
+    #[test]
+    fn slack_range_helpers() {
+        let s = SlackRange::new(1.0, 3.0);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.scaled(2.0), SlackRange::new(2.0, 6.0));
+    }
+}

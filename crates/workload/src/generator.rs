@@ -1,0 +1,495 @@
+//! The task factory: turns configuration + RNG streams into task
+//! instances.
+
+use rand::Rng;
+
+use sda_core::{NodeId, TaskAttributes, TaskSpec};
+use sda_sim::dist::{Dist, Exponential, Uniform};
+use sda_sim::rng::{RngFactory, Stream};
+
+use crate::config::{ConfigError, DerivedRates, WorkloadConfig};
+use crate::shape::{harmonic, GlobalShape};
+
+/// A generated local task: one unit of work at its home node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalTask {
+    /// The node that generated (and will execute) the task.
+    pub node: NodeId,
+    /// Its real-time attributes (`dl = ar + ex + slack`).
+    pub attrs: TaskAttributes,
+}
+
+/// A generated global task: a serial-parallel structure plus its
+/// end-to-end deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalTask {
+    /// The structure, with sampled per-subtask `ex`/`pex` and node
+    /// assignments.
+    pub spec: TaskSpec,
+    /// Arrival time `ar(T)`.
+    pub arrival: f64,
+    /// End-to-end deadline `dl(T)`.
+    pub deadline: f64,
+}
+
+impl GlobalTask {
+    /// The slack implied by the deadline: `dl − ar − critical_path_ex`.
+    pub fn slack(&self) -> f64 {
+        self.deadline - self.arrival - self.spec.critical_path_ex()
+    }
+}
+
+/// Generates the paper's workload deterministically from named RNG
+/// streams. See the [crate docs](crate) for the model and an example.
+#[derive(Debug)]
+pub struct TaskFactory {
+    cfg: WorkloadConfig,
+    rates: DerivedRates,
+    local_ex: Box<dyn Dist + Send + Sync>,
+    subtask_ex: Box<dyn Dist + Send + Sync>,
+    slack: Uniform,
+    // One arrival stream per node keeps the per-node Poisson processes
+    // independent of each other and of everything else.
+    local_arrivals: Vec<Stream>,
+    local_service: Stream,
+    local_slack: Stream,
+    global_arrivals: Stream,
+    global_service: Stream,
+    global_slack: Stream,
+    node_pick: Stream,
+    pex_noise: Stream,
+    shape_draw: Stream,
+    /// Per-node local arrival rates (sums to `k · λ_local_per_node`).
+    node_rates: Vec<f64>,
+}
+
+impl TaskFactory {
+    /// Builds a factory for `cfg`, drawing all streams from `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the configuration fails validation.
+    pub fn new(cfg: WorkloadConfig, rng: &RngFactory) -> Result<TaskFactory, ConfigError> {
+        let rates = cfg.rates()?;
+        let local_ex = cfg
+            .service
+            .build(cfg.mean_local_ex)
+            .expect("validated shape");
+        let subtask_ex = cfg
+            .service
+            .build(cfg.mean_subtask_ex)
+            .expect("validated shape");
+        let slack = Uniform::new(cfg.slack.min, cfg.slack.max).expect("validated range");
+
+        let total_local_rate = rates.lambda_local_per_node * cfg.nodes as f64;
+        let node_rates = match &cfg.local_weights {
+            None => vec![rates.lambda_local_per_node; cfg.nodes],
+            Some(w) => {
+                let sum: f64 = w.iter().sum();
+                w.iter().map(|wi| total_local_rate * wi / sum).collect()
+            }
+        };
+
+        let local_arrivals = (0..cfg.nodes)
+            .map(|i| rng.stream_indexed("workload.local.arrival", i))
+            .collect();
+
+        Ok(TaskFactory {
+            rates,
+            local_ex,
+            subtask_ex,
+            slack,
+            local_arrivals,
+            local_service: rng.stream("workload.local.service"),
+            local_slack: rng.stream("workload.local.slack"),
+            global_arrivals: rng.stream("workload.global.arrival"),
+            global_service: rng.stream("workload.global.service"),
+            global_slack: rng.stream("workload.global.slack"),
+            node_pick: rng.stream("workload.node_pick"),
+            pex_noise: rng.stream("workload.pex"),
+            shape_draw: rng.stream("workload.shape"),
+            node_rates,
+            cfg,
+        })
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.cfg
+    }
+
+    /// The derived arrival rates.
+    pub fn rates(&self) -> DerivedRates {
+        self.rates
+    }
+
+    /// Draws the next interarrival gap of `node`'s local Poisson stream;
+    /// `None` if that node generates no local tasks (rate 0).
+    pub fn next_local_interarrival(&mut self, node: NodeId) -> Option<f64> {
+        let rate = self.node_rates[node.index()];
+        if rate <= 0.0 {
+            return None;
+        }
+        let exp = Exponential::with_rate(rate).expect("positive rate");
+        Some(exp.sample(&mut self.local_arrivals[node.index()]))
+    }
+
+    /// Draws the next interarrival gap of the global Poisson stream;
+    /// `None` if no global tasks are generated (`frac_local = 1`).
+    pub fn next_global_interarrival(&mut self) -> Option<f64> {
+        if self.rates.lambda_global <= 0.0 {
+            return None;
+        }
+        let exp = Exponential::with_rate(self.rates.lambda_global).expect("positive rate");
+        Some(exp.sample(&mut self.global_arrivals))
+    }
+
+    /// Generates a local task arriving at `now` at `node`.
+    pub fn make_local(&mut self, node: NodeId, now: f64) -> LocalTask {
+        let ex = self.local_ex.sample(&mut self.local_service);
+        let slack = self.slack.sample(&mut self.local_slack);
+        LocalTask {
+            node,
+            attrs: TaskAttributes::from_slack(now, ex, slack),
+        }
+    }
+
+    /// Generates a global task arriving at `now`: samples the structure,
+    /// per-subtask execution times, node placement, predictions, and the
+    /// end-to-end deadline.
+    ///
+    /// Deadlines follow the paper's `dl = ar + ex + sl` identity with
+    /// `ex` the zero-queueing end-to-end time (critical-path `ex`):
+    /// * serial: `dl = ar + Σ ex_i + u·rel_flex·m·E[ex_sub]/E[ex_loc]`
+    /// * parallel (§5.2 eq. 2): `dl = ar + max_i ex_i + u` (unscaled)
+    /// * pipelines: `dl = ar + cp_ex + u·rel_flex·E[cp]/E[ex_loc]`
+    ///
+    /// where `u ~ U[Smin, Smax]` is the same base draw the locals use.
+    pub fn make_global(&mut self, now: f64) -> GlobalTask {
+        let spec = match self.cfg.shape {
+            GlobalShape::Serial { m } => self.serial_spec(m),
+            GlobalShape::SerialRandomM { min_m, max_m } => {
+                let m = self.shape_draw.gen_range(min_m..=max_m);
+                self.serial_spec(m)
+            }
+            GlobalShape::Parallel { m } => self.parallel_spec(m),
+            GlobalShape::SerialParallel { stages, branches } => {
+                let groups = (0..stages).map(|_| self.parallel_spec(branches)).collect();
+                TaskSpec::Serial(groups)
+            }
+        };
+        let u = self.slack.sample(&mut self.global_slack);
+        let factor = self.slack_factor_for(&spec);
+        let deadline = now + spec.critical_path_ex() + u * factor;
+        GlobalTask {
+            spec,
+            arrival: now,
+            deadline,
+        }
+    }
+
+    /// Per-task slack scaling (see [`WorkloadConfig::global_slack_factor`]
+    /// for the expected-value version; here the serial factor uses the
+    /// task's *actual* stage count so heterogeneous-`m` tasks get slack
+    /// proportional to their own size).
+    fn slack_factor_for(&self, spec: &TaskSpec) -> f64 {
+        match self.cfg.shape {
+            GlobalShape::Serial { .. } | GlobalShape::SerialRandomM { .. } => {
+                self.cfg.rel_flex * spec.simple_count() as f64 * self.cfg.mean_subtask_ex
+                    / self.cfg.mean_local_ex
+            }
+            GlobalShape::Parallel { .. } => 1.0,
+            GlobalShape::SerialParallel { stages, branches } => {
+                self.cfg.rel_flex * stages as f64 * harmonic(branches) * self.cfg.mean_subtask_ex
+                    / self.cfg.mean_local_ex
+            }
+        }
+    }
+
+    fn sample_subtask(&mut self, node: NodeId) -> TaskSpec {
+        let ex = self.subtask_ex.sample(&mut self.global_service);
+        let pex = self.cfg.pex.predict(ex, &mut self.pex_noise);
+        TaskSpec::simple(node, ex, pex)
+    }
+
+    fn serial_spec(&mut self, m: usize) -> TaskSpec {
+        let k = self.cfg.nodes as u32;
+        let children = (0..m)
+            .map(|_| {
+                let node = NodeId::new(self.node_pick.gen_range(0..k));
+                self.sample_subtask(node)
+            })
+            .collect();
+        TaskSpec::Serial(children)
+    }
+
+    fn parallel_spec(&mut self, m: usize) -> TaskSpec {
+        let nodes = self.distinct_nodes(m);
+        let children = nodes
+            .into_iter()
+            .map(|node| self.sample_subtask(node))
+            .collect();
+        TaskSpec::Parallel(children)
+    }
+
+    /// Draws `m` distinct nodes by partial Fisher-Yates (§5.2 places the
+    /// branches of a fan at `m` different nodes).
+    fn distinct_nodes(&mut self, m: usize) -> Vec<NodeId> {
+        let k = self.cfg.nodes;
+        debug_assert!(m <= k, "validated by ConfigError::FanWiderThanNodes");
+        let mut pool: Vec<u32> = (0..k as u32).collect();
+        let mut out = Vec::with_capacity(m);
+        for i in 0..m {
+            let j = self.node_pick.gen_range(i..k);
+            pool.swap(i, j);
+            out.push(NodeId::new(pool[i]));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pex::PexModel;
+    use std::collections::HashSet;
+
+    fn factory(cfg: WorkloadConfig, seed: u64) -> TaskFactory {
+        TaskFactory::new(cfg, &RngFactory::new(seed)).unwrap()
+    }
+
+    #[test]
+    fn determinism_same_seed_same_tasks() {
+        let mut a = factory(WorkloadConfig::baseline(), 7);
+        let mut b = factory(WorkloadConfig::baseline(), 7);
+        for _ in 0..50 {
+            assert_eq!(a.make_global(1.0), b.make_global(1.0));
+            assert_eq!(
+                a.make_local(NodeId::new(2), 1.0),
+                b.make_local(NodeId::new(2), 1.0)
+            );
+            assert_eq!(
+                a.next_global_interarrival(),
+                b.next_global_interarrival()
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = factory(WorkloadConfig::baseline(), 1);
+        let mut b = factory(WorkloadConfig::baseline(), 2);
+        assert_ne!(a.make_global(0.0), b.make_global(0.0));
+    }
+
+    #[test]
+    fn local_interarrival_mean_matches_rate() {
+        let mut f = factory(WorkloadConfig::baseline(), 11);
+        let n = 50_000;
+        let sum: f64 = (0..n)
+            .map(|_| f.next_local_interarrival(NodeId::new(0)).unwrap())
+            .sum();
+        let mean = sum / n as f64;
+        // λ = 0.375 → mean gap 2.666…
+        assert!((mean - 1.0 / 0.375).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn global_interarrival_mean_matches_rate() {
+        let mut f = factory(WorkloadConfig::baseline(), 12);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| f.next_global_interarrival().unwrap()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / 0.1875).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn serial_tasks_have_erlang_total_work() {
+        let mut f = factory(WorkloadConfig::baseline(), 13);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let g = f.make_global(0.0);
+            assert_eq!(g.spec.simple_count(), 4);
+            assert!(g.spec.is_flat_serial());
+            total += g.spec.total_ex();
+        }
+        let mean = total / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean total work {mean}");
+    }
+
+    #[test]
+    fn serial_deadline_uses_scaled_slack() {
+        let mut f = factory(WorkloadConfig::baseline(), 14);
+        for _ in 0..1000 {
+            let g = f.make_global(5.0);
+            let slack = g.deadline - 5.0 - g.spec.total_ex();
+            // u ∈ [0.25, 2.5], factor 4 → slack ∈ [1, 10].
+            assert!((1.0..=10.0).contains(&slack), "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn parallel_tasks_use_distinct_nodes_and_eq2_deadline() {
+        let mut f = factory(WorkloadConfig::psp_baseline(), 15);
+        for _ in 0..1000 {
+            let g = f.make_global(2.0);
+            assert!(g.spec.is_flat_parallel());
+            let nodes: HashSet<_> = g
+                .spec
+                .simple_subtasks()
+                .iter()
+                .map(|s| s.node)
+                .collect();
+            assert_eq!(nodes.len(), 4, "branches must land on distinct nodes");
+            // dl = ar + max ex + u, u ∈ [1.25, 5].
+            let max_ex = g.spec.critical_path_ex();
+            let u = g.deadline - 2.0 - max_ex;
+            assert!((1.25..=5.0).contains(&u), "slack draw {u}");
+        }
+    }
+
+    #[test]
+    fn serial_random_m_stays_in_range_and_scales_slack() {
+        let cfg = WorkloadConfig {
+            shape: GlobalShape::SerialRandomM { min_m: 2, max_m: 8 },
+            ..WorkloadConfig::baseline()
+        };
+        let mut f = factory(cfg, 16);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            let g = f.make_global(0.0);
+            let m = g.spec.simple_count();
+            assert!((2..=8).contains(&m));
+            seen.insert(m);
+            // Slack scaled by the task's own m.
+            let slack = g.deadline - g.spec.total_ex();
+            let (lo, hi) = (0.25 * m as f64, 2.5 * m as f64);
+            assert!(slack >= lo - 1e-9 && slack <= hi + 1e-9);
+        }
+        assert_eq!(seen.len(), 7, "all chain lengths appear");
+    }
+
+    #[test]
+    fn pipeline_shape_builds_serial_of_parallel() {
+        let cfg = WorkloadConfig::combined_baseline();
+        let mut f = factory(cfg, 17);
+        let g = f.make_global(0.0);
+        assert_eq!(g.spec.simple_count(), 6);
+        assert_eq!(g.spec.depth(), 2);
+        match &g.spec {
+            TaskSpec::Serial(stages) => {
+                assert_eq!(stages.len(), 2);
+                for s in stages {
+                    assert!(s.is_flat_parallel());
+                }
+            }
+            other => panic!("expected serial root, got {other:?}"),
+        }
+        assert!(g.slack() >= 0.0);
+    }
+
+    #[test]
+    fn noisy_pex_differs_from_ex() {
+        let cfg = WorkloadConfig {
+            pex: PexModel::Noisy { error: 0.5 },
+            ..WorkloadConfig::baseline()
+        };
+        let mut f = factory(cfg, 18);
+        let g = f.make_global(0.0);
+        let any_differs = g
+            .spec
+            .simple_subtasks()
+            .iter()
+            .any(|s| (s.ex - s.pex).abs() > 1e-12);
+        assert!(any_differs);
+        for s in g.spec.simple_subtasks() {
+            assert!(s.pex >= 0.5 * s.ex - 1e-12 && s.pex <= 1.5 * s.ex + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hetero_weights_shift_arrival_rates() {
+        let cfg = WorkloadConfig {
+            local_weights: Some(vec![3.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
+            ..WorkloadConfig::baseline()
+        };
+        let mut f = factory(cfg, 19);
+        let n = 20_000;
+        let mean_gap = |f: &mut TaskFactory, node: u32| -> f64 {
+            (0..n)
+                .map(|_| f.next_local_interarrival(NodeId::new(node)).unwrap())
+                .sum::<f64>()
+                / n as f64
+        };
+        let hot = mean_gap(&mut f, 0);
+        let cold = mean_gap(&mut f, 1);
+        // Node 0 has 3× the weight → one-third the mean gap.
+        assert!((cold / hot - 3.0).abs() < 0.2, "ratio {}", cold / hot);
+        // Total rate preserved: Σ λ_i = k·λ̄ = 2.25.
+        let total: f64 = f.node_rates.iter().sum();
+        assert!((total - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_streams_return_none() {
+        let cfg = WorkloadConfig {
+            frac_local: 1.0,
+            ..WorkloadConfig::baseline()
+        };
+        let mut f = factory(cfg, 20);
+        assert!(f.next_global_interarrival().is_none());
+        assert!(f.next_local_interarrival(NodeId::new(0)).is_some());
+
+        let cfg = WorkloadConfig {
+            frac_local: 0.0,
+            ..WorkloadConfig::baseline()
+        };
+        let mut f = factory(cfg, 21);
+        assert!(f.next_global_interarrival().is_some());
+        assert!(f.next_local_interarrival(NodeId::new(0)).is_none());
+    }
+
+    #[test]
+    fn local_task_attributes_satisfy_identity() {
+        let mut f = factory(WorkloadConfig::baseline(), 22);
+        for _ in 0..1000 {
+            let t = f.make_local(NodeId::new(1), 3.0);
+            assert_eq!(t.attrs.arrival, 3.0);
+            let slack = t.attrs.slack();
+            assert!((0.25..=2.5).contains(&slack));
+            assert_eq!(t.attrs.pex, t.attrs.ex);
+        }
+    }
+
+    #[test]
+    fn psp_slack_range_applies_to_locals_too() {
+        let mut f = factory(WorkloadConfig::psp_baseline(), 23);
+        for _ in 0..500 {
+            let t = f.make_local(NodeId::new(0), 0.0);
+            let slack = t.attrs.slack();
+            assert!((1.25..=5.0).contains(&slack));
+        }
+    }
+
+    #[test]
+    fn global_task_slack_accessor() {
+        let mut f = factory(WorkloadConfig::baseline(), 24);
+        let g = f.make_global(1.0);
+        assert!((g.slack() - (g.deadline - 1.0 - g.spec.critical_path_ex())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn specs_validate() {
+        for cfg in [
+            WorkloadConfig::baseline(),
+            WorkloadConfig::psp_baseline(),
+            WorkloadConfig::combined_baseline(),
+        ] {
+            let mut f = factory(cfg, 25);
+            for _ in 0..100 {
+                assert!(f.make_global(0.0).spec.validate().is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Service-time distribution shapes (an extension axis beyond the
+//! paper's exponential-only model).
+
+use serde::{Deserialize, Serialize};
+
+use sda_sim::dist::{Constant, Dist, DistError, Erlang, Exponential, LogNormal, Pareto};
+
+/// The distributional *shape* of execution times around a configured
+/// mean. The paper uses exponential times throughout (CV² = 1); the
+/// other variants probe how the deadline-assignment conclusions react to
+/// lower or higher service variability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ServiceVariability {
+    /// Exponential, CV² = 1 — the paper's baseline.
+    #[default]
+    Exponential,
+    /// Deterministic, CV² = 0.
+    Deterministic,
+    /// Erlang with `stages` phases, CV² = 1/stages.
+    Erlang {
+        /// Number of phases (≥ 1).
+        stages: u32,
+    },
+    /// Lognormal with the given CV² (> 0); moderately heavy tail.
+    LogNormal {
+        /// Squared coefficient of variation.
+        cv2: f64,
+    },
+    /// Pareto with tail index `alpha` (> 1); genuinely heavy tail
+    /// (infinite variance for `alpha ≤ 2`).
+    Pareto {
+        /// Tail index.
+        alpha: f64,
+    },
+}
+
+impl ServiceVariability {
+    /// Builds a sampler with the given mean.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from the underlying distribution.
+    pub fn build(&self, mean: f64) -> Result<Box<dyn Dist + Send + Sync>, DistError> {
+        Ok(match *self {
+            ServiceVariability::Exponential => Box::new(Exponential::with_mean(mean)?),
+            ServiceVariability::Deterministic => Box::new(Constant::new(mean)?),
+            ServiceVariability::Erlang { stages } => {
+                Box::new(Erlang::new(stages, mean / f64::from(stages.max(1)))?)
+            }
+            ServiceVariability::LogNormal { cv2 } => {
+                Box::new(LogNormal::with_mean_cv2(mean, cv2)?)
+            }
+            ServiceVariability::Pareto { alpha } => Box::new(Pareto::with_mean(mean, alpha)?),
+        })
+    }
+
+    /// The squared coefficient of variation this shape implies
+    /// (`None` for Pareto with `alpha ≤ 2`, where the variance is
+    /// infinite).
+    pub fn cv2(&self) -> Option<f64> {
+        match *self {
+            ServiceVariability::Exponential => Some(1.0),
+            ServiceVariability::Deterministic => Some(0.0),
+            ServiceVariability::Erlang { stages } => Some(1.0 / f64::from(stages.max(1))),
+            ServiceVariability::LogNormal { cv2 } => Some(cv2),
+            ServiceVariability::Pareto { alpha } => {
+                if alpha > 2.0 {
+                    Some(1.0 / (alpha * (alpha - 2.0)))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Picks the natural shape for a target CV²: deterministic at 0,
+    /// Erlang below 1, exponential at 1, lognormal above 1.
+    pub fn from_cv2(cv2: f64) -> ServiceVariability {
+        if cv2 <= 0.0 {
+            ServiceVariability::Deterministic
+        } else if cv2 < 1.0 {
+            ServiceVariability::Erlang {
+                stages: (1.0 / cv2).round().max(1.0) as u32,
+            }
+        } else if (cv2 - 1.0).abs() < 1e-9 {
+            ServiceVariability::Exponential
+        } else {
+            ServiceVariability::LogNormal { cv2 }
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match *self {
+            ServiceVariability::Exponential => "exp".to_string(),
+            ServiceVariability::Deterministic => "det".to_string(),
+            ServiceVariability::Erlang { stages } => format!("erlang-{stages}"),
+            ServiceVariability::LogNormal { cv2 } => format!("lognormal(cv2={cv2})"),
+            ServiceVariability::Pareto { alpha } => format!("pareto(α={alpha})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sda_sim::rng::RngFactory;
+
+    #[test]
+    fn builders_match_requested_mean() {
+        let mut rng = RngFactory::new(7).stream("svc");
+        for shape in [
+            ServiceVariability::Exponential,
+            ServiceVariability::Deterministic,
+            ServiceVariability::Erlang { stages: 4 },
+            ServiceVariability::LogNormal { cv2: 4.0 },
+            ServiceVariability::Pareto { alpha: 2.5 },
+        ] {
+            let d = shape.build(2.0).unwrap();
+            assert!((d.mean() - 2.0).abs() < 1e-9, "{shape:?}");
+            let n = 200_000;
+            let m: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!((m - 2.0).abs() < 0.15, "{shape:?} sample mean {m}");
+        }
+    }
+
+    #[test]
+    fn cv2_values() {
+        assert_eq!(ServiceVariability::Exponential.cv2(), Some(1.0));
+        assert_eq!(ServiceVariability::Deterministic.cv2(), Some(0.0));
+        assert_eq!(ServiceVariability::Erlang { stages: 4 }.cv2(), Some(0.25));
+        assert_eq!(ServiceVariability::LogNormal { cv2: 9.0 }.cv2(), Some(9.0));
+        assert_eq!(ServiceVariability::Pareto { alpha: 1.5 }.cv2(), None);
+    }
+
+    #[test]
+    fn from_cv2_picks_natural_shapes() {
+        assert_eq!(
+            ServiceVariability::from_cv2(0.0),
+            ServiceVariability::Deterministic
+        );
+        assert_eq!(
+            ServiceVariability::from_cv2(0.25),
+            ServiceVariability::Erlang { stages: 4 }
+        );
+        assert_eq!(
+            ServiceVariability::from_cv2(1.0),
+            ServiceVariability::Exponential
+        );
+        assert_eq!(
+            ServiceVariability::from_cv2(4.0),
+            ServiceVariability::LogNormal { cv2: 4.0 }
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_error() {
+        assert!(ServiceVariability::LogNormal { cv2: -1.0 }.build(1.0).is_err());
+        assert!(ServiceVariability::Pareto { alpha: 1.0 }.build(1.0).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ServiceVariability::Exponential.label(), "exp");
+        assert_eq!(ServiceVariability::Erlang { stages: 2 }.label(), "erlang-2");
+        assert_eq!(ServiceVariability::default(), ServiceVariability::Exponential);
+    }
+}

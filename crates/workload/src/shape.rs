@@ -1,0 +1,179 @@
+//! Structural shapes of global tasks.
+
+use serde::{Deserialize, Serialize};
+
+/// The structure of generated global tasks.
+///
+/// The paper evaluates three families: flat serial chains (§4, SSP), flat
+/// parallel fans (§5, PSP) and serial-parallel compositions (§6). The
+/// heterogeneous-`m` variant is the §4.3 extension where tasks differ in
+/// their number of stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GlobalShape {
+    /// `T = [T1 T2 … Tm]` — `m` simple subtasks in series, nodes drawn
+    /// uniformly at random (with replacement).
+    Serial {
+        /// Number of stages `m`.
+        m: usize,
+    },
+    /// `T = [T1 ∥ … ∥ Tm]` — `m` simple subtasks in parallel at `m`
+    /// *different* nodes (§5.2).
+    Parallel {
+        /// Number of branches `m` (must not exceed the node count).
+        m: usize,
+    },
+    /// Serial chain whose length is drawn uniformly from
+    /// `min_m..=max_m` per task (§4.3, "different number of subtasks").
+    SerialRandomM {
+        /// Smallest chain length (≥ 1).
+        min_m: usize,
+        /// Largest chain length.
+        max_m: usize,
+    },
+    /// A pipeline of parallel fans: `stages` serial stages, each a
+    /// parallel group of `branches` simple subtasks on distinct nodes —
+    /// the §6 serial-parallel workload (think: gather ∥ → filter ∥ →
+    /// act ∥).
+    SerialParallel {
+        /// Number of serial stages.
+        stages: usize,
+        /// Parallel branches per stage.
+        branches: usize,
+    },
+}
+
+impl GlobalShape {
+    /// Expected number of simple subtasks per task.
+    pub fn expected_subtasks(&self) -> f64 {
+        match *self {
+            GlobalShape::Serial { m } | GlobalShape::Parallel { m } => m as f64,
+            GlobalShape::SerialRandomM { min_m, max_m } => (min_m + max_m) as f64 / 2.0,
+            GlobalShape::SerialParallel { stages, branches } => (stages * branches) as f64,
+        }
+    }
+
+    /// Expected *critical-path* execution time in units of the mean
+    /// subtask execution time.
+    ///
+    /// Serial chains: `m` (all stages on the path). Parallel fans: the
+    /// expected maximum of `m` i.i.d. exponentials, which is the harmonic
+    /// number `H_m`. Pipelines of fans: `stages · H_branches`.
+    pub fn expected_critical_path_factor(&self) -> f64 {
+        match *self {
+            GlobalShape::Serial { m } => m as f64,
+            GlobalShape::SerialRandomM { min_m, max_m } => (min_m + max_m) as f64 / 2.0,
+            GlobalShape::Parallel { m } => harmonic(m),
+            GlobalShape::SerialParallel { stages, branches } => stages as f64 * harmonic(branches),
+        }
+    }
+
+    /// Whether parallel groups appear anywhere in the shape.
+    pub fn has_parallelism(&self) -> bool {
+        matches!(
+            self,
+            GlobalShape::Parallel { .. } | GlobalShape::SerialParallel { .. }
+        )
+    }
+
+    /// The largest parallel fan width the shape can produce (`1` for
+    /// purely serial shapes). Must not exceed the node count when nodes
+    /// are drawn without replacement.
+    pub fn max_fan_width(&self) -> usize {
+        match *self {
+            GlobalShape::Serial { .. } | GlobalShape::SerialRandomM { .. } => 1,
+            GlobalShape::Parallel { m } => m,
+            GlobalShape::SerialParallel { branches, .. } => branches,
+        }
+    }
+
+    /// Short label for experiment output.
+    pub fn label(&self) -> String {
+        match *self {
+            GlobalShape::Serial { m } => format!("serial-{m}"),
+            GlobalShape::Parallel { m } => format!("parallel-{m}"),
+            GlobalShape::SerialRandomM { min_m, max_m } => format!("serial-{min_m}..{max_m}"),
+            GlobalShape::SerialParallel { stages, branches } => {
+                format!("pipe-{stages}x{branches}")
+            }
+        }
+    }
+}
+
+/// The n-th harmonic number `H_n = Σ_{i=1..n} 1/i` — the expected maximum
+/// of `n` i.i.d. unit-mean exponentials.
+pub(crate) fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_numbers() {
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_subtasks_per_shape() {
+        assert_eq!(GlobalShape::Serial { m: 4 }.expected_subtasks(), 4.0);
+        assert_eq!(GlobalShape::Parallel { m: 4 }.expected_subtasks(), 4.0);
+        assert_eq!(
+            GlobalShape::SerialRandomM { min_m: 2, max_m: 6 }.expected_subtasks(),
+            4.0
+        );
+        assert_eq!(
+            GlobalShape::SerialParallel {
+                stages: 3,
+                branches: 2
+            }
+            .expected_subtasks(),
+            6.0
+        );
+    }
+
+    #[test]
+    fn critical_path_factors() {
+        assert_eq!(GlobalShape::Serial { m: 4 }.expected_critical_path_factor(), 4.0);
+        let h4 = harmonic(4);
+        assert!(
+            (GlobalShape::Parallel { m: 4 }.expected_critical_path_factor() - h4).abs() < 1e-12
+        );
+        assert!(
+            (GlobalShape::SerialParallel {
+                stages: 3,
+                branches: 4
+            }
+            .expected_critical_path_factor()
+                - 3.0 * h4)
+                .abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn fan_widths_and_labels() {
+        assert_eq!(GlobalShape::Serial { m: 9 }.max_fan_width(), 1);
+        assert_eq!(GlobalShape::Parallel { m: 5 }.max_fan_width(), 5);
+        assert_eq!(
+            GlobalShape::SerialParallel {
+                stages: 2,
+                branches: 3
+            }
+            .max_fan_width(),
+            3
+        );
+        assert_eq!(GlobalShape::Serial { m: 4 }.label(), "serial-4");
+        assert_eq!(
+            GlobalShape::SerialParallel {
+                stages: 2,
+                branches: 3
+            }
+            .label(),
+            "pipe-2x3"
+        );
+        assert!(GlobalShape::Parallel { m: 2 }.has_parallelism());
+        assert!(!GlobalShape::Serial { m: 2 }.has_parallelism());
+    }
+}

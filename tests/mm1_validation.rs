@@ -1,0 +1,110 @@
+//! Calibration against queueing theory: with a single node, only local
+//! tasks and FCFS service, the model is an M/M/1 queue, so the measured
+//! mean response time must match `E[R] = 1/(μ − λ)` and the utilization
+//! must match `ρ`.
+//!
+//! This validates the whole substrate stack — Poisson arrivals,
+//! exponential service, the event loop and the statistics — against
+//! closed-form results, which is the strongest correctness check a
+//! simulator can get.
+
+use sda::core::SdaStrategy;
+use sda::sched::Policy;
+use sda::system::{run_once, RunConfig, SystemConfig};
+
+fn mm1_config(rho: f64) -> SystemConfig {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+    cfg.workload.nodes = 1;
+    cfg.workload.frac_local = 1.0; // no global tasks
+    cfg.workload.load = rho;
+    cfg.policy = Policy::Fcfs;
+    cfg
+}
+
+#[test]
+fn mm1_mean_response_time_matches_theory() {
+    for rho in [0.3, 0.5, 0.7] {
+        let cfg = mm1_config(rho);
+        let run = RunConfig {
+            warmup: 5_000.0,
+            duration: 300_000.0,
+            seed: 1_000 + (rho * 10.0) as u64,
+        };
+        let result = run_once(&cfg, &run).unwrap();
+        let measured = result.metrics.local.response().mean();
+        let theory = 1.0 / (1.0 - rho); // μ = 1
+        let rel_err = (measured - theory).abs() / theory;
+        assert!(
+            rel_err < 0.05,
+            "M/M/1 at ρ={rho}: measured E[R]={measured:.3}, theory {theory:.3} ({:.1}% off)",
+            rel_err * 100.0
+        );
+    }
+}
+
+#[test]
+fn mm1_utilization_matches_rho() {
+    for rho in [0.2, 0.6, 0.8] {
+        let cfg = mm1_config(rho);
+        let run = RunConfig {
+            warmup: 5_000.0,
+            duration: 200_000.0,
+            seed: 2_000 + (rho * 10.0) as u64,
+        };
+        let result = run_once(&cfg, &run).unwrap();
+        let util = result.mean_utilization();
+        assert!(
+            (util - rho).abs() < 0.02,
+            "utilization {util:.3} should be ≈ ρ = {rho}"
+        );
+    }
+}
+
+#[test]
+fn mm1_queue_length_matches_little() {
+    // Little's law on the waiting room: L_q = λ·W_q = ρ²/(1−ρ).
+    let rho: f64 = 0.6;
+    let cfg = mm1_config(rho);
+    let run = RunConfig {
+        warmup: 5_000.0,
+        duration: 300_000.0,
+        seed: 3_000,
+    };
+    let result = run_once(&cfg, &run).unwrap();
+    let lq = result.node_queue_length[0];
+    let theory = rho * rho / (1.0 - rho);
+    let rel_err = (lq - theory).abs() / theory;
+    assert!(
+        rel_err < 0.08,
+        "L_q measured {lq:.3} vs theory {theory:.3} ({:.1}% off)",
+        rel_err * 100.0
+    );
+}
+
+#[test]
+fn edf_does_not_change_mm1_totals() {
+    // Scheduling discipline does not change utilization or throughput of
+    // a work-conserving single queue — only the order.
+    let mut cfg = mm1_config(0.5);
+    let run = RunConfig {
+        warmup: 2_000.0,
+        duration: 100_000.0,
+        seed: 4_000,
+    };
+    let fcfs = run_once(&cfg, &run).unwrap();
+    cfg.policy = Policy::EarliestDeadlineFirst;
+    let edf = run_once(&cfg, &run).unwrap();
+    assert_eq!(
+        fcfs.metrics.local.completed(),
+        edf.metrics.local.completed(),
+        "same arrivals, work-conserving service → same completions"
+    );
+    assert!((fcfs.mean_utilization() - edf.mean_utilization()).abs() < 1e-9);
+    // But EDF should miss fewer deadlines than FCFS.
+    assert!(
+        edf.metrics.local.miss_percent() <= fcfs.metrics.local.miss_percent(),
+        "EDF ({:.2}%) should not miss more than FCFS ({:.2}%)",
+        edf.metrics.local.miss_percent(),
+        fcfs.metrics.local.miss_percent()
+    );
+}

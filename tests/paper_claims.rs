@@ -1,0 +1,170 @@
+//! Statistical reproduction checks of the paper's headline claims, run
+//! at reduced scale through the public `sda` API. The experiments crate
+//! has per-figure tests; these cover the claims the paper states in
+//! prose, end to end.
+
+use sda::core::{ParallelStrategy, SdaStrategy, SerialStrategy};
+use sda::system::{run_replications, RunConfig, SystemConfig};
+
+fn base_run(seed: u64) -> RunConfig {
+    RunConfig {
+        warmup: 1_000.0,
+        duration: 25_000.0,
+        seed,
+    }
+}
+
+/// §4.2.1 observation 1: "Under UD and high loads, global tasks miss
+/// many more deadlines than local tasks" — ≈40% vs ≈24% at load 0.5.
+#[test]
+fn ssp_ud_discriminates_against_globals() {
+    let cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+    let res = run_replications(&cfg, &base_run(101), 3).unwrap();
+    let md_g = res.md_global();
+    let md_l = res.md_local();
+    assert!(
+        md_g > md_l + 8.0,
+        "MD_global ({md_g:.1}%) should far exceed MD_local ({md_l:.1}%)"
+    );
+    // Absolute levels in the right ballpark (paper: ≈40% / ≈24%).
+    assert!((30.0..50.0).contains(&md_g), "MD_global(UD) = {md_g:.1}%");
+    assert!((15.0..32.0).contains(&md_l), "MD_local(UD) = {md_l:.1}%");
+}
+
+/// §4.2.2 observation 2: "EQF significantly improves the performance of
+/// global tasks, but still local tasks have a better chance" — the gap
+/// narrows but does not invert.
+#[test]
+fn ssp_eqf_narrows_but_does_not_invert_the_gap() {
+    let ud = run_replications(
+        &SystemConfig::ssp_baseline(SdaStrategy::ud_ud()),
+        &base_run(102),
+        3,
+    )
+    .unwrap();
+    let eqf = run_replications(
+        &SystemConfig::ssp_baseline(SdaStrategy::eqf_ud()),
+        &base_run(102),
+        3,
+    )
+    .unwrap();
+    assert!(
+        eqf.md_global() < ud.md_global() - 4.0,
+        "EQF ({:.1}%) must significantly beat UD ({:.1}%)",
+        eqf.md_global(),
+        ud.md_global()
+    );
+    assert!(
+        eqf.md_global() > eqf.md_local(),
+        "even EQF leaves globals slightly behind locals ({:.1}% vs {:.1}%)",
+        eqf.md_global(),
+        eqf.md_local()
+    );
+}
+
+/// §5.3: "UD causes global tasks to miss their deadlines almost three
+/// times as often as locals" (PSP baseline).
+#[test]
+fn psp_ud_miss_ratio_is_about_triple() {
+    let mut cfg = SystemConfig::psp_baseline(SdaStrategy::ud_ud());
+    cfg.workload.load = 0.6;
+    let res = run_replications(&cfg, &base_run(103), 3).unwrap();
+    let ratio = res.md_global() / res.md_local().max(0.1);
+    assert!(
+        (1.8..4.5).contains(&ratio),
+        "global/local miss ratio {ratio:.2} should be ≈3 (got {:.1}%/{:.1}%)",
+        res.md_global(),
+        res.md_local()
+    );
+}
+
+/// §5.3: "DIV-1 manages to keep the miss rate of both locals and globals
+/// at similar level."
+#[test]
+fn psp_div1_equalizes_the_classes() {
+    let mut cfg = SystemConfig::psp_baseline(SdaStrategy::ud_div1());
+    cfg.workload.load = 0.6;
+    let res = run_replications(&cfg, &base_run(104), 3).unwrap();
+    let gap = (res.md_global() - res.md_local()).abs();
+    assert!(
+        gap < 8.0,
+        "DIV-1 classes should be close: {:.1}% vs {:.1}%",
+        res.md_global(),
+        res.md_local()
+    );
+}
+
+/// §5.3: "Surprisingly, GF does further reduce MD_global by a
+/// significant amount."
+#[test]
+fn psp_gf_beats_div1_for_globals() {
+    let mk = |parallel| {
+        let mut cfg = SystemConfig::psp_baseline(SdaStrategy::new(
+            SerialStrategy::UltimateDeadline,
+            parallel,
+        ));
+        cfg.workload.load = 0.7;
+        run_replications(&cfg, &base_run(105), 3).unwrap()
+    };
+    let div1 = mk(ParallelStrategy::Div { x: 1.0 });
+    let gf = mk(ParallelStrategy::GlobalsFirst);
+    assert!(
+        gf.md_global() < div1.md_global() - 3.0,
+        "GF ({:.1}%) should significantly beat DIV-1 ({:.1}%)",
+        gf.md_global(),
+        div1.md_global()
+    );
+}
+
+/// §6: the SSP and PSP corrections are additive — EQF-DIV1 keeps
+/// MD_global close to MD_local even at high load.
+#[test]
+fn combined_benefits_are_additive() {
+    let mk = |strategy| {
+        let mut cfg = SystemConfig::combined_baseline(strategy);
+        cfg.workload.load = 0.75;
+        run_replications(&cfg, &base_run(106), 3).unwrap()
+    };
+    let udud = mk(SdaStrategy::ud_ud());
+    let full = mk(SdaStrategy::eqf_div1());
+    assert!(
+        udud.md_global() > udud.md_local() + 8.0,
+        "UD-UD gap should be wide: {:.1}% vs {:.1}%",
+        udud.md_global(),
+        udud.md_local()
+    );
+    let gap_full = full.md_global() - full.md_local();
+    assert!(
+        gap_full < 8.0,
+        "EQF-DIV1 should hold MD_global ≈ MD_local (gap {gap_full:.1}pp)"
+    );
+    assert!(
+        full.md_global() < udud.md_global() - 8.0,
+        "EQF-DIV1 ({:.1}%) ≪ UD-UD ({:.1}%)",
+        full.md_global(),
+        udud.md_global()
+    );
+}
+
+/// §4.2.1: "different SSP strategies miss different numbers of global
+/// task deadlines, unless the load is very light" — at load 0.1 the
+/// strategies are within noise of each other.
+#[test]
+fn light_load_makes_strategies_indistinguishable() {
+    let mk = |serial| {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
+            serial,
+            ParallelStrategy::UltimateDeadline,
+        ));
+        cfg.workload.load = 0.1;
+        run_replications(&cfg, &base_run(107), 3).unwrap()
+    };
+    let ud = mk(SerialStrategy::UltimateDeadline);
+    let eqf = mk(SerialStrategy::EqualFlexibility);
+    assert!(
+        (ud.md_global() - eqf.md_global()).abs() < 3.0,
+        "at load 0.1, UD ({:.1}%) ≈ EQF ({:.1}%)",
+        ud.md_global(),
+        eqf.md_global()
+    );
+}
