@@ -1,0 +1,55 @@
+//! The perf-gate bench for the simulation hot path: end-to-end events/sec
+//! of the full system model in the paper's hardest regime — high
+//! utilization (ρ = 0.9), EDF, non-preemptive — plus a preemptive
+//! variant that exercises completion invalidation.
+//!
+//! Record the `events_per_sec` throughput numbers in `CHANGES.md` when
+//! touching the event loop; they are the baseline later PRs compare
+//! against.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use sda_core::SdaStrategy;
+use sda_system::{run_once, RunConfig, SystemConfig};
+
+fn high_load_config(preemptive: bool) -> SystemConfig {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    cfg.workload.load = 0.9;
+    cfg.preemptive = preemptive;
+    cfg
+}
+
+fn run(cfg: &SystemConfig) -> u64 {
+    let run_cfg = RunConfig {
+        warmup: 200.0,
+        duration: 8_000.0,
+        seed: 0x0907,
+    };
+    let result = run_once(cfg, &run_cfg).expect("baseline config is valid");
+    result.events
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hot_path");
+
+    // Calibrate throughput from the actual event count of one run so the
+    // reported rate is true events/sec.
+    let cfg = high_load_config(false);
+    let events = run(&cfg);
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("edf_rho09_events_per_sec", |b| {
+        b.iter(|| black_box(run(&cfg)));
+    });
+
+    let cfg_preempt = high_load_config(true);
+    let events_preempt = run(&cfg_preempt);
+    group.throughput(Throughput::Elements(events_preempt));
+    group.bench_function("edf_rho09_preemptive_events_per_sec", |b| {
+        b.iter(|| black_box(run(&cfg_preempt)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_path);
+criterion_main!(benches);

@@ -1,0 +1,273 @@
+//! Offline stand-in for the subset of the `criterion` bench API this
+//! workspace uses — but one that really measures.
+//!
+//! No crates.io access means no real criterion; rather than stub the
+//! benches out, this crate re-implements the API surface
+//! (`criterion_group!` / `criterion_main!`, [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`]) over `std::time::Instant`: each benchmark is warmed up,
+//! then timed over enough iterations to fill the group's measurement
+//! window, and the median-of-samples ns/iteration plus derived throughput
+//! is printed in a criterion-like one-line format. Good enough for
+//! before/after comparisons on the same machine, which is all the perf
+//! acceptance gates here need.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks `f` directly, outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a name and a parameter, like `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// A group of benchmarks sharing throughput settings and a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total time budget spent measuring each benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+    }
+
+    /// Ends the group. (Reports are printed as each bench completes.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id.id
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            samples_ns_per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&label, &bencher.samples_ns_per_iter, self.throughput);
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, discarding a warm-up and then collecting the
+    /// configured number of samples within the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find how many iterations fit ~1/20 of
+        // the measurement window, so each sample is long enough to trust
+        // Instant but short enough to collect sample_size of them.
+        let calibrate_start = Instant::now();
+        black_box(routine());
+        let once = calibrate_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = self.measurement_time / (self.sample_size as u32).max(1);
+        let iters_per_sample = (per_sample.as_secs_f64() / once.as_secs_f64())
+            .clamp(1.0, 1e9) as u64;
+
+        let deadline = Instant::now() + self.measurement_time;
+        self.samples_ns_per_iter.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns_per_iter
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            if Instant::now() > deadline && self.samples_ns_per_iter.len() >= 2 {
+                break;
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<40} no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted[sorted.len() / 2];
+    let lo = sorted[0];
+    let hi = sorted[sorted.len() - 1];
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => (n as f64 / (median / 1e9), "elem/s"),
+        Throughput::Bytes(n) => (n as f64 / (median / 1e9), "B/s"),
+    });
+    match rate {
+        Some((r, unit)) => println!(
+            "{label:<40} time: [{} {} {}]  thrpt: {} {unit}",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+            fmt_rate(r),
+        ),
+        None => println!(
+            "{label:<40} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(median),
+            fmt_ns(hi),
+        ),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.3}G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.3}M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.3}K", r / 1e3)
+    } else {
+        format!("{r:.1}")
+    }
+}
+
+/// Declares a bench group function running each listed bench in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

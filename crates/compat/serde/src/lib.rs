@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace builds in a sandbox with no access to crates.io, so the
+//! real `serde` cannot be vendored. The codebase only uses serde as
+//! *annotations* — `#[derive(Serialize, Deserialize)]` plus `#[serde(...)]`
+//! helper attributes — and never calls a serializer, so this stub keeps
+//! those annotations compiling with zero behavior:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits blanket-implemented
+//!   for every type;
+//! * the re-exported derive macros accept the usual input and expand to
+//!   nothing.
+//!
+//! Swapping in the real `serde` later is a one-line change per manifest
+//! and requires no source edits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; implemented by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; implemented by every type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,20 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace. The matching `serde` stub blanket-implements its marker
+//! traits, so the derives only have to *accept* the input (including
+//! `#[serde(...)]` helper attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing; the stub `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing; the stub `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

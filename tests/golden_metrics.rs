@@ -1,0 +1,144 @@
+//! Cross-refactor golden determinism tests.
+//!
+//! These pin the *exact* bit patterns of seeded runs, captured on the
+//! pre-refactor event loop (BinaryHeap + tombstone-set future-event list,
+//! cancellation-based preemption). The slab-backed, cancellation-free hot
+//! path must reproduce every one of them bit-for-bit: same arrivals, same
+//! service order, same misses, same utilization integrals.
+//!
+//! If an *intentional* behavior change ever invalidates these, regenerate
+//! with:
+//!
+//! ```text
+//! GOLDEN_DUMP=1 cargo test --test golden_metrics -- --nocapture
+//! ```
+//!
+//! and say so in the PR — a diff here means observable simulation behavior
+//! changed, which is exactly what the file exists to catch.
+
+use sda::core::SdaStrategy;
+use sda::sched::Policy;
+use sda::system::{run_once, OverloadPolicy, RunConfig, SystemConfig};
+
+/// The observable fingerprint of a run: every count exactly, every float
+/// by bit pattern.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    local_completed: u64,
+    local_missed: u64,
+    global_completed: u64,
+    global_missed: u64,
+    local_miss_pct_bits: u64,
+    global_miss_pct_bits: u64,
+    local_resp_mean_bits: u64,
+    global_resp_mean_bits: u64,
+    util0_bits: u64,
+    qlen0_bits: u64,
+}
+
+fn fingerprint(cfg: &SystemConfig, seed: u64) -> Fingerprint {
+    let run = RunConfig {
+        warmup: 500.0,
+        duration: 6_000.0,
+        seed,
+    };
+    let r = run_once(cfg, &run).expect("config is valid");
+    Fingerprint {
+        local_completed: r.metrics.local.completed(),
+        local_missed: r.metrics.local.missed(),
+        global_completed: r.metrics.global.completed(),
+        global_missed: r.metrics.global.missed(),
+        local_miss_pct_bits: r.metrics.local.miss_percent().to_bits(),
+        global_miss_pct_bits: r.metrics.global.miss_percent().to_bits(),
+        local_resp_mean_bits: r.metrics.local.response().mean().to_bits(),
+        global_resp_mean_bits: r.metrics.global.response().mean().to_bits(),
+        util0_bits: r.node_utilization[0].to_bits(),
+        qlen0_bits: r.node_queue_length[0].to_bits(),
+    }
+}
+
+fn check(name: &str, cfg: &SystemConfig, seed: u64, expected: Fingerprint) {
+    let got = fingerprint(cfg, seed);
+    if std::env::var_os("GOLDEN_DUMP").is_some() {
+        println!("{name}: {got:#?}");
+        return;
+    }
+    assert_eq!(
+        got, expected,
+        "{name}: seeded run diverged from the pre-refactor golden fingerprint"
+    );
+}
+
+#[test]
+fn golden_ssp_baseline_eqf() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    cfg.workload.load = 0.9; // the regime the refactor targets
+    check(
+        "ssp_eqf_rho09",
+        &cfg,
+        0xD00D,
+        Fingerprint {
+            local_completed: 24257,
+            local_missed: 18788,
+            global_completed: 2000,
+            global_missed: 1935,
+            local_miss_pct_bits: 4635150752780584903,
+            global_miss_pct_bits: 4636508592936058880,
+            local_resp_mean_bits: 4621454732747629754,
+            global_resp_mean_bits: 4628422266042203604,
+            util0_bits: 4606241678459040175,
+            qlen0_bits: 4617625172412484963,
+        },
+    );
+}
+
+#[test]
+fn golden_psp_baseline_preemptive() {
+    // Preemption is the path whose mechanism changes most (handle
+    // cancellation → epoch invalidation): pin it hardest.
+    let mut cfg = SystemConfig::psp_baseline(SdaStrategy::ud_div1());
+    cfg.preemptive = true;
+    cfg.workload.load = 0.8;
+    check(
+        "psp_preemptive",
+        &cfg,
+        0xBEEF,
+        Fingerprint {
+            local_completed: 21617,
+            local_missed: 8780,
+            global_completed: 1806,
+            global_missed: 925,
+            local_miss_pct_bits: 4630913036709785185,
+            global_miss_pct_bits: 4632405132742981031,
+            local_resp_mean_bits: 4616901031367378899,
+            global_resp_mean_bits: 4619236402020087755,
+            util0_bits: 4605446474669936584,
+            qlen0_bits: 4613988704058616731,
+        },
+    );
+}
+
+#[test]
+fn golden_abort_tardy_mlf() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+    cfg.overload = OverloadPolicy::AbortTardy;
+    cfg.policy = Policy::MinimumLaxityFirst;
+    cfg.workload.load = 0.9;
+    check(
+        "abort_tardy_mlf",
+        &cfg,
+        0xCAFE,
+        Fingerprint {
+            local_completed: 24190,
+            local_missed: 9766,
+            global_completed: 1969,
+            global_missed: 1461,
+            local_miss_pct_bits: 4630878678869144424,
+            global_miss_pct_bits: 4634921784902515754,
+            local_resp_mean_bits: 4610905344046963896,
+            global_resp_mean_bits: 4620863787516016903,
+            util0_bits: 4604746611010296125,
+            qlen0_bits: 4608317110707058125,
+        },
+    );
+}
