@@ -16,8 +16,8 @@ fn reduced_opts() -> ExperimentOpts {
         duration: 2_000.0,
         seed: 0xF162,
         threads: 0,
-            csv_dir: None,
-        }
+        csv_dir: None,
+    }
 }
 
 fn bench_fig2(c: &mut Criterion) {
@@ -29,8 +29,8 @@ fn bench_fig2(c: &mut Criterion) {
         duration: 8_000.0,
         seed: 0xF162,
         threads: 0,
-            csv_dir: None,
-        };
+        csv_dir: None,
+    };
     let data = fig2::run(&print_opts);
     println!("{}", data.table(Metric::MdLocal));
     println!("{}", data.table(Metric::MdGlobal));

@@ -14,8 +14,8 @@ fn bench_fig4(c: &mut Criterion) {
         duration: 8_000.0,
         seed: 0xF164,
         threads: 0,
-            csv_dir: None,
-        };
+        csv_dir: None,
+    };
     let data = fig4::run(&print_opts);
     println!("{}", data.table(Metric::MdLocal));
     println!("{}", data.table(Metric::MdGlobal));

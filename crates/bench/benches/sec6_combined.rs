@@ -15,8 +15,8 @@ fn bench_sec6(c: &mut Criterion) {
         duration: 8_000.0,
         seed: 0x5EC6,
         threads: 0,
-            csv_dir: None,
-        };
+        csv_dir: None,
+    };
     let data = sec6::run(&print_opts);
     println!("{}", data.table(Metric::MdLocal));
     println!("{}", data.table(Metric::MdGlobal));

@@ -4,8 +4,8 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use sda_core::{
-    Completion, NodeId, ParallelStrategy, PspInput, SdaStrategy, SerialStrategy, SspInput,
-    TaskRun, TaskSpec,
+    Completion, NodeId, ParallelStrategy, PspInput, SdaStrategy, SerialStrategy, SspInput, TaskRun,
+    TaskSpec,
 };
 
 fn bench_ssp_formulas(c: &mut Criterion) {

@@ -1,1 +1,3 @@
-fn main() { println!("sda-bench: run `cargo bench` for the benchmark suite"); }
+fn main() {
+    println!("sda-bench: run `cargo bench` for the benchmark suite");
+}

@@ -176,8 +176,8 @@ impl Bencher {
         black_box(routine());
         let once = calibrate_start.elapsed().max(Duration::from_nanos(1));
         let per_sample = self.measurement_time / (self.sample_size as u32).max(1);
-        let iters_per_sample = (per_sample.as_secs_f64() / once.as_secs_f64())
-            .clamp(1.0, 1e9) as u64;
+        let iters_per_sample =
+            (per_sample.as_secs_f64() / once.as_secs_f64()).clamp(1.0, 1e9) as u64;
 
         let deadline = Instant::now() + self.measurement_time;
         self.samples_ns_per_iter.clear();
@@ -206,9 +206,13 @@ fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
     let median = sorted[sorted.len() / 2];
     let lo = sorted[0];
     let hi = sorted[sorted.len() - 1];
+    // Throughput derives from the *best* sample: on a shared machine the
+    // minimum time is the least-interference estimate (every source of
+    // noise only ever makes a sample slower), so it is the stable number
+    // to compare across runs.
     let rate = throughput.map(|t| match t {
-        Throughput::Elements(n) => (n as f64 / (median / 1e9), "elem/s"),
-        Throughput::Bytes(n) => (n as f64 / (median / 1e9), "B/s"),
+        Throughput::Elements(n) => (n as f64 / (lo / 1e9), "elem/s"),
+        Throughput::Bytes(n) => (n as f64 / (lo / 1e9), "B/s"),
     });
     match rate {
         Some((r, unit)) => println!(

@@ -16,9 +16,9 @@ use serde::{Deserialize, Serialize};
 use crate::error::SpecError;
 use crate::ids::{NodeId, PriorityClass};
 use crate::psp::{ParallelStrategy, PspInput};
-use crate::strategy::DeadlineAssigner;
 use crate::spec::TaskSpec;
 use crate::ssp::{SerialStrategy, SspInput};
+use crate::strategy::DeadlineAssigner;
 
 /// A complete SDA strategy: one rule for serial levels, one for parallel
 /// levels. The paper evaluates the four combinations UD-UD, UD-DIV1,
@@ -127,9 +127,19 @@ enum State {
 
 #[derive(Debug, Clone)]
 enum Kind {
-    Simple { node: NodeId, ex: f64, pex: f64 },
-    Serial { children: Vec<usize>, next: usize },
-    Parallel { children: Vec<usize>, remaining: usize },
+    Simple {
+        node: NodeId,
+        ex: f64,
+        pex: f64,
+    },
+    Serial {
+        children: Vec<usize>,
+        next: usize,
+    },
+    Parallel {
+        children: Vec<usize>,
+        remaining: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -314,7 +324,8 @@ impl TaskRun {
                     if *next < children.len() {
                         let child = children[*next];
                         let window = self.arena[parent].window_deadline;
-                        let sub_dl = self.serial_child_deadline(parent, child, strategy, now, window);
+                        let sub_dl =
+                            self.serial_child_deadline(parent, child, strategy, now, window);
                         self.activate(child, strategy, now, sub_dl, &mut out);
                         return Completion::Submitted(out);
                     }
@@ -461,8 +472,7 @@ mod tests {
         // Stage 1: dl = 0 + 1 + 2·(1/2) = 2.
         assert!((first[0].deadline - 2.0).abs() < EPS);
         // Finish very early: stage 2 inherits all the slack.
-        let Completion::Submitted(second) = run.complete(first[0].subtask, &strategy, 0.25)
-        else {
+        let Completion::Submitted(second) = run.complete(first[0].subtask, &strategy, 0.25) else {
             panic!("expected submissions");
         };
         assert_eq!(second.len(), 1);
@@ -494,14 +504,20 @@ mod tests {
             run.complete(subs[1].subtask, &strategy, 12.0),
             Completion::Submitted(vec![])
         );
-        assert_eq!(run.complete(subs[2].subtask, &strategy, 13.0), Completion::Finished);
+        assert_eq!(
+            run.complete(subs[2].subtask, &strategy, 13.0),
+            Completion::Finished
+        );
     }
 
     #[test]
     fn gf_elevates_priority() {
         let spec = TaskSpec::parallel(vec![leaf(0, 1.0), leaf(1, 1.0)]);
         let mut run = TaskRun::new(&spec, 0.0, 10.0).unwrap();
-        let gf = SdaStrategy::new(SerialStrategy::UltimateDeadline, ParallelStrategy::GlobalsFirst);
+        let gf = SdaStrategy::new(
+            SerialStrategy::UltimateDeadline,
+            ParallelStrategy::GlobalsFirst,
+        );
         let subs = run.start(&gf, 0.0);
         assert!(subs.iter().all(|s| s.priority == PriorityClass::Elevated));
         assert!(subs.iter().all(|s| (s.deadline - 10.0).abs() < EPS));
@@ -582,7 +598,10 @@ mod tests {
     fn drive_whole_tree_to_completion() {
         let spec = TaskSpec::serial(vec![
             leaf(0, 1.0),
-            TaskSpec::parallel(vec![leaf(1, 1.0), TaskSpec::serial(vec![leaf(2, 0.5), leaf(3, 0.5)])]),
+            TaskSpec::parallel(vec![
+                leaf(1, 1.0),
+                TaskSpec::serial(vec![leaf(2, 0.5), leaf(3, 0.5)]),
+            ]),
             leaf(4, 1.0),
         ]);
         let mut run = TaskRun::new(&spec, 0.0, 20.0).unwrap();

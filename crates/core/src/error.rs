@@ -22,7 +22,10 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::EmptyComposite => {
-                write!(f, "serial/parallel composition must have at least one subtask")
+                write!(
+                    f,
+                    "serial/parallel composition must have at least one subtask"
+                )
             }
             SpecError::InvalidTime { what, value } => {
                 write!(f, "{what} must be finite and non-negative, got {value}")

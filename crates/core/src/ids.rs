@@ -85,7 +85,9 @@ impl fmt::Display for TaskClass {
 /// Under the Globals First (GF) strategy, subtasks of global tasks are
 /// `Elevated`: a node serves every elevated job before any `Normal` job,
 /// preserving EDF order *within* each class (paper §5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum PriorityClass {
     /// Ordinary priority: competes purely by virtual deadline.
     #[default]

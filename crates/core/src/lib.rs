@@ -71,5 +71,5 @@ pub use error::SpecError;
 pub use ids::{NodeId, PriorityClass, TaskClass, TaskId};
 pub use psp::{ParallelStrategy, PspInput};
 pub use spec::{SimpleSpec, TaskSpec};
-pub use strategy::DeadlineAssigner;
 pub use ssp::{SerialStrategy, SspInput};
+pub use strategy::DeadlineAssigner;

@@ -139,10 +139,7 @@ impl TaskSpec {
         match self {
             TaskSpec::Simple(s) => s.ex,
             TaskSpec::Serial(c) => c.iter().map(TaskSpec::critical_path_ex).sum(),
-            TaskSpec::Parallel(c) => c
-                .iter()
-                .map(TaskSpec::critical_path_ex)
-                .fold(0.0, f64::max),
+            TaskSpec::Parallel(c) => c.iter().map(TaskSpec::critical_path_ex).fold(0.0, f64::max),
         }
     }
 
@@ -154,9 +151,7 @@ impl TaskSpec {
         match self {
             TaskSpec::Simple(s) => s.pex,
             TaskSpec::Serial(c) => c.iter().map(TaskSpec::aggregate_pex).sum(),
-            TaskSpec::Parallel(c) => {
-                c.iter().map(TaskSpec::aggregate_pex).fold(0.0, f64::max)
-            }
+            TaskSpec::Parallel(c) => c.iter().map(TaskSpec::aggregate_pex).fold(0.0, f64::max),
         }
     }
 
@@ -244,7 +239,10 @@ mod tests {
     fn nested_tree_measures() {
         let t = TaskSpec::serial(vec![
             leaf(1.0),
-            TaskSpec::parallel(vec![leaf(2.0), TaskSpec::serial(vec![leaf(1.0), leaf(1.5)])]),
+            TaskSpec::parallel(vec![
+                leaf(2.0),
+                TaskSpec::serial(vec![leaf(1.0), leaf(1.5)]),
+            ]),
         ]);
         assert_eq!(t.simple_count(), 4);
         assert_eq!(t.depth(), 3);

@@ -241,12 +241,7 @@ mod tests {
 
     const EPS: f64 = 1e-12;
 
-    fn input<'a>(
-        submit: f64,
-        dl: f64,
-        pex_cur: f64,
-        rest: &'a [f64],
-    ) -> SspInput<'a> {
+    fn input<'a>(submit: f64, dl: f64, pex_cur: f64, rest: &'a [f64]) -> SspInput<'a> {
         SspInput {
             submit_time: submit,
             global_deadline: dl,

@@ -24,7 +24,10 @@ fn main() {
         ("Ext: GF", ext::gf::run(&opts)),
         ("Ext: EQF artificial stages", ext::eqf_as::run(&opts)),
         ("Ext: service CV²", ext::service_cv::run(&opts)),
-        ("Ext: heavy tail (Pareto)", ext::service_cv::run_pareto(&opts)),
+        (
+            "Ext: heavy tail (Pareto)",
+            ext::service_cv::run_pareto(&opts),
+        ),
         ("Ext: preemptive EDF", ext::preemption::run(&opts)),
     ];
     for (name, data) in &sections {

@@ -5,5 +5,9 @@ use sda_experiments::{emit, ext::eqf_as, ExperimentOpts, Metric};
 fn main() {
     let opts = ExperimentOpts::from_args();
     let data = eqf_as::run(&opts);
-    emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal, Metric::SubtaskMiss]);
+    emit(
+        &data,
+        &opts,
+        &[Metric::MdGlobal, Metric::MdLocal, Metric::SubtaskMiss],
+    );
 }

@@ -6,7 +6,11 @@ use sda_experiments::{emit, fig2, ExperimentOpts, Metric};
 fn main() {
     let opts = ExperimentOpts::from_args();
     let data = fig2::run(&opts);
-    emit(&data, &opts, &[Metric::MdLocal, Metric::MdGlobal, Metric::SubtaskMiss]);
+    emit(
+        &data,
+        &opts,
+        &[Metric::MdLocal, Metric::MdGlobal, Metric::SubtaskMiss],
+    );
     println!("(paper reference at load 0.5: MD_global(UD) ≈ 40%, MD_local(UD) ≈ 24%;");
     println!(" ordering UD > ED ≥ EQS ≈ EQF for global tasks)");
 }

@@ -69,6 +69,9 @@ mod tests {
         assert!(eqf < ud, "EQF ({eqf:.1}%) must beat UD ({ud:.1}%)");
         // The hot-node system should miss at least as much as balanced.
         let eqf_bal = data.cell("EQF balanced", 0.5).unwrap().md_global.mean;
-        assert!(eqf + 1.0 >= eqf_bal, "hot ({eqf:.1}%) vs balanced ({eqf_bal:.1}%)");
+        assert!(
+            eqf + 1.0 >= eqf_bal,
+            "hot ({eqf:.1}%) vs balanced ({eqf_bal:.1}%)"
+        );
     }
 }

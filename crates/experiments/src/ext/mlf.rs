@@ -29,17 +29,11 @@ pub fn run(opts: &ExperimentOpts) -> SweepData {
     let series = vec![
         SeriesSpec::new(
             "UD/MLF",
-            mk(
-                SerialStrategy::UltimateDeadline,
-                Policy::MinimumLaxityFirst,
-            ),
+            mk(SerialStrategy::UltimateDeadline, Policy::MinimumLaxityFirst),
         ),
         SeriesSpec::new(
             "EQF/MLF",
-            mk(
-                SerialStrategy::EqualFlexibility,
-                Policy::MinimumLaxityFirst,
-            ),
+            mk(SerialStrategy::EqualFlexibility, Policy::MinimumLaxityFirst),
         ),
         SeriesSpec::new(
             "EQF/EDF",

@@ -60,7 +60,11 @@ mod tests {
         };
         // With a single stage the strategies coincide (UD = EQF when
         // m = 1: all slack to the only stage).
-        assert!(gap(1.0).abs() < 3.0, "m=1 gap should vanish: {:.1}", gap(1.0));
+        assert!(
+            gap(1.0).abs() < 3.0,
+            "m=1 gap should vanish: {:.1}",
+            gap(1.0)
+        );
         // The gap at m = 8 clearly exceeds the m = 1 gap.
         assert!(
             gap(8.0) > gap(1.0) + 3.0,

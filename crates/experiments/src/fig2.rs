@@ -65,7 +65,10 @@ mod tests {
         );
         // ED sits between UD and EQF (allow small statistical slop).
         let ed = data.cell("ED", 0.5).unwrap().md_global.mean;
-        assert!(ed <= ud + 2.0 && ed + 2.0 >= eqf, "ED {ed:.1} between {eqf:.1} and {ud:.1}");
+        assert!(
+            ed <= ud + 2.0 && ed + 2.0 >= eqf,
+            "ED {ed:.1} between {eqf:.1} and {ud:.1}"
+        );
         // (a): local misses barely depend on the strategy at load 0.5.
         let ud_l = data.cell("UD", 0.5).unwrap().md_local.mean;
         let eqf_l = data.cell("EQF", 0.5).unwrap().md_local.mean;

@@ -350,13 +350,25 @@ pub fn emit(data: &SweepData, opts: &ExperimentOpts, metrics: &[Metric]) {
         .collect::<String>()
         .trim()
         .chars()
-        .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect();
     for m in metrics {
         let metric_slug: String = m
             .name()
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect();
         let path = dir.join(format!("{slug}_{metric_slug}.csv"));
         if let Err(e) = std::fs::write(&path, data.csv(*m)) {

@@ -12,7 +12,10 @@ pub fn render() -> String {
     out.push_str("--------------------------------------------------------\n");
     let rows: Vec<(&str, String)> = vec![
         ("Overload Management Policy", "No Abort".to_string()),
-        ("Local Scheduling Algorithm", "Earliest Deadline First".to_string()),
+        (
+            "Local Scheduling Algorithm",
+            "Earliest Deadline First".to_string(),
+        ),
         ("mu_subtask", format!("{:.1}", 1.0 / cfg.mean_subtask_ex)),
         ("mu_local", format!("{:.1}", 1.0 / cfg.mean_local_ex)),
         ("k (# of nodes)", cfg.nodes.to_string()),

@@ -1,12 +1,11 @@
 //! Ready-queue disciplines.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use sda_core::PriorityClass;
+use sda_sim::pq::{key_from_f64, MinHeap};
 
 use crate::job::Job;
 
@@ -77,8 +76,7 @@ impl Policy {
             sda_core::PriorityClass::Elevated => 0u8,
             sda_core::PriorityClass::Normal => 1u8,
         };
-        (rank(candidate), self.sort_key(candidate))
-            < (rank(incumbent), self.sort_key(incumbent))
+        (rank(candidate), self.sort_key(candidate)) < (rank(incumbent), self.sort_key(incumbent))
     }
 
     fn key(&self, job: &Job) -> f64 {
@@ -92,37 +90,20 @@ impl fmt::Display for Policy {
     }
 }
 
-struct Entry {
-    /// 0 for elevated jobs, 1 for normal — elevated pop first.
-    class_rank: u8,
-    key: f64,
-    seq: u64,
-    job: Job,
+/// Packs the full service order — class rank (1 bit), discipline key
+/// (64 order-preserving float bits), FIFO sequence (63 bits) — into one
+/// `u128` so the heap compares a single integer per sift step. The heap
+/// sifts only `(key, slot)` records over the [`Job`] slab; whole jobs
+/// never move after being enqueued.
+#[inline]
+fn pack_key(class_rank: u8, key: f64, seq: u64) -> u128 {
+    debug_assert!(seq < (1 << 63), "ready-queue sequence overflow");
+    (u128::from(class_rank) << 127) | (u128::from(key_from_f64(key)) << 63) | u128::from(seq)
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.cmp(other) == Ordering::Equal
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.class_rank
-            .cmp(&other.class_rank)
-            .then_with(|| self.key.total_cmp(&other.key))
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
-}
-
-/// A node's ready queue: a priority queue of [`Job`]s under a [`Policy`],
-/// serving `Elevated` jobs strictly before `Normal` ones and breaking
-/// ties FIFO.
+/// A node's ready queue: a heap of packed `(class, key, seq)` keys over
+/// a [`Job`] slab, under a [`Policy`], serving `Elevated` jobs strictly
+/// before `Normal` ones and breaking ties FIFO.
 ///
 /// # Examples
 ///
@@ -140,7 +121,12 @@ impl Ord for Entry {
 /// ```
 pub struct ReadyQueue {
     policy: Policy,
-    heap: BinaryHeap<Reverse<Entry>>,
+    heap: MinHeap<u32>,
+    /// Slab of queued jobs; the heap payload indexes into it. A slot is
+    /// `None` exactly while it sits on the free list.
+    slots: Vec<Option<Job>>,
+    /// Vacant slab slots available for reuse.
+    free: Vec<u32>,
     seq: u64,
 }
 
@@ -149,7 +135,9 @@ impl ReadyQueue {
     pub fn new(policy: Policy) -> ReadyQueue {
         ReadyQueue {
             policy,
-            heap: BinaryHeap::new(),
+            heap: MinHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             seq: 0,
         }
     }
@@ -161,27 +149,41 @@ impl ReadyQueue {
 
     /// Enqueues a job.
     pub fn push(&mut self, job: Job) {
-        let entry = Entry {
-            class_rank: match job.priority {
-                PriorityClass::Elevated => 0,
-                PriorityClass::Normal => 1,
-            },
-            key: self.policy.key(&job),
-            seq: self.seq,
-            job,
+        let class_rank = match job.priority {
+            PriorityClass::Elevated => 0,
+            PriorityClass::Normal => 1,
         };
+        let key = pack_key(class_rank, self.policy.key(&job), self.seq);
         self.seq += 1;
-        self.heap.push(Reverse(entry));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(job);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("more than u32::MAX queued jobs");
+                self.slots.push(Some(job));
+                slot
+            }
+        };
+        self.heap.push(key, slot);
     }
 
     /// Removes and returns the next job to serve.
     pub fn pop(&mut self) -> Option<Job> {
-        self.heap.pop().map(|Reverse(e)| e.job)
+        let (_, slot) = self.heap.pop()?;
+        let job = self.slots[slot as usize]
+            .take()
+            .expect("heap entry pointed at an empty slot");
+        self.free.push(slot);
+        Some(job)
     }
 
     /// The job that would be served next, without removing it.
     pub fn peek(&self) -> Option<&Job> {
-        self.heap.peek().map(|Reverse(e)| &e.job)
+        let (_, &slot) = self.heap.peek()?;
+        self.slots[slot as usize].as_ref()
     }
 
     /// Number of queued jobs.

@@ -294,7 +294,11 @@ impl Hyper2 {
 impl Dist for Hyper2 {
     fn sample(&self, rng: &mut dyn RngCore) -> f64 {
         let coin: f64 = rng.gen();
-        let mean = if coin < self.p { self.mean1 } else { self.mean2 };
+        let mean = if coin < self.p {
+            self.mean1
+        } else {
+            self.mean2
+        };
         let u: f64 = rng.gen();
         -mean * (1.0 - u).ln()
     }
@@ -588,7 +592,10 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|_| e.sample(&mut r)).collect();
         let m = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64;
-        assert!((var - 4.0).abs() < 0.3, "Erlang-4(1) variance ≈ 4, got {var}");
+        assert!(
+            (var - 4.0).abs() < 0.3,
+            "Erlang-4(1) variance ≈ 4, got {var}"
+        );
         assert!(Erlang::new(0, 1.0).is_err());
     }
 
@@ -664,9 +671,34 @@ mod tests {
 
     #[test]
     fn new_specs_build() {
-        assert!((DistSpec::LogNormal { mean: 1.0, cv2: 2.0 }.mean().unwrap() - 1.0).abs() < 1e-12);
-        assert!((DistSpec::Pareto { mean: 3.0, alpha: 2.0 }.mean().unwrap() - 3.0).abs() < 1e-12);
-        assert!(DistSpec::Pareto { mean: 3.0, alpha: 0.5 }.build().is_err());
+        assert!(
+            (DistSpec::LogNormal {
+                mean: 1.0,
+                cv2: 2.0
+            }
+            .mean()
+            .unwrap()
+                - 1.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (DistSpec::Pareto {
+                mean: 3.0,
+                alpha: 2.0
+            }
+            .mean()
+            .unwrap()
+                - 3.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(DistSpec::Pareto {
+            mean: 3.0,
+            alpha: 0.5
+        }
+        .build()
+        .is_err());
     }
 
     #[test]

@@ -43,30 +43,74 @@ impl<E> Context<E> {
         self.now
     }
 
-    /// Schedules `event` at absolute time `at`.
+    /// Schedules `event` at absolute time `at`, returning a handle for
+    /// possible cancellation.
+    ///
+    /// Prefer [`Context::schedule_fast_at`] when the event will never be
+    /// cancelled; it skips all handle bookkeeping.
     ///
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time: the simulation
     /// cannot travel into the past.
     pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventHandle {
+        self.assert_future(at);
+        self.queue.schedule(at, event)
+    }
+
+    /// Schedules `event` after a delay of `dt ≥ 0` model units, returning
+    /// a handle for possible cancellation.
+    ///
+    /// Prefer [`Context::schedule_fast_in`] when the event will never be
+    /// cancelled; it skips all handle bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative, infinite or NaN.
+    pub fn schedule_in(&mut self, dt: f64, event: E) -> EventHandle {
+        self.assert_delay(dt);
+        self.queue.schedule(self.now + dt, event)
+    }
+
+    /// Schedules a never-cancellable `event` at absolute time `at` — the
+    /// hot path: no handle, no slab traffic, just a heap push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_fast_at(&mut self, at: SimTime, event: E) {
+        self.assert_future(at);
+        self.queue.schedule_fast(at, event);
+    }
+
+    /// Schedules a never-cancellable `event` after a delay of `dt ≥ 0`
+    /// model units — the hot path: no handle, no slab traffic, just a
+    /// heap push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative, infinite or NaN.
+    pub fn schedule_fast_in(&mut self, dt: f64, event: E) {
+        self.assert_delay(dt);
+        self.queue.schedule_fast(self.now + dt, event);
+    }
+
+    #[inline]
+    fn assert_future(&self, at: SimTime) {
         assert!(
             at >= self.now,
             "cannot schedule into the past: now={}, requested={}",
             self.now,
             at
         );
-        self.queue.schedule(at, event)
     }
 
-    /// Schedules `event` after a delay of `dt ≥ 0` model units.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `dt` is negative or NaN.
-    pub fn schedule_in(&mut self, dt: f64, event: E) -> EventHandle {
-        assert!(dt >= 0.0, "delay must be non-negative, got {dt}");
-        self.queue.schedule(self.now + dt, event)
+    #[inline]
+    fn assert_delay(&self, dt: f64) {
+        assert!(
+            dt.is_finite() && dt >= 0.0,
+            "delay must be finite and non-negative, got {dt}"
+        );
     }
 
     /// Cancels a pending event. Returns `true` if it was still pending.
@@ -203,11 +247,16 @@ impl<S: Simulation> Engine<S> {
             if self.ctx.stop_requested {
                 return self.report(start_events, None);
             }
-            match self.ctx.queue.peek_time() {
-                Some(t) if t <= horizon => {
-                    self.step();
+            // Single heap access per event: pop-if-due instead of
+            // peek-then-pop.
+            match self.ctx.queue.pop_at_or_before(horizon) {
+                Some(scheduled) => {
+                    debug_assert!(scheduled.time >= self.ctx.now, "event list went backwards");
+                    self.ctx.now = scheduled.time;
+                    self.ctx.events_handled += 1;
+                    self.model.handle(&mut self.ctx, scheduled.event);
                 }
-                _ => {
+                None => {
                     if self.ctx.now < horizon {
                         self.ctx.now = horizon;
                     }
@@ -348,6 +397,43 @@ mod tests {
         let mut e = ticker(2);
         e.run();
         assert_eq!(e.into_model().ticks, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_delay_panics() {
+        let mut e = ticker(1);
+        e.context_mut().schedule_in(f64::NAN, Tick);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn infinite_delay_panics() {
+        let mut e = ticker(1);
+        e.context_mut().schedule_in(f64::INFINITY, Tick);
+    }
+
+    #[test]
+    fn fast_path_drives_the_loop_like_the_slow_path() {
+        #[derive(Debug, Default)]
+        struct FastTicker {
+            ticks: u32,
+        }
+        impl Simulation for FastTicker {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<()>, (): ()) {
+                self.ticks += 1;
+                if self.ticks < 5 {
+                    ctx.schedule_fast_in(1.0, ());
+                }
+            }
+        }
+        let mut e = Engine::new(FastTicker::default());
+        e.context_mut().schedule_fast_at(SimTime::ZERO, ());
+        let report = e.run();
+        assert_eq!(report.reason, StopReason::Exhausted);
+        assert_eq!(e.model().ticks, 5);
+        assert_eq!(report.end_time, SimTime::from(4.0));
     }
 
     #[test]

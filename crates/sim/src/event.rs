@@ -1,17 +1,61 @@
-//! The future-event list.
+//! The future-event list: a slab-backed priority queue with
+//! generation-stamped O(1) cancellation and a handle-free fast path.
+//!
+//! Two scheduling paths share one heap:
+//!
+//! * [`EventQueue::schedule`] — for events that may later be cancelled.
+//!   The payload lives in a slab slot stamped with a generation counter;
+//!   the returned [`EventHandle`] encodes `(slot, generation)`.
+//!   Cancellation bumps the slot's generation — O(1), no tombstone set —
+//!   and the heap entry is skipped lazily when it surfaces.
+//! * [`EventQueue::schedule_fast`] — for events that are never cancelled
+//!   (the overwhelming majority in a simulation: arrivals, timers,
+//!   non-preemptible completions). The payload travels inline in the heap
+//!   entry: no slot, no generation, no handle, no bookkeeping of any kind
+//!   beyond the heap push itself.
+//!
+//! Both paths order by `(time, sequence)`, so simultaneous events fire in
+//! FIFO order regardless of which path scheduled them — the property that
+//! makes the whole simulation deterministic. The pair is packed into one
+//! `u128` ([`pq::key_from_f64`] bits above the sequence number) so the
+//! underlying [`pq::MinHeap`] compares a single integer per sift step.
 
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashSet};
 use std::fmt;
 
+use crate::pq::{self, MinHeap};
 use crate::time::SimTime;
 
-/// Opaque handle to a scheduled event, usable for cancellation.
+/// Opaque handle to a cancellable scheduled event.
 ///
-/// Handles are unique for the lifetime of an [`EventQueue`]; cancelling an
-/// already-fired or already-cancelled event is a no-op.
+/// A handle names one specific scheduling: cancelling an already-fired or
+/// already-cancelled event is a no-op (the slot's generation has moved
+/// on). Handles from [`EventQueue::schedule_fast`] don't exist — that is
+/// the point of the fast path.
+///
+/// Generations are 64-bit, so a slot would need 2⁶⁴ reuses before a
+/// stale handle could alias a live event — out of reach for any run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventHandle(u64);
+pub struct EventHandle {
+    slot: u32,
+    generation: u64,
+}
+
+impl EventHandle {
+    #[inline]
+    fn new(slot: u32, generation: u64) -> EventHandle {
+        EventHandle { slot, generation }
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        self.slot
+    }
+
+    #[inline]
+    fn generation(self) -> u64 {
+        self.generation
+    }
+}
 
 /// An event extracted from the queue: its firing time plus the payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,37 +66,40 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
-struct Entry<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+/// Where a heap entry's payload lives.
+enum Payload<E> {
+    /// Never-cancellable payload carried in the heap entry itself.
+    Inline(E),
+    /// Cancellable payload parked in `slots[slot]`, valid only while the
+    /// slot's generation still equals `generation`.
+    Slotted { slot: u32, generation: u64 },
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
+/// Packs `(time, seq)` into the heap key: time bits (order-preserving)
+/// above, insertion sequence below, so simultaneous events fire in FIFO
+/// order — the property that makes the whole simulation deterministic.
+#[inline]
+fn pack_key(time: SimTime, seq: u64) -> u128 {
+    (u128::from(pq::key_from_f64(time.as_f64())) << 64) | u128::from(seq)
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+
+#[inline]
+fn time_of_key(key: u128) -> SimTime {
+    SimTime::new(pq::f64_from_key((key >> 64) as u64))
 }
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Primary key: time. Secondary key: insertion sequence, which makes
-        // simultaneous events fire in FIFO order — the property that makes
-        // the whole simulation deterministic.
-        self.time
-            .cmp(&other.time)
-            .then_with(|| self.seq.cmp(&other.seq))
-    }
+
+/// One slab slot for a cancellable event's payload.
+struct Slot<E> {
+    /// Bumped every time the slot's payload is consumed (fired or
+    /// cancelled); heap entries carrying an older generation are stale.
+    /// 64-bit so it never wraps into an ABA aliasing in practice.
+    generation: u64,
+    event: Option<E>,
 }
 
 /// A future-event list: a priority queue of `(time, payload)` pairs with
-/// deterministic FIFO ordering among simultaneous events and lazy O(log n)
-/// cancellation.
+/// deterministic FIFO ordering among simultaneous events, O(1)
+/// cancellation, and a zero-bookkeeping path for never-cancelled events.
 ///
 /// # Examples
 ///
@@ -60,82 +107,168 @@ impl<E> Ord for Entry<E> {
 /// use sda_sim::{EventQueue, SimTime};
 ///
 /// let mut q = EventQueue::new();
-/// q.schedule(SimTime::from(2.0), "late");
+/// q.schedule_fast(SimTime::from(2.0), "late");
 /// let h = q.schedule(SimTime::from(1.0), "early");
-/// q.schedule(SimTime::from(1.0), "early-2nd");
+/// q.schedule_fast(SimTime::from(1.0), "early-2nd");
 /// q.cancel(h);
 /// assert_eq!(q.pop().unwrap().event, "early-2nd");
 /// assert_eq!(q.pop().unwrap().event, "late");
 /// assert!(q.pop().is_none());
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
-    /// Seqs scheduled but neither fired nor cancelled.
-    pending: HashSet<u64>,
-    /// Seqs cancelled while still in the heap; skipped lazily on pop.
-    cancelled: HashSet<u64>,
+    heap: MinHeap<Payload<E>>,
+    /// Slab of cancellable payloads, indexed by [`EventHandle::slot`].
+    slots: Vec<Slot<E>>,
+    /// Indices of vacant slab slots available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
+    /// Pending (scheduled, not yet fired or cancelled) events.
+    live: usize,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            heap: MinHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
+            live: 0,
         }
+    }
+
+    #[inline]
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
     }
 
     /// Schedules `event` to fire at `time`. Returns a handle usable with
     /// [`EventQueue::cancel`].
+    ///
+    /// Prefer [`EventQueue::schedule_fast`] for events that will never be
+    /// cancelled; it skips the slab entirely.
     pub fn schedule(&mut self, time: SimTime, event: E) -> EventHandle {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Reverse(Entry { time, seq, event }));
-        self.pending.insert(seq);
-        EventHandle(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                debug_assert!(s.event.is_none(), "free list pointed at a full slot");
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len())
+                    .expect("more than u32::MAX simultaneous cancellable events");
+                self.slots.push(Slot {
+                    generation: 0,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        let generation = self.slots[slot as usize].generation;
+        let seq = self.next_seq();
+        self.heap
+            .push(pack_key(time, seq), Payload::Slotted { slot, generation });
+        self.live += 1;
+        EventHandle::new(slot, generation)
     }
 
-    /// Cancels a previously scheduled event. Returns `true` if the event was
-    /// still pending (and is now cancelled), `false` if it had already fired
-    /// or been cancelled.
+    /// Schedules `event` at `time` with no way to cancel it — the
+    /// hot path. The payload rides inline in the heap entry: no slab
+    /// traffic, no handle, no per-event bookkeeping.
+    pub fn schedule_fast(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq();
+        self.heap.push(pack_key(time, seq), Payload::Inline(event));
+        self.live += 1;
+    }
+
+    /// Cancels a previously scheduled event in O(1). Returns `true` if the
+    /// event was still pending (and is now cancelled), `false` if it had
+    /// already fired or been cancelled.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if self.pending.remove(&handle.0) {
-            self.cancelled.insert(handle.0);
-            true
-        } else {
-            false
+        let Some(slot) = self.slots.get_mut(handle.slot() as usize) else {
+            return false;
+        };
+        if slot.generation != handle.generation() || slot.event.is_none() {
+            return false;
+        }
+        slot.event = None;
+        slot.generation += 1;
+        self.free.push(handle.slot());
+        self.live -= 1;
+        true
+    }
+
+    /// Consumes the payload a surfaced heap entry refers to, or `None`
+    /// if the entry is stale (its event was cancelled).
+    #[inline]
+    fn claim(&mut self, payload: Payload<E>) -> Option<E> {
+        match payload {
+            Payload::Inline(event) => Some(event),
+            Payload::Slotted { slot, generation } => {
+                let s = &mut self.slots[slot as usize];
+                if s.generation != generation {
+                    return None;
+                }
+                let event = s.event.take().expect("live generation with empty slot");
+                s.generation += 1;
+                self.free.push(slot);
+                Some(event)
+            }
         }
     }
 
-    /// Removes and returns the earliest pending event, skipping cancelled
-    /// entries. Returns `None` when the queue is empty.
+    /// Removes and returns the earliest pending event, skipping stale
+    /// (cancelled) entries. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        while let Some((key, payload)) = self.heap.pop() {
+            if let Some(event) = self.claim(payload) {
+                self.live -= 1;
+                return Some(ScheduledEvent {
+                    time: time_of_key(key),
+                    event,
+                });
             }
-            self.pending.remove(&entry.seq);
-            return Some(ScheduledEvent {
-                time: entry.time,
-                event: entry.event,
-            });
         }
         None
     }
 
+    /// Pops the earliest pending event only if it fires at or before
+    /// `horizon` — the one-heap-access fast path for
+    /// [`Engine::run_until`](crate::Engine::run_until) loops.
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        let horizon_key = pq::key_from_f64(horizon.as_f64());
+        loop {
+            let (key, _) = self.heap.peek()?;
+            if (key >> 64) as u64 > horizon_key {
+                return None;
+            }
+            let (key, payload) = self.heap.pop().expect("peeked entry exists");
+            if let Some(event) = self.claim(payload) {
+                self.live -= 1;
+                return Some(ScheduledEvent {
+                    time: time_of_key(key),
+                    event,
+                });
+            }
+        }
+    }
+
     /// The firing time of the earliest pending event, if any.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled entries from the top so the peeked time is live.
-        while let Some(Reverse(entry)) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
-                return Some(entry.time);
+        // Drop stale entries from the top so the peeked time is live.
+        while let Some((key, payload)) = self.heap.peek() {
+            match *payload {
+                Payload::Inline(_) => return Some(time_of_key(key)),
+                Payload::Slotted { slot, generation } => {
+                    if self.slots[slot as usize].generation == generation {
+                        return Some(time_of_key(key));
+                    }
+                    self.heap.pop();
+                }
             }
         }
         None
@@ -143,17 +276,23 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
-    /// Total number of events ever scheduled (fired, pending or cancelled).
+    /// Total number of events ever scheduled (fired, pending or
+    /// cancelled), across both paths.
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Capacity currently committed to the cancellable-event slab.
+    pub fn slab_capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -166,8 +305,9 @@ impl<E> Default for EventQueue<E> {
 impl<E> fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.pending.len())
+            .field("pending", &self.live)
             .field("scheduled_total", &self.next_seq)
+            .field("slab_capacity", &self.slots.len())
             .finish()
     }
 }
@@ -200,6 +340,21 @@ mod tests {
     }
 
     #[test]
+    fn fast_and_slow_paths_share_fifo_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            if i % 2 == 0 {
+                q.schedule_fast(SimTime::from(1.0), i);
+            } else {
+                q.schedule(SimTime::from(1.0), i);
+            }
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().event, i);
+        }
+    }
+
+    #[test]
     fn cancellation_skips_events_and_tracks_len() {
         let mut q = EventQueue::new();
         let a = q.schedule(SimTime::from(1.0), "a");
@@ -215,7 +370,28 @@ mod tests {
     #[test]
     fn cancel_of_unknown_handle_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventHandle(42)));
+        assert!(!q.cancel(EventHandle::new(42, 0)));
+    }
+
+    #[test]
+    fn cancel_after_fire_is_false() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from(1.0), "a");
+        assert_eq!(q.pop().unwrap().event, "a");
+        assert!(!q.cancel(h), "handle to a fired event is dead");
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_old_handles() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from(1.0), 1);
+        assert!(q.cancel(h1));
+        // The slot is reused with a fresh generation.
+        let h2 = q.schedule(SimTime::from(2.0), 2);
+        assert!(!q.cancel(h1), "stale handle must not hit the reused slot");
+        assert_eq!(q.pop().unwrap().event, 2);
+        assert!(!q.cancel(h2));
+        assert!(q.is_empty());
     }
 
     #[test]
@@ -233,10 +409,24 @@ mod tests {
     fn scheduled_total_counts_everything() {
         let mut q = EventQueue::new();
         let h = q.schedule(SimTime::ZERO, 0);
-        q.schedule(SimTime::ZERO, 1);
+        q.schedule_fast(SimTime::ZERO, 1);
         q.cancel(h);
         q.pop();
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn slab_only_grows_with_concurrent_cancellables() {
+        let mut q = EventQueue::new();
+        for i in 0..1_000 {
+            let h = q.schedule(SimTime::from(f64::from(i)), i);
+            q.cancel(h);
+        }
+        assert_eq!(q.slab_capacity(), 1, "cancel frees the slot for reuse");
+        for i in 0..1_000 {
+            q.schedule_fast(SimTime::from(f64::from(i)), i);
+        }
+        assert_eq!(q.slab_capacity(), 1, "fast path never touches the slab");
     }
 
     #[test]

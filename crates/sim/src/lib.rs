@@ -7,8 +7,11 @@
 //! library:
 //!
 //! * [`SimTime`] — a totally-ordered simulation clock value,
-//! * [`EventQueue`] — a future-event list with deterministic FIFO
-//!   tie-breaking and O(log n) cancellation,
+//! * [`EventQueue`] — a slab-backed future-event list with deterministic
+//!   FIFO tie-breaking, O(1) generation-stamped cancellation and a
+//!   handle-free fast path for never-cancelled events,
+//! * [`pq`] — the packed-key 4-ary heap both it and the schedulers'
+//!   ready queues sit on,
 //! * [`Engine`] / [`Simulation`] — the event loop and the model trait,
 //! * [`rng`] — seedable, named, independent random-number streams
 //!   (xoshiro256\*\* seeded via SplitMix64),
@@ -73,6 +76,7 @@ mod event;
 mod time;
 
 pub mod dist;
+pub mod pq;
 pub mod rng;
 pub mod stats;
 

@@ -1,0 +1,223 @@
+//! A 4-ary min-heap over packed `u128` keys — the priority-queue
+//! primitive under both the future-event list and the schedulers'
+//! ready queues.
+//!
+//! Two properties make it faster than `BinaryHeap<Reverse<T>>` for
+//! simulation workloads:
+//!
+//! * **one integer compare per step** — the composite ordering key
+//!   (time/priority, then insertion sequence) is pre-packed into a single
+//!   `u128` via the order-preserving float-bits mapping of
+//!   [`key_from_f64`], instead of a chained `Ord` implementation
+//!   branching through two or three fields;
+//! * **4-ary layout** — half the tree depth of a binary heap, and the
+//!   four children of a node share cache lines, so sift-downs touch
+//!   fewer lines.
+//!
+//! Ties on the full 128-bit key pop in unspecified order; callers make
+//! keys unique (and FIFO) by packing a sequence number into the low bits.
+
+/// Maps an `f64` to a `u64` whose unsigned order equals
+/// [`f64::total_cmp`] order. Invert with [`f64_from_key`].
+#[inline]
+pub fn key_from_f64(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        // Negative (or negative NaN): flip all bits so bigger magnitude
+        // sorts smaller.
+        !b
+    } else {
+        // Positive: set the top bit so positives sort above negatives.
+        b | (1 << 63)
+    }
+}
+
+/// Inverse of [`key_from_f64`].
+#[inline]
+pub fn f64_from_key(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k & !(1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// A 4-ary min-heap of `(u128 key, payload)` pairs.
+#[derive(Debug, Clone)]
+pub struct MinHeap<P> {
+    entries: Vec<(u128, P)>,
+}
+
+impl<P> MinHeap<P> {
+    /// An empty heap.
+    pub fn new() -> MinHeap<P> {
+        MinHeap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the heap is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The minimum entry, if any.
+    #[inline]
+    pub fn peek(&self) -> Option<(u128, &P)> {
+        self.entries.first().map(|(k, p)| (*k, p))
+    }
+
+    /// Inserts an entry.
+    pub fn push(&mut self, key: u128, payload: P) {
+        self.entries.push((key, payload));
+        self.sift_up(self.entries.len() - 1);
+    }
+
+    /// Removes and returns the minimum entry.
+    pub fn pop(&mut self) -> Option<(u128, P)> {
+        let last = self.entries.len().checked_sub(1)?;
+        self.entries.swap(0, last);
+        let out = self.entries.pop();
+        if !self.entries.is_empty() {
+            self.sift_down(0);
+        }
+        out
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.entries[parent].0 <= self.entries[i].0 {
+                break;
+            }
+            self.entries.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.entries.len();
+        loop {
+            let first_child = 4 * i + 1;
+            if first_child >= n {
+                break;
+            }
+            let last_child = (first_child + 4).min(n);
+            let mut min = first_child;
+            let mut min_key = self.entries[first_child].0;
+            for c in first_child + 1..last_child {
+                let k = self.entries[c].0;
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if self.entries[i].0 <= min_key {
+                break;
+            }
+            self.entries.swap(i, min);
+            i = min;
+        }
+    }
+}
+
+impl<P> Default for MinHeap<P> {
+    fn default() -> Self {
+        MinHeap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_key_mapping_is_order_preserving_and_invertible() {
+        let values = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            0.25,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in values.windows(2) {
+            assert!(
+                key_from_f64(w[0]) <= key_from_f64(w[1]),
+                "order broken between {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+        for &v in &values {
+            assert_eq!(f64_from_key(key_from_f64(v)).to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn pops_ascending_under_adversarial_input() {
+        let mut h = MinHeap::new();
+        // Pseudo-random insertion order via a small LCG.
+        let mut x: u64 = 12345;
+        let mut keys = Vec::new();
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            keys.push(x);
+            h.push(u128::from(x), x);
+        }
+        keys.sort_unstable();
+        for expect in keys {
+            let (k, p) = h.pop().unwrap();
+            assert_eq!(k, u128::from(expect));
+            assert_eq!(p, expect);
+        }
+        assert!(h.pop().is_none());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_maintains_invariant() {
+        let mut h = MinHeap::new();
+        let mut x: u64 = 7;
+        let mut last_popped = 0u128;
+        let mut pending = 0usize;
+        for round in 0..5_000u64 {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            // Keys grow with round so pops never go backwards (as in a
+            // simulation, where scheduling into the past is impossible).
+            let key = u128::from(round) << 32 | u128::from(x & 0xFFFF_FFFF);
+            h.push(key, ());
+            pending += 1;
+            if x.is_multiple_of(3) {
+                let (k, ()) = h.pop().unwrap();
+                assert!(k >= last_popped, "heap went backwards");
+                last_popped = k;
+                pending -= 1;
+            }
+        }
+        assert_eq!(h.len(), pending);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = MinHeap::new();
+        h.push(5, "five");
+        h.push(1, "one");
+        h.push(3, "three");
+        assert_eq!(h.peek(), Some((1, &"one")));
+        assert_eq!(h.pop(), Some((1, "one")));
+        assert_eq!(h.peek(), Some((3, &"three")));
+    }
+}

@@ -222,9 +222,7 @@ mod tests {
     fn numerical_stability_with_large_offsets() {
         // Welford should not lose the variance of small deviations around a
         // huge mean.
-        let t: Tally = (0..1000)
-            .map(|i| 1.0e9 + f64::from(i % 2))
-            .collect();
+        let t: Tally = (0..1000).map(|i| 1.0e9 + f64::from(i % 2)).collect();
         assert!((t.variance() - 0.2503).abs() < 0.01, "var={}", t.variance());
     }
 }

@@ -54,6 +54,130 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// The slab queue matches a naive reference model under arbitrary
+    /// interleavings of both scheduling paths, cancellation and popping:
+    /// pops come in (time, insertion) order, exactly the non-cancelled
+    /// events come out, cancel is idempotent, and stale generations
+    /// (fired or cancelled handles, including after slot reuse) never
+    /// cancel anything.
+    #[test]
+    fn slab_queue_matches_reference_model(
+        ops in prop::collection::vec((0u8..4, 0.0f64..64.0, any::<u64>()), 1..400),
+    ) {
+        let mut q = EventQueue::new();
+        // Reference: (time, seq, id) of still-pending events, plus the
+        // clock floor pops must never go below.
+        let mut pending: Vec<(f64, usize, usize)> = Vec::new();
+        let mut handles = Vec::new();
+        let mut dead_handles = Vec::new();
+        let mut id = 0usize;
+        let mut popped_total = 0usize;
+        for (op, t, pick) in ops {
+            // Quantize times so equal-time FIFO ordering is exercised.
+            let t = (t * 2.0).floor() / 2.0;
+            match op {
+                0 => {
+                    let h = q.schedule(SimTime::from(t), id);
+                    handles.push((h, id));
+                    pending.push((t, id, id));
+                    id += 1;
+                }
+                1 => {
+                    q.schedule_fast(SimTime::from(t), id);
+                    pending.push((t, id, id));
+                    id += 1;
+                }
+                2 if !handles.is_empty() => {
+                    let k = (pick as usize) % handles.len();
+                    let (h, hid) = handles.swap_remove(k);
+                    let was_pending = pending.iter().any(|&(_, _, i)| i == hid);
+                    prop_assert_eq!(q.cancel(h), was_pending, "cancel({hid})");
+                    prop_assert!(!q.cancel(h), "cancel must be idempotent");
+                    pending.retain(|&(_, _, i)| i != hid);
+                    dead_handles.push(h);
+                }
+                _ => {
+                    pending.sort_by(|a, b| {
+                        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+                    });
+                    let expect = if pending.is_empty() {
+                        None
+                    } else {
+                        Some(pending.remove(0))
+                    };
+                    match (q.pop(), expect) {
+                        (None, None) => {}
+                        (Some(got), Some((et, _, eid))) => {
+                            prop_assert_eq!(got.event, eid);
+                            prop_assert_eq!(got.time, SimTime::from(et));
+                            // A popped cancellable event's handle is dead.
+                            if let Some(k) = handles.iter().position(|&(_, i)| i == eid) {
+                                let (h, _) = handles.swap_remove(k);
+                                prop_assert!(!q.cancel(h), "fired handle is dead");
+                                dead_handles.push(h);
+                            }
+                            popped_total += 1;
+                        }
+                        (got, expect) => {
+                            prop_assert!(false, "pop mismatch: got {got:?}, expected {expect:?}");
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), pending.len());
+        }
+        // Every dead handle stays dead even after heavy slot reuse.
+        for h in dead_handles {
+            prop_assert!(!q.cancel(h), "stale generation resurrected");
+        }
+        // Drain: the remainder comes out in reference order.
+        pending.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        for (et, _, eid) in pending {
+            let got = q.pop().expect("queue drained early");
+            prop_assert_eq!(got.event, eid);
+            prop_assert_eq!(got.time, SimTime::from(et));
+            popped_total += 1;
+        }
+        prop_assert!(q.pop().is_none());
+        prop_assert_eq!(q.scheduled_total(), id as u64);
+        prop_assert!(popped_total <= id);
+    }
+
+    /// `pop_at_or_before(h)` returns exactly the events `pop` would,
+    /// stopping at the horizon, for arbitrary schedules and horizons.
+    #[test]
+    fn pop_at_or_before_agrees_with_pop(
+        times in prop::collection::vec(0.0f64..100.0, 0..150),
+        horizon in 0.0f64..120.0,
+    ) {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            let t = (t * 4.0).floor() / 4.0;
+            if i % 3 == 0 {
+                a.schedule(SimTime::from(t), i);
+                b.schedule(SimTime::from(t), i);
+            } else {
+                a.schedule_fast(SimTime::from(t), i);
+                b.schedule_fast(SimTime::from(t), i);
+            }
+        }
+        let h = SimTime::from(horizon);
+        loop {
+            let via_bounded = a.pop_at_or_before(h);
+            let expected = match b.peek_time() {
+                Some(t) if t <= h => b.pop(),
+                _ => None,
+            };
+            prop_assert_eq!(&via_bounded, &expected);
+            if via_bounded.is_none() {
+                break;
+            }
+        }
+        // The bounded pop left everything beyond the horizon untouched.
+        prop_assert_eq!(a.len(), b.len());
+    }
+
     /// Welford tally matches the naive two-pass computation.
     #[test]
     fn tally_matches_two_pass(xs in prop::collection::vec(-1e3f64..1e3, 2..300)) {

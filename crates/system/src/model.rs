@@ -30,10 +30,15 @@ pub enum Event {
     /// A global task arrives (system-wide Poisson stream) and is handed
     /// to the process manager.
     GlobalArrival,
-    /// The job in service at `node` completes.
+    /// The job in service at `node` completes — *if* `epoch` still names
+    /// the current service start. Preemption never cancels completion
+    /// events; it leaves them in the future-event list to be recognized
+    /// as stale here (see [`Node::service_epoch`]).
     ServiceComplete {
         /// The node whose server finished.
         node: NodeId,
+        /// The node's service epoch when this completion was scheduled.
+        epoch: u64,
     },
     /// Warm-up ends: all statistics restart.
     EndWarmup,
@@ -197,13 +202,13 @@ impl SystemModel {
 
     fn schedule_next_local(&mut self, ctx: &mut Context<Event>, node: NodeId) {
         if let Some(gap) = self.factory.next_local_interarrival(node) {
-            ctx.schedule_in(gap, Event::LocalArrival { node });
+            ctx.schedule_fast_in(gap, Event::LocalArrival { node });
         }
     }
 
     fn schedule_next_global(&mut self, ctx: &mut Context<Event>) {
         if let Some(gap) = self.factory.next_global_interarrival() {
-            ctx.schedule_in(gap, Event::GlobalArrival);
+            ctx.schedule_fast_in(gap, Event::GlobalArrival);
         }
     }
 
@@ -285,7 +290,13 @@ impl SystemModel {
         affected
     }
 
-    fn handle_service_complete(&mut self, ctx: &mut Context<Event>, node: NodeId) {
+    fn handle_service_complete(&mut self, ctx: &mut Context<Event>, node: NodeId, epoch: u64) {
+        if !self.nodes[node.index()].completion_is_current(epoch) {
+            // The job this completion belonged to was preempted after the
+            // event was scheduled; the rescheduled completion (with the
+            // job's new epoch) is elsewhere in the event list.
+            return;
+        }
         let job = self.nodes[node.index()].finish_service(ctx.now());
         self.on_job_done(ctx, job, node);
         self.dispatch(ctx, node);
@@ -376,14 +387,12 @@ impl SystemModel {
     /// Starts the next job at `node` if the server is idle, applying the
     /// overload policy, and schedules its completion. In preemptive mode
     /// a busy server is first preempted when the queue head outranks the
-    /// running job.
+    /// running job; the preempted job's completion event stays in the
+    /// event list and is invalidated by the epoch check instead of being
+    /// cancelled.
     fn dispatch(&mut self, ctx: &mut Context<Event>, node: NodeId) {
         if self.config.preemptive && self.nodes[node.index()].should_preempt() {
-            let (job, handle) = self.nodes[node.index()].preempt(ctx.now());
-            if let Some(h) = handle {
-                let cancelled = ctx.cancel(h);
-                debug_assert!(cancelled, "stale completion handle");
-            }
+            let job = self.nodes[node.index()].preempt(ctx.now());
             self.nodes[node.index()].enqueue(ctx.now(), job);
         }
         let started = match self.config.overload {
@@ -399,8 +408,8 @@ impl SystemModel {
             }
         };
         if let Some(job) = started {
-            let handle = ctx.schedule_in(job.service, Event::ServiceComplete { node });
-            self.nodes[node.index()].set_completion_handle(handle);
+            let epoch = self.nodes[node.index()].service_epoch();
+            ctx.schedule_fast_in(job.service, Event::ServiceComplete { node, epoch });
         }
     }
 }
@@ -417,12 +426,14 @@ impl Simulation for SystemModel {
                 }
                 self.schedule_next_global(ctx);
                 if warmup_end > 0.0 {
-                    ctx.schedule_in(warmup_end, Event::EndWarmup);
+                    ctx.schedule_fast_in(warmup_end, Event::EndWarmup);
                 }
             }
             Event::LocalArrival { node } => self.handle_local_arrival(ctx, node),
             Event::GlobalArrival => self.handle_global_arrival(ctx),
-            Event::ServiceComplete { node } => self.handle_service_complete(ctx, node),
+            Event::ServiceComplete { node, epoch } => {
+                self.handle_service_complete(ctx, node, epoch)
+            }
             Event::EndWarmup => {
                 self.metrics.reset();
                 for node in &mut self.nodes {
@@ -453,7 +464,11 @@ mod tests {
         e.run_until(SimTime::from(2_000.0));
         let m = e.model().metrics();
         assert!(m.local.completed() > 500, "locals: {}", m.local.completed());
-        assert!(m.global.completed() > 100, "globals: {}", m.global.completed());
+        assert!(
+            m.global.completed() > 100,
+            "globals: {}",
+            m.global.completed()
+        );
         assert!(m.local.response().mean() > 0.0);
     }
 
@@ -529,8 +544,12 @@ mod tests {
         let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
         let model = SystemModel::new(cfg, &RngFactory::new(5)).unwrap();
         let mut e = Engine::new(model);
-        e.context_mut()
-            .schedule_at(SimTime::ZERO, Event::Init { warmup_end: 1_000.0 });
+        e.context_mut().schedule_at(
+            SimTime::ZERO,
+            Event::Init {
+                warmup_end: 1_000.0,
+            },
+        );
         e.run_until(SimTime::from(999.0));
         assert!(e.model().metrics().local.completed() > 0);
         e.run_until(SimTime::from(1_000.5));
@@ -556,8 +575,7 @@ mod tests {
         cfg.preemptive = false;
         let mut e2 = engine(cfg, 14);
         e2.run_until(SimTime::from(5_000.0));
-        let a =
-            m.local.completed() as f64 + e.model().metrics().global.completed() as f64;
+        let a = m.local.completed() as f64 + e.model().metrics().global.completed() as f64;
         let b = e2.model().metrics().local.completed() as f64
             + e2.model().metrics().global.completed() as f64;
         assert!(
@@ -597,7 +615,10 @@ mod tests {
             })
             .collect();
         assert!(matches!(events[0], TraceEvent::Arrival { .. }));
-        assert!(matches!(events.last().unwrap(), TraceEvent::Finished { .. }));
+        assert!(matches!(
+            events.last().unwrap(),
+            TraceEvent::Finished { .. }
+        ));
         // Serial m=4 task: 4 submissions and 4 completions, alternating.
         let submits = events
             .iter()

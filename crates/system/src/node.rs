@@ -2,18 +2,23 @@
 //! Non-preemptive by default (the paper's model); the preemption hooks
 //! ([`Node::should_preempt`], [`Node::preempt`]) support the preemptive
 //! ablation study.
+//!
+//! Completion events are validated, not cancelled: every service start
+//! bumps the node's *service epoch*, and the `ServiceComplete` event
+//! scheduled for that start carries the epoch it belongs to. A completion
+//! arriving with a stale epoch (its job was preempted) is simply ignored
+//! by the model — preemption never reaches back into the future-event
+//! list, which keeps the whole simulation on the handle-free fast path.
 
 use sda_core::NodeId;
 use sda_sched::{Job, Policy, ReadyQueue};
 use sda_sim::stats::TimeWeighted;
-use sda_sim::{EventHandle, SimTime};
+use sda_sim::SimTime;
 
 #[derive(Debug)]
 struct InService {
     job: Job,
     started: SimTime,
-    /// Completion event, cancellable on preemption.
-    completion: Option<EventHandle>,
 }
 
 /// One node of the distributed system: an independent server with its own
@@ -24,6 +29,8 @@ pub struct Node {
     id: NodeId,
     queue: ReadyQueue,
     in_service: Option<InService>,
+    /// Monotone count of service starts; see [`Node::service_epoch`].
+    service_epoch: u64,
     utilization: TimeWeighted,
     queue_length: TimeWeighted,
     served: u64,
@@ -37,6 +44,7 @@ impl Node {
             id,
             queue: ReadyQueue::new(policy),
             in_service: None,
+            service_epoch: 0,
             utilization: TimeWeighted::new(SimTime::ZERO, 0.0),
             queue_length: TimeWeighted::new(SimTime::ZERO, 0.0),
             served: 0,
@@ -64,17 +72,19 @@ impl Node {
         self.preemptions
     }
 
-    /// Records the engine handle of the in-service job's completion
-    /// event, so a later preemption can cancel it.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the server is idle.
-    pub fn set_completion_handle(&mut self, handle: EventHandle) {
-        self.in_service
-            .as_mut()
-            .expect("set_completion_handle on an idle server")
-            .completion = Some(handle);
+    /// The current service epoch: incremented every time a job starts
+    /// service. A `ServiceComplete` event stamped with epoch `e` is valid
+    /// iff the server is busy and `service_epoch() == e` — each epoch
+    /// names exactly one service start, and exactly one completion event
+    /// is scheduled per start.
+    pub fn service_epoch(&self) -> u64 {
+        self.service_epoch
+    }
+
+    /// Whether a completion event stamped with `epoch` refers to the job
+    /// currently in service (as opposed to one preempted since).
+    pub fn completion_is_current(&self, epoch: u64) -> bool {
+        self.in_service.is_some() && self.service_epoch == epoch
     }
 
     /// Whether the queue head would be served strictly before the job in
@@ -88,20 +98,22 @@ impl Node {
     }
 
     /// Stops the in-service job at `now`, reducing its remaining service
-    /// (and prediction) by the time already received, and returns it with
-    /// the completion handle to cancel. The caller re-enqueues the job.
+    /// (and prediction) by the time already received, and returns it for
+    /// the caller to re-enqueue. The completion event already scheduled
+    /// for this job is *not* cancelled — it carries the now-stale epoch
+    /// and will be ignored when it fires.
     ///
     /// # Panics
     ///
     /// Panics if the server is idle.
-    pub fn preempt(&mut self, now: SimTime) -> (Job, Option<EventHandle>) {
+    pub fn preempt(&mut self, now: SimTime) -> Job {
         let mut cur = self.in_service.take().expect("preempt on an idle server");
         let elapsed = now - cur.started;
         cur.job.service = (cur.job.service - elapsed).max(0.0);
         cur.job.pex = (cur.job.pex - elapsed).max(0.0);
         self.utilization.update(now, 0.0);
         self.preemptions += 1;
-        (cur.job, cur.completion)
+        cur.job
     }
 
     /// Queued jobs (not counting the one in service).
@@ -120,22 +132,23 @@ impl Node {
         self.queue_length.update(now, self.queue.len() as f64);
     }
 
+    fn start(&mut self, now: SimTime, job: Job) {
+        self.queue_length.update(now, self.queue.len() as f64);
+        self.utilization.update(now, 1.0);
+        self.service_epoch += 1;
+        self.in_service = Some(InService { job, started: now });
+    }
+
     /// If the server is idle, pops the next job (per the discipline) and
     /// marks the server busy. Returns a copy of the started job so the
-    /// caller can schedule its completion. Does nothing when busy or
-    /// empty.
+    /// caller can schedule its completion (stamped with the new
+    /// [`Node::service_epoch`]). Does nothing when busy or empty.
     pub fn try_start(&mut self, now: SimTime) -> Option<Job> {
         if self.in_service.is_some() {
             return None;
         }
         let job = self.queue.pop()?;
-        self.queue_length.update(now, self.queue.len() as f64);
-        self.utilization.update(now, 1.0);
-        self.in_service = Some(InService {
-            job,
-            started: now,
-            completion: None,
-        });
+        self.start(now, job);
         Some(job)
     }
 
@@ -153,13 +166,7 @@ impl Node {
         let mut discarded = Vec::new();
         while let Some(job) = self.queue.pop() {
             if admit(&job) {
-                self.queue_length.update(now, self.queue.len() as f64);
-                self.utilization.update(now, 1.0);
-                self.in_service = Some(InService {
-                    job,
-                    started: now,
-                    completion: None,
-                });
+                self.start(now, job);
                 return (Some(job), discarded);
             }
             discarded.push(job);
@@ -173,7 +180,8 @@ impl Node {
     /// # Panics
     ///
     /// Panics if the server was idle — a completion event without a job
-    /// in service indicates a model bug.
+    /// in service indicates a model bug (stale completions must be
+    /// filtered with [`Node::completion_is_current`] first).
     pub fn finish_service(&mut self, now: SimTime) -> Job {
         let cur = self
             .in_service
@@ -249,8 +257,7 @@ mod tests {
         n.enqueue(t(0.0), job(2.0, 1.0)); // also tardy
         n.enqueue(t(0.0), job(9.0, 1.0)); // fine
         let now = t(5.0);
-        let (started, discarded) =
-            n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
+        let (started, discarded) = n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
         assert_eq!(started.unwrap().deadline, 9.0);
         assert_eq!(discarded.len(), 2);
         assert_eq!(n.queue_len(), 0);
@@ -261,8 +268,7 @@ mod tests {
         let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
         n.enqueue(t(0.0), job(1.0, 1.0));
         let now = t(5.0);
-        let (started, discarded) =
-            n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
+        let (started, discarded) = n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
         assert!(started.is_none());
         assert_eq!(discarded.len(), 1);
         assert!(!n.is_busy());
@@ -277,15 +283,42 @@ mod tests {
         // A tighter job arrives at t=1.
         n.enqueue(t(1.0), job(3.0, 1.0));
         assert!(n.should_preempt());
-        let (preempted, handle) = n.preempt(t(1.0));
-        assert_eq!(handle, None, "no completion handle was registered");
+        let preempted = n.preempt(t(1.0));
         assert_eq!(preempted.deadline, 9.0);
-        assert!((preempted.service - 3.0).abs() < 1e-12, "1 of 4 units served");
+        assert!(
+            (preempted.service - 3.0).abs() < 1e-12,
+            "1 of 4 units served"
+        );
         assert_eq!(n.preemptions(), 1);
         assert!(!n.is_busy());
         // Re-enqueue and continue: tighter job runs first.
         n.enqueue(t(1.0), preempted);
         assert_eq!(n.try_start(t(1.0)).unwrap().deadline, 3.0);
+    }
+
+    #[test]
+    fn epochs_invalidate_preempted_completions() {
+        let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        n.enqueue(t(0.0), job(9.0, 4.0));
+        n.try_start(t(0.0));
+        let first_epoch = n.service_epoch();
+        assert!(n.completion_is_current(first_epoch));
+
+        n.enqueue(t(1.0), job(3.0, 1.0));
+        let preempted = n.preempt(t(1.0));
+        assert!(
+            !n.completion_is_current(first_epoch),
+            "idle server: the old completion is stale"
+        );
+        n.enqueue(t(1.0), preempted);
+        n.try_start(t(1.0));
+        let second_epoch = n.service_epoch();
+        assert!(second_epoch > first_epoch, "every start bumps the epoch");
+        assert!(
+            !n.completion_is_current(first_epoch),
+            "completion for the preempted start stays stale forever"
+        );
+        assert!(n.completion_is_current(second_epoch));
     }
 
     #[test]

@@ -104,7 +104,11 @@ pub fn run_once(config: &SystemConfig, run: &RunConfig) -> Result<RunResult, Con
     let model = engine.model();
     Ok(RunResult {
         metrics: model.metrics().clone(),
-        node_utilization: model.nodes().iter().map(|n| n.utilization(horizon)).collect(),
+        node_utilization: model
+            .nodes()
+            .iter()
+            .map(|n| n.utilization(horizon))
+            .collect(),
         node_queue_length: model
             .nodes()
             .iter()
@@ -169,7 +173,9 @@ pub fn run_replications(
         runs: Vec::with_capacity(replications),
     };
     for r in 0..replications {
-        let seed = RngFactory::new(base.seed).subfactory(r as u64).master_seed();
+        let seed = RngFactory::new(base.seed)
+            .subfactory(r as u64)
+            .master_seed();
         let run_cfg = RunConfig { seed, ..*base };
         let run = run_once(config, &run_cfg)?;
         result.local_miss_pct.add(run.metrics.local.miss_percent());
@@ -179,7 +185,9 @@ pub fn run_replications(
         result
             .subtask_miss_pct
             .add(run.metrics.subtask_virtual_miss.percent());
-        result.local_response.add(run.metrics.local.response().mean());
+        result
+            .local_response
+            .add(run.metrics.local.response().mean());
         result
             .global_response
             .add(run.metrics.global.response().mean());

@@ -25,7 +25,10 @@ impl SlackRange {
     };
 
     /// The §5.2 PSP baseline `[1.25, 5.0]`.
-    pub const PSP_BASELINE: SlackRange = SlackRange { min: 1.25, max: 5.0 };
+    pub const PSP_BASELINE: SlackRange = SlackRange {
+        min: 1.25,
+        max: 5.0,
+    };
 
     /// A new range; validated by [`WorkloadConfig::validate`].
     pub fn new(min: f64, max: f64) -> SlackRange {

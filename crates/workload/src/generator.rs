@@ -268,10 +268,7 @@ mod tests {
                 a.make_local(NodeId::new(2), 1.0),
                 b.make_local(NodeId::new(2), 1.0)
             );
-            assert_eq!(
-                a.next_global_interarrival(),
-                b.next_global_interarrival()
-            );
+            assert_eq!(a.next_global_interarrival(), b.next_global_interarrival());
         }
     }
 
@@ -335,12 +332,7 @@ mod tests {
         for _ in 0..1000 {
             let g = f.make_global(2.0);
             assert!(g.spec.is_flat_parallel());
-            let nodes: HashSet<_> = g
-                .spec
-                .simple_subtasks()
-                .iter()
-                .map(|s| s.node)
-                .collect();
+            let nodes: HashSet<_> = g.spec.simple_subtasks().iter().map(|s| s.node).collect();
             assert_eq!(nodes.len(), 4, "branches must land on distinct nodes");
             // dl = ar + max ex + u, u ∈ [1.25, 5].
             let max_ex = g.spec.critical_path_ex();

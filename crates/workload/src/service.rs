@@ -47,9 +47,7 @@ impl ServiceVariability {
             ServiceVariability::Erlang { stages } => {
                 Box::new(Erlang::new(stages, mean / f64::from(stages.max(1)))?)
             }
-            ServiceVariability::LogNormal { cv2 } => {
-                Box::new(LogNormal::with_mean_cv2(mean, cv2)?)
-            }
+            ServiceVariability::LogNormal { cv2 } => Box::new(LogNormal::with_mean_cv2(mean, cv2)?),
             ServiceVariability::Pareto { alpha } => Box::new(Pareto::with_mean(mean, alpha)?),
         })
     }
@@ -155,14 +153,21 @@ mod tests {
 
     #[test]
     fn invalid_parameters_error() {
-        assert!(ServiceVariability::LogNormal { cv2: -1.0 }.build(1.0).is_err());
-        assert!(ServiceVariability::Pareto { alpha: 1.0 }.build(1.0).is_err());
+        assert!(ServiceVariability::LogNormal { cv2: -1.0 }
+            .build(1.0)
+            .is_err());
+        assert!(ServiceVariability::Pareto { alpha: 1.0 }
+            .build(1.0)
+            .is_err());
     }
 
     #[test]
     fn labels() {
         assert_eq!(ServiceVariability::Exponential.label(), "exp");
         assert_eq!(ServiceVariability::Erlang { stages: 2 }.label(), "erlang-2");
-        assert_eq!(ServiceVariability::default(), ServiceVariability::Exponential);
+        assert_eq!(
+            ServiceVariability::default(),
+            ServiceVariability::Exponential
+        );
     }
 }

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn critical_path_factors() {
-        assert_eq!(GlobalShape::Serial { m: 4 }.expected_critical_path_factor(), 4.0);
+        assert_eq!(
+            GlobalShape::Serial { m: 4 }.expected_critical_path_factor(),
+            4.0
+        );
         let h4 = harmonic(4);
         assert!(
             (GlobalShape::Parallel { m: 4 }.expected_critical_path_factor() - h4).abs() < 1e-12

@@ -8,26 +8,21 @@ use sda_workload::{GlobalShape, SlackRange, TaskFactory, WorkloadConfig};
 
 fn valid_configs() -> impl Strategy<Value = WorkloadConfig> {
     (
-        1usize..10,            // nodes
-        0.05f64..0.95,         // load
-        0.0f64..1.0,           // frac_local
-        0.1f64..3.0,           // mean_subtask_ex
+        1usize..10,                 // nodes
+        0.05f64..0.95,              // load
+        0.0f64..1.0,                // frac_local
+        0.1f64..3.0,                // mean_subtask_ex
         (0.0f64..2.0, 0.0f64..3.0), // slack (min, extra)
-        0.1f64..4.0,           // rel_flex
-        0usize..4,             // shape selector
-        1usize..6,             // m-ish parameter
+        0.1f64..4.0,                // rel_flex
+        0usize..4,                  // shape selector
+        1usize..6,                  // m-ish parameter
     )
         .prop_map(
             |(nodes, load, frac_local, mean_subtask_ex, (smin, extra), rel_flex, shape_sel, m)| {
                 let shape = match shape_sel {
                     0 => GlobalShape::Serial { m },
-                    1 => GlobalShape::Parallel {
-                        m: m.min(nodes),
-                    },
-                    2 => GlobalShape::SerialRandomM {
-                        min_m: 1,
-                        max_m: m,
-                    },
+                    1 => GlobalShape::Parallel { m: m.min(nodes) },
+                    2 => GlobalShape::SerialRandomM { min_m: 1, max_m: m },
                     _ => GlobalShape::SerialParallel {
                         stages: m,
                         branches: 1 + (m % nodes.min(3)),

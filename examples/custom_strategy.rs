@@ -60,7 +60,10 @@ fn walk(label: &str, strategy: &dyn DeadlineAssigner) {
     let mut pending = run.start(strategy, 0.0);
     let mut now = 0.0;
     while let Some(sub) = pending.pop() {
-        println!("  t={now:>4.1}  stage at {}  dl = {:>6.2}", sub.node, sub.deadline);
+        println!(
+            "  t={now:>4.1}  stage at {}  dl = {:>6.2}",
+            sub.node, sub.deadline
+        );
         now += sub.ex;
         match run.complete(sub.subtask, strategy, now) {
             Completion::Submitted(next) => pending.extend(next),

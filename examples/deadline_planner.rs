@@ -38,7 +38,7 @@ fn main() {
     );
 
     // Static plans.
-    println!("{:<8}{}", "stage", "  ".repeat(1));
+    println!("{:<8}  ", "stage");
     print!("{:<8}", "");
     for s in SerialStrategy::ALL {
         print!("{:>10}", s.short_name());
@@ -59,7 +59,11 @@ fn main() {
     // Dynamic re-planning: what happens to stage 2's deadline if stage 1
     // finishes early (50% of pex) or late (150% of pex)?
     println!("\nDynamic re-planning of stage 2 (EQF), depending on stage 1's finish:");
-    for (label, factor) in [("early (0.5×)", 0.5), ("on time (1.0×)", 1.0), ("late (1.5×)", 1.5)] {
+    for (label, factor) in [
+        ("early (0.5×)", 0.5),
+        ("on time (1.0×)", 1.0),
+        ("late (1.5×)", 1.5),
+    ] {
         let finish1 = pex[0] * factor;
         let dl2 = SerialStrategy::EqualFlexibility.deadline(&SspInput {
             submit_time: finish1,

@@ -42,9 +42,11 @@ fn trading_task() -> TaskSpec {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = trading_task();
     spec.validate()?;
-    println!("Trading pipeline: {} subtasks, critical path {:.1} time units",
+    println!(
+        "Trading pipeline: {} subtasks, critical path {:.1} time units",
         spec.simple_count(),
-        spec.critical_path_ex());
+        spec.critical_path_ex()
+    );
 
     // The end-to-end deadline: critical path 4.7 plus ~70% slack.
     let deadline = 8.0;

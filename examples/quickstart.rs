@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use sda::core::{SerialStrategy, SspInput};
 use sda::core::SdaStrategy;
+use sda::core::{SerialStrategy, SspInput};
 use sda::system::{run_once, RunConfig, SystemConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

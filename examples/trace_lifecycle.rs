@@ -44,7 +44,11 @@ fn run_traced(strategy: SdaStrategy, label: &str) {
                 virtual_miss,
             } => println!(
                 "t={time:>7.2}  {task} done @ {node}    {}",
-                if virtual_miss { "(virtual miss)" } else { "(on time)" }
+                if virtual_miss {
+                    "(virtual miss)"
+                } else {
+                    "(on time)"
+                }
             ),
             TraceEvent::Finished { task, time, missed } => println!(
                 "t={time:>7.2}  {task} FINISHED         {}",

@@ -3,8 +3,7 @@
 //! facade.
 
 use sda::core::{
-    Completion, NodeId, ParallelStrategy, SdaStrategy, SerialStrategy, SspInput, TaskRun,
-    TaskSpec,
+    Completion, NodeId, ParallelStrategy, SdaStrategy, SerialStrategy, SspInput, TaskRun, TaskSpec,
 };
 use sda::sched::{Job, Policy, ReadyQueue};
 use sda::sim::dist::{Dist, Exponential};
