@@ -1,21 +1,41 @@
 //! The perf-gate bench for the simulation hot path: end-to-end events/sec
 //! of the full system model in the paper's hardest regime — high
 //! utilization (ρ = 0.9), EDF, non-preemptive — plus a preemptive
-//! variant that exercises completion invalidation.
+//! variant that exercises completion invalidation, and an
+//! *arrival-heavy* scenario (ρ = 0.95, mostly global traffic in deep
+//! serial-parallel pipelines) that stresses the task-generation and
+//! lifecycle path rather than the event loop itself.
 //!
 //! Record the `events_per_sec` throughput numbers in `CHANGES.md` when
-//! touching the event loop; they are the baseline later PRs compare
-//! against.
+//! touching the event loop or the task lifecycle; they are the baseline
+//! later PRs compare against.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 use sda_core::SdaStrategy;
 use sda_system::{run_once, RunConfig, SystemConfig};
+use sda_workload::{GlobalShape, SlackRange};
 
 fn high_load_config(preemptive: bool) -> SystemConfig {
     let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
     cfg.workload.load = 0.9;
     cfg.preemptive = preemptive;
+    cfg
+}
+
+/// The allocation-path stressor: ρ = 0.95 with 75% of the load carried
+/// by global tasks shaped as 4-stage × 3-branch pipelines (12 subtasks
+/// per task), so per-arrival task construction, deadline decomposition
+/// and precedence bookkeeping — not just the event loop — dominate.
+fn arrival_heavy_config() -> SystemConfig {
+    let mut cfg = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+    cfg.workload.load = 0.95;
+    cfg.workload.frac_local = 0.25;
+    cfg.workload.slack = SlackRange::PSP_BASELINE;
+    cfg.workload.shape = GlobalShape::SerialParallel {
+        stages: 4,
+        branches: 3,
+    };
     cfg
 }
 
@@ -46,6 +66,13 @@ fn bench_hot_path(c: &mut Criterion) {
     group.throughput(Throughput::Elements(events_preempt));
     group.bench_function("edf_rho09_preemptive_events_per_sec", |b| {
         b.iter(|| black_box(run(&cfg_preempt)));
+    });
+
+    let cfg_arrivals = arrival_heavy_config();
+    let events_arrivals = run(&cfg_arrivals);
+    group.throughput(Throughput::Elements(events_arrivals));
+    group.bench_function("pipelines_rho095_events_per_sec", |b| {
+        b.iter(|| black_box(run(&cfg_arrivals)));
     });
 
     group.finish();

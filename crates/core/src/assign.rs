@@ -85,9 +85,10 @@ impl std::fmt::Display for SdaStrategy {
     }
 }
 
-/// Opaque reference to a simple subtask inside a [`TaskRun`].
+/// Opaque reference to a simple subtask inside a [`TaskRun`] or
+/// [`FlatRun`](crate::FlatRun).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SubtaskRef(usize);
+pub struct SubtaskRef(pub(crate) usize);
 
 /// A simple subtask ready for submission to its node, with its assigned
 /// virtual deadline.

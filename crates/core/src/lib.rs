@@ -59,6 +59,7 @@
 mod assign;
 mod attr;
 mod error;
+mod flat;
 mod ids;
 mod psp;
 mod spec;
@@ -68,6 +69,7 @@ mod strategy;
 pub use assign::{Completion, SdaStrategy, Submission, SubtaskRef, TaskRun};
 pub use attr::TaskAttributes;
 pub use error::SpecError;
+pub use flat::FlatRun;
 pub use ids::{NodeId, PriorityClass, TaskClass, TaskId};
 pub use psp::{ParallelStrategy, PspInput};
 pub use spec::{SimpleSpec, TaskSpec};

@@ -6,7 +6,7 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-use sda_system::{run_replications, RunConfig, SystemConfig};
+use sda_system::{run_replications_with_threads, RunConfig, SystemConfig};
 
 /// Run-scale options shared by all experiments.
 ///
@@ -312,6 +312,10 @@ impl SweepData {
     }
 
     /// CSV rendering of one metric (for plotting).
+    ///
+    /// A single-replication point has no confidence interval; its
+    /// half-width is `inf`, which most CSV readers reject as a number —
+    /// such cells emit an *empty* half-width field instead.
     pub fn csv(&self, metric: Metric) -> String {
         let mut out = String::new();
         out.push_str(&self.x_label.replace(',', ";"));
@@ -323,7 +327,11 @@ impl SweepData {
             out.push_str(&format!("{x}"));
             for si in 0..self.series_labels.len() {
                 let p = metric.pick(&self.cells[si][xi]);
-                out.push_str(&format!(",{},{}", p.mean, p.half_width));
+                if p.half_width.is_finite() {
+                    out.push_str(&format!(",{},{}", p.mean, p.half_width));
+                } else {
+                    out.push_str(&format!(",{},", p.mean));
+                }
             }
             out.push('\n');
         }
@@ -432,7 +440,11 @@ pub fn run_sweep(
                         .wrapping_add(p.xi as u64),
                     ..base_run
                 };
-                let rep = run_replications(&p.config, &run, opts.reps)
+                // The sweep already saturates the cores with one worker
+                // per point; run the replications serially inside each
+                // worker instead of nesting a second thread pool
+                // (results are thread-count-invariant either way).
+                let rep = run_replications_with_threads(&p.config, &run, opts.reps, 1)
                     .expect("experiment configurations are valid");
                 let cell = CellStats {
                     md_local: PointStat::from_reps(&rep.local_miss_pct),
@@ -523,6 +535,51 @@ mod tests {
         assert!(table.contains("UD"));
         let csv = data.csv(Metric::MdLocal);
         assert!(csv.lines().count() == 3);
+    }
+
+    #[test]
+    fn csv_emits_empty_half_width_for_single_replication() {
+        // One replication → infinite half-width → the CSV cell must be
+        // empty, not "inf" (which numeric CSV readers reject).
+        let cell = CellStats {
+            md_local: PointStat {
+                mean: 12.5,
+                half_width: f64::INFINITY,
+            },
+            md_global: PointStat {
+                mean: 1.0,
+                half_width: 0.5,
+            },
+            subtask_miss: PointStat {
+                mean: 0.0,
+                half_width: f64::INFINITY,
+            },
+            utilization: PointStat {
+                mean: 0.5,
+                half_width: 0.1,
+            },
+            global_response: PointStat {
+                mean: 2.0,
+                half_width: f64::INFINITY,
+            },
+            local_response: PointStat {
+                mean: 1.0,
+                half_width: 0.2,
+            },
+        };
+        let data = SweepData {
+            title: "single-rep".to_string(),
+            x_label: "load".to_string(),
+            xs: vec![0.5],
+            series_labels: vec!["UD".to_string()],
+            cells: vec![vec![cell]],
+        };
+        let csv = data.csv(Metric::MdLocal);
+        assert_eq!(csv, "load,UD,UD_hw\n0.5,12.5,\n");
+        assert!(!csv.contains("inf"));
+        // Finite half-widths still round-trip.
+        let csv = data.csv(Metric::MdGlobal);
+        assert_eq!(csv, "load,UD,UD_hw\n0.5,1,0.5\n");
     }
 
     #[test]

@@ -105,6 +105,15 @@ fn pack_key(class_rank: u8, key: f64, seq: u64) -> u128 {
 /// a [`Job`] slab, under a [`Policy`], serving `Elevated` jobs strictly
 /// before `Normal` ones and breaking ties FIFO.
 ///
+/// Jobs can stay *slab-resident* across their whole node lifetime:
+/// [`ReadyQueue::pop_slot`] hands out the slot index of the next job
+/// without moving the payload, [`ReadyQueue::job_mut`] mutates it in
+/// place (e.g. to burn down remaining service on preemption),
+/// [`ReadyQueue::requeue`] re-enters a checked-out slot under a fresh
+/// FIFO sequence, and [`ReadyQueue::release`] finally vacates the slot.
+/// Dispatch and preemption therefore move indices, not owned `Job`
+/// payloads.
+///
 /// # Examples
 ///
 /// ```
@@ -147,13 +156,18 @@ impl ReadyQueue {
         self.policy
     }
 
-    /// Enqueues a job.
-    pub fn push(&mut self, job: Job) {
+    #[inline]
+    fn heap_key(&self, job: &Job) -> u128 {
         let class_rank = match job.priority {
             PriorityClass::Elevated => 0,
             PriorityClass::Normal => 1,
         };
-        let key = pack_key(class_rank, self.policy.key(&job), self.seq);
+        pack_key(class_rank, self.policy.key(job), self.seq)
+    }
+
+    /// Enqueues a job.
+    pub fn push(&mut self, job: Job) {
+        let key = self.heap_key(&job);
         self.seq += 1;
         let slot = match self.free.pop() {
             Some(slot) => {
@@ -172,12 +186,68 @@ impl ReadyQueue {
 
     /// Removes and returns the next job to serve.
     pub fn pop(&mut self) -> Option<Job> {
+        let slot = self.pop_slot()?;
+        Some(self.release(slot))
+    }
+
+    /// Removes the next heap entry and returns its *slot index*, leaving
+    /// the job slab-resident (checked out: not in the heap, not on the
+    /// free list). The caller later either [`ReadyQueue::release`]s the
+    /// slot or [`ReadyQueue::requeue`]s it.
+    pub fn pop_slot(&mut self) -> Option<u32> {
         let (_, slot) = self.heap.pop()?;
+        debug_assert!(self.slots[slot as usize].is_some());
+        Some(slot)
+    }
+
+    /// The job parked in a checked-out slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn job(&self, slot: u32) -> &Job {
+        self.slots[slot as usize]
+            .as_ref()
+            .expect("job() on a vacant slot")
+    }
+
+    /// Mutable access to a checked-out slot's job — e.g. to burn down
+    /// remaining service before a preemption requeue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn job_mut(&mut self, slot: u32) -> &mut Job {
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("job_mut() on a vacant slot")
+    }
+
+    /// Re-enters a checked-out slot into the heap under a fresh FIFO
+    /// sequence, re-reading the (possibly mutated) job's ordering key.
+    /// Exactly equivalent to popping the job and pushing it back, minus
+    /// the payload round trip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn requeue(&mut self, slot: u32) {
+        let key = self.heap_key(self.job(slot));
+        self.seq += 1;
+        self.heap.push(key, slot);
+    }
+
+    /// Vacates a checked-out slot, returning the job that occupied it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is vacant.
+    pub fn release(&mut self, slot: u32) -> Job {
         let job = self.slots[slot as usize]
             .take()
-            .expect("heap entry pointed at an empty slot");
+            .expect("release() on a vacant slot");
         self.free.push(slot);
-        Some(job)
+        job
     }
 
     /// The job that would be served next, without removing it.
@@ -346,6 +416,55 @@ mod tests {
         assert!(p.beats(&elevated, &early), "class outranks deadline");
         assert_eq!(p.sort_key(&early), 2.0);
         assert_eq!(Policy::MinimumLaxityFirst.sort_key(&early), 1.0);
+    }
+
+    #[test]
+    fn slot_api_keeps_job_resident_across_checkout() {
+        let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        q.push(job(5.0, 2.0));
+        q.push(job(3.0, 1.0));
+        let slot = q.pop_slot().unwrap();
+        assert_eq!(q.job(slot).deadline, 3.0);
+        assert_eq!(q.len(), 1, "checked-out job is not queued");
+        // Mutate in place (preemption burns down remaining service).
+        q.job_mut(slot).service = 0.25;
+        q.requeue(slot);
+        assert_eq!(q.len(), 2);
+        // Still earliest deadline; payload reflects the mutation.
+        let j = q.pop().unwrap();
+        assert_eq!(j.deadline, 3.0);
+        assert_eq!(j.service, 0.25);
+        assert_eq!(q.pop().unwrap().deadline, 5.0);
+    }
+
+    #[test]
+    fn requeue_assigns_fresh_fifo_sequence() {
+        // A requeued job ties with a later push on key → FIFO falls back
+        // to sequence, and the requeue must count as the newest arrival.
+        let mut q = ReadyQueue::new(Policy::EarliestDeadlineFirst);
+        let mut a = job(5.0, 1.0);
+        a.enqueue_time = 0.0;
+        q.push(a);
+        let slot = q.pop_slot().unwrap();
+        let mut b = job(5.0, 1.0);
+        b.enqueue_time = 1.0;
+        q.push(b);
+        q.requeue(slot); // same deadline, newer sequence → behind b
+        let order: Vec<f64> = q.drain_ordered().iter().map(|j| j.enqueue_time).collect();
+        assert_eq!(order, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn slot_release_matches_pop() {
+        let mut q = ReadyQueue::new(Policy::ShortestJobFirst);
+        q.push(job(1.0, 2.0));
+        let slot = q.pop_slot().unwrap();
+        let released = q.release(slot);
+        assert_eq!(released.pex, 2.0);
+        assert!(q.is_empty());
+        // The slot is reusable.
+        q.push(job(2.0, 3.0));
+        assert_eq!(q.pop().unwrap().pex, 3.0);
     }
 
     #[test]

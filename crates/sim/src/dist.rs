@@ -111,9 +111,17 @@ impl Constant {
     }
 }
 
-impl Dist for Constant {
-    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+impl Constant {
+    /// Draws one variate from any RNG without trait-object indirection.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, _rng: &mut R) -> f64 {
         self.0
+    }
+}
+
+impl Dist for Constant {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -166,10 +174,18 @@ impl Uniform {
     }
 }
 
-impl Dist for Uniform {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+impl Uniform {
+    /// Draws one variate from any RNG without trait-object indirection.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen();
         self.lo + (self.hi - self.lo) * u
+    }
+}
+
+impl Dist for Uniform {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -206,11 +222,19 @@ impl Exponential {
     }
 }
 
-impl Dist for Exponential {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+impl Exponential {
+    /// Draws one variate from any RNG without trait-object indirection.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         // Inverse transform: -mean · ln(1 - U), with U ∈ [0, 1).
         let u: f64 = rng.gen();
         -self.mean * (1.0 - u).ln()
+    }
+}
+
+impl Dist for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -249,8 +273,10 @@ impl Erlang {
     }
 }
 
-impl Dist for Erlang {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+impl Erlang {
+    /// Draws one variate from any RNG without trait-object indirection.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         // Product-of-uniforms trick: Σ Exp(m) = -m · ln(Π Uᵢ).
         let mut prod: f64 = 1.0;
         for _ in 0..self.stages {
@@ -258,6 +284,12 @@ impl Dist for Erlang {
             prod *= 1.0 - u;
         }
         -self.stage_mean * prod.ln()
+    }
+}
+
+impl Dist for Erlang {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -291,8 +323,10 @@ impl Hyper2 {
     }
 }
 
-impl Dist for Hyper2 {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+impl Hyper2 {
+    /// Draws one variate from any RNG without trait-object indirection.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         let coin: f64 = rng.gen();
         let mean = if coin < self.p {
             self.mean1
@@ -301,6 +335,12 @@ impl Dist for Hyper2 {
         };
         let u: f64 = rng.gen();
         -mean * (1.0 - u).ln()
+    }
+}
+
+impl Dist for Hyper2 {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -340,13 +380,21 @@ impl LogNormal {
     }
 }
 
-impl Dist for LogNormal {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+impl LogNormal {
+    /// Draws one variate from any RNG without trait-object indirection.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         // Box-Muller; u1 nudged away from 0 to keep ln() finite.
         let u1: f64 = rng.gen::<f64>().max(1e-300);
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (self.mu + self.sigma * z).exp()
+    }
+}
+
+impl Dist for LogNormal {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -388,10 +436,18 @@ impl Pareto {
     }
 }
 
-impl Dist for Pareto {
-    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+impl Pareto {
+    /// Draws one variate from any RNG without trait-object indirection.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen::<f64>().min(1.0 - 1e-16);
         self.xm / (1.0 - u).powf(1.0 / self.alpha)
+    }
+}
+
+impl Dist for Pareto {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
     }
 
     fn mean(&self) -> f64 {
@@ -427,6 +483,84 @@ impl<D: Dist> Dist for Shifted<D> {
 
     fn mean(&self) -> f64 {
         self.base.mean() + self.offset
+    }
+}
+
+/// A closed sum of every in-tree distribution: the devirtualized
+/// counterpart of `Box<dyn Dist>`.
+///
+/// Hot paths that draw millions of variates per run (service times,
+/// interarrival gaps) hold a `Sampler` instead of a boxed trait object so
+/// every draw is a direct, inlinable call — no vtable, no heap
+/// allocation, no `&mut dyn RngCore` indirection. The sampling math is
+/// shared with the concrete types (each variant delegates to its
+/// `sample_with`), so the drawn sequence is bit-identical to the boxed
+/// path.
+///
+/// ```
+/// use sda_sim::dist::{DistSpec, Sampler};
+/// use sda_sim::rng::RngFactory;
+///
+/// let s: Sampler = DistSpec::Exponential { mean: 2.0 }.build_sampler()?;
+/// let mut rng = RngFactory::new(1).stream("svc");
+/// assert!(s.sample_with(&mut rng) >= 0.0);
+/// assert_eq!(s.mean(), 2.0);
+/// # Ok::<(), sda_sim::dist::DistError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Sampler {
+    /// See [`Constant`].
+    Constant(Constant),
+    /// See [`Uniform`].
+    Uniform(Uniform),
+    /// See [`Exponential`].
+    Exponential(Exponential),
+    /// See [`Erlang`].
+    Erlang(Erlang),
+    /// See [`Hyper2`].
+    Hyper2(Hyper2),
+    /// See [`LogNormal`].
+    LogNormal(LogNormal),
+    /// See [`Pareto`].
+    Pareto(Pareto),
+}
+
+impl Sampler {
+    /// Draws one variate via a direct (devirtualized) call.
+    #[inline]
+    pub fn sample_with<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Sampler::Constant(d) => d.sample_with(rng),
+            Sampler::Uniform(d) => d.sample_with(rng),
+            Sampler::Exponential(d) => d.sample_with(rng),
+            Sampler::Erlang(d) => d.sample_with(rng),
+            Sampler::Hyper2(d) => d.sample_with(rng),
+            Sampler::LogNormal(d) => d.sample_with(rng),
+            Sampler::Pareto(d) => d.sample_with(rng),
+        }
+    }
+
+    /// The analytic mean of the wrapped distribution.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Sampler::Constant(d) => d.mean(),
+            Sampler::Uniform(d) => d.mean(),
+            Sampler::Exponential(d) => d.mean(),
+            Sampler::Erlang(d) => d.mean(),
+            Sampler::Hyper2(d) => d.mean(),
+            Sampler::LogNormal(d) => d.mean(),
+            Sampler::Pareto(d) => d.mean(),
+        }
+    }
+}
+
+impl Dist for Sampler {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.sample_with(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        Sampler::mean(self)
     }
 }
 
@@ -499,21 +633,36 @@ impl DistSpec {
     /// Returns [`DistError`] if the parameters are invalid, with the same
     /// rules as the concrete constructors.
     pub fn build(&self) -> Result<Box<dyn Dist + Send + Sync>, DistError> {
+        Ok(Box::new(self.build_sampler()?))
+    }
+
+    /// Builds the devirtualized [`Sampler`] from the description — the
+    /// allocation-free counterpart of [`DistSpec::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DistError`] if the parameters are invalid, with the same
+    /// rules as the concrete constructors.
+    pub fn build_sampler(&self) -> Result<Sampler, DistError> {
         Ok(match *self {
-            DistSpec::Constant { value } => Box::new(Constant::new(value)?),
-            DistSpec::Uniform { lo, hi } => Box::new(Uniform::new(lo, hi)?),
-            DistSpec::Exponential { mean } => Box::new(Exponential::with_mean(mean)?),
-            DistSpec::Erlang { stages, stage_mean } => Box::new(Erlang::new(stages, stage_mean)?),
-            DistSpec::Hyper2 { p, mean1, mean2 } => Box::new(Hyper2::new(p, mean1, mean2)?),
-            DistSpec::LogNormal { mean, cv2 } => Box::new(LogNormal::with_mean_cv2(mean, cv2)?),
-            DistSpec::Pareto { mean, alpha } => Box::new(Pareto::with_mean(mean, alpha)?),
+            DistSpec::Constant { value } => Sampler::Constant(Constant::new(value)?),
+            DistSpec::Uniform { lo, hi } => Sampler::Uniform(Uniform::new(lo, hi)?),
+            DistSpec::Exponential { mean } => Sampler::Exponential(Exponential::with_mean(mean)?),
+            DistSpec::Erlang { stages, stage_mean } => {
+                Sampler::Erlang(Erlang::new(stages, stage_mean)?)
+            }
+            DistSpec::Hyper2 { p, mean1, mean2 } => Sampler::Hyper2(Hyper2::new(p, mean1, mean2)?),
+            DistSpec::LogNormal { mean, cv2 } => {
+                Sampler::LogNormal(LogNormal::with_mean_cv2(mean, cv2)?)
+            }
+            DistSpec::Pareto { mean, alpha } => Sampler::Pareto(Pareto::with_mean(mean, alpha)?),
         })
     }
 
     /// Analytic mean of the described distribution, if the parameters are
     /// valid.
     pub fn mean(&self) -> Result<f64, DistError> {
-        Ok(self.build()?.mean())
+        Ok(self.build_sampler()?.mean())
     }
 }
 
@@ -699,6 +848,44 @@ mod tests {
         }
         .build()
         .is_err());
+    }
+
+    #[test]
+    fn sampler_enum_matches_boxed_draw_sequence_bit_exactly() {
+        let specs = [
+            DistSpec::Constant { value: 1.5 },
+            DistSpec::Uniform { lo: 0.25, hi: 2.5 },
+            DistSpec::Exponential { mean: 1.0 },
+            DistSpec::Erlang {
+                stages: 3,
+                stage_mean: 0.5,
+            },
+            DistSpec::Hyper2 {
+                p: 0.3,
+                mean1: 1.0,
+                mean2: 5.0,
+            },
+            DistSpec::LogNormal {
+                mean: 2.0,
+                cv2: 4.0,
+            },
+            DistSpec::Pareto {
+                mean: 1.0,
+                alpha: 2.5,
+            },
+        ];
+        for spec in specs {
+            let boxed = spec.build().unwrap();
+            let direct = spec.build_sampler().unwrap();
+            let mut r1 = rng();
+            let mut r2 = rng();
+            for _ in 0..1000 {
+                let a = boxed.sample(&mut r1);
+                let b = direct.sample_with(&mut r2);
+                assert_eq!(a.to_bits(), b.to_bits(), "{spec:?}");
+            }
+            assert_eq!(boxed.mean().to_bits(), direct.mean().to_bits());
+        }
     }
 
     #[test]

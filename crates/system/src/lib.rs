@@ -51,4 +51,7 @@ pub use config::{OverloadPolicy, SystemConfig};
 pub use metrics::{ClassMetrics, Metrics};
 pub use model::{Event, SystemModel, TraceEvent};
 pub use node::Node;
-pub use runner::{run_once, run_replications, ReplicatedResult, RunConfig, RunResult};
+pub use runner::{
+    run_once, run_replications, run_replications_with_threads, ReplicatedResult, RunConfig,
+    RunResult,
+};

@@ -1,9 +1,15 @@
 //! The executable system model: events, arrivals, dispatching,
 //! precedence enforcement.
+//!
+//! The steady-state loop is allocation-free: global tasks live in a
+//! generation-stamped slab of pooled [`FlatRun`]s (no per-arrival
+//! `TaskSpec`/`TaskRun` allocation, no `HashMap` lookups — a [`TaskId`]
+//! carries its slot index, so submit/complete/abort are O(1) array
+//! indexing), submissions and admission discards go through reusable
+//! buffers, and jobs stay resident in each node's queue slab across
+//! dispatch and preemption.
 
-use std::collections::HashMap;
-
-use sda_core::{Completion, NodeId, TaskId, TaskRun};
+use sda_core::{FlatRun, NodeId, Submission, TaskId};
 use sda_sched::{Job, JobOrigin};
 use sda_sim::rng::RngFactory;
 use sda_sim::{Context, Simulation};
@@ -98,17 +104,33 @@ pub enum TraceEvent {
     },
 }
 
-/// One in-flight global task tracked by the process manager.
-#[derive(Debug)]
-struct InFlight {
-    run: TaskRun,
-    arrival: f64,
-    deadline: f64,
+/// One slot of the process manager's task slab.
+///
+/// A vacated slot keeps its [`FlatRun`] (and the run keeps its vector
+/// capacity), so recycling a slot for the next arriving task allocates
+/// nothing. The generation stamp makes stale [`TaskId`]s miss cleanly:
+/// a task id packs `(generation, slot)`, and every release bumps the
+/// slot's generation.
+#[derive(Debug, Default)]
+struct TaskSlot {
+    /// Bumped on every release; a [`TaskId`] carrying an older
+    /// generation no longer resolves to this slot.
+    gen: u32,
+    /// Whether the slot currently holds an in-flight task.
+    live: bool,
+    /// The pooled runtime state (retains capacity across reuse).
+    run: FlatRun,
     /// Set under the firm-deadline policy when any subtask is discarded;
     /// the task is finished as missed and submits nothing further.
     aborted: bool,
     /// Jobs of this task currently queued or in service anywhere.
-    outstanding: usize,
+    outstanding: u32,
+}
+
+/// Packs a slab position into a [`TaskId`]: generation above, slot below.
+#[inline]
+fn global_task_id(gen: u32, slot: u32) -> TaskId {
+    TaskId::new((u64::from(gen) << 32) | u64::from(slot))
 }
 
 /// The distributed system of paper §3.2 as a discrete-event model:
@@ -122,8 +144,20 @@ pub struct SystemModel {
     config: SystemConfig,
     factory: TaskFactory,
     nodes: Vec<Node>,
-    tasks: HashMap<u64, InFlight>,
-    next_task_id: u64,
+    /// Generation-stamped slab of in-flight global tasks; [`TaskId`]s
+    /// index it directly.
+    tasks: Vec<TaskSlot>,
+    /// Vacant slab slots available for reuse.
+    task_free: Vec<u32>,
+    /// Number of live slots in `tasks`.
+    in_flight: usize,
+    /// Id counter for local tasks (globals get slab-derived ids).
+    next_local_id: u64,
+    /// Reusable submission buffer (arrival waves and completion
+    /// follow-ups; uses never nest).
+    sub_buf: Vec<Submission>,
+    /// Reusable buffer for admission-policy discards.
+    discard_buf: Vec<Job>,
     metrics: Metrics,
     /// How many more global tasks may start tracing.
     trace_budget: u64,
@@ -148,8 +182,12 @@ impl SystemModel {
             config,
             factory,
             nodes,
-            tasks: HashMap::new(),
-            next_task_id: 0,
+            tasks: Vec::new(),
+            task_free: Vec::new(),
+            in_flight: 0,
+            next_local_id: 0,
+            sub_buf: Vec::new(),
+            discard_buf: Vec::new(),
             metrics: Metrics::new(),
             trace_budget: 0,
             trace_ids: std::collections::HashSet::new(),
@@ -191,13 +229,59 @@ impl SystemModel {
 
     /// Number of global tasks currently in flight.
     pub fn tasks_in_flight(&self) -> usize {
-        self.tasks.len()
+        self.in_flight
     }
 
-    fn fresh_task_id(&mut self) -> TaskId {
-        let id = TaskId::new(self.next_task_id);
-        self.next_task_id += 1;
+    fn fresh_local_id(&mut self) -> TaskId {
+        let id = TaskId::new(self.next_local_id);
+        self.next_local_id += 1;
         id
+    }
+
+    /// Claims a (possibly recycled) task slot; its `FlatRun` keeps
+    /// whatever capacity earlier occupants grew.
+    fn acquire_task_slot(&mut self) -> u32 {
+        let slot = match self.task_free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.tasks.len())
+                    .expect("more than u32::MAX in-flight global tasks");
+                self.tasks.push(TaskSlot::default());
+                slot
+            }
+        };
+        let entry = &mut self.tasks[slot as usize];
+        debug_assert!(!entry.live, "free list pointed at a live slot");
+        entry.live = true;
+        entry.aborted = false;
+        entry.outstanding = 0;
+        self.in_flight += 1;
+        slot
+    }
+
+    /// Vacates a slot: bumps its generation (invalidating outstanding
+    /// ids) and returns it to the free list. The `FlatRun` stays put for
+    /// the next occupant.
+    fn release_task_slot(&mut self, slot: usize) {
+        let entry = &mut self.tasks[slot];
+        debug_assert!(entry.live, "double release of a task slot");
+        entry.live = false;
+        entry.gen = entry.gen.wrapping_add(1);
+        self.task_free.push(slot as u32);
+        self.in_flight -= 1;
+    }
+
+    /// Resolves a global [`TaskId`] to its live slab slot, `None` if the
+    /// task has already finished or aborted (stale id).
+    #[inline]
+    fn lookup_task(&self, id: TaskId) -> Option<usize> {
+        let raw = id.raw();
+        let slot = (raw & u64::from(u32::MAX)) as usize;
+        let gen = (raw >> 32) as u32;
+        match self.tasks.get(slot) {
+            Some(entry) if entry.live && entry.gen == gen => Some(slot),
+            _ => None,
+        }
     }
 
     fn schedule_next_local(&mut self, ctx: &mut Context<Event>, node: NodeId) {
@@ -215,7 +299,7 @@ impl SystemModel {
     fn handle_local_arrival(&mut self, ctx: &mut Context<Event>, node: NodeId) {
         let now = ctx.now().as_f64();
         let task = self.factory.make_local(node, now);
-        let id = self.fresh_task_id();
+        let id = self.fresh_local_id();
         let job = Job::local(id, now, task.attrs.ex, task.attrs.deadline);
         self.nodes[node.index()].enqueue(ctx.now(), job);
         self.schedule_next_local(ctx, node);
@@ -224,49 +308,37 @@ impl SystemModel {
 
     fn handle_global_arrival(&mut self, ctx: &mut Context<Event>) {
         let now = ctx.now().as_f64();
-        let global = self.factory.make_global(now);
-        let id = self.fresh_task_id();
-        let mut run = TaskRun::new(&global.spec, global.arrival, global.deadline)
-            .expect("factory produces valid specs");
+        let slot = self.acquire_task_slot();
+        self.factory
+            .make_global_flat(now, &mut self.tasks[slot as usize].run);
+        let id = global_task_id(self.tasks[slot as usize].gen, slot);
         if self.trace_budget > 0 {
             self.trace_budget -= 1;
             self.trace_ids.insert(id.raw());
             self.trace.push(TraceEvent::Arrival {
                 task: id,
                 time: now,
-                deadline: global.deadline,
+                deadline: self.tasks[slot as usize].run.global_deadline(),
             });
         }
-        let submissions = run.start(&self.config.strategy, now);
-        let outstanding = submissions.len();
-        self.tasks.insert(
-            id.raw(),
-            InFlight {
-                run,
-                arrival: global.arrival,
-                deadline: global.deadline,
-                aborted: false,
-                outstanding,
-            },
-        );
-        let affected = self.submit(ctx, id, &submissions);
+        self.sub_buf.clear();
+        let entry = &mut self.tasks[slot as usize];
+        entry
+            .run
+            .start(&self.config.strategy, now, &mut self.sub_buf);
+        entry.outstanding = self.sub_buf.len() as u32;
+        self.submit_buffered(ctx, id);
         self.schedule_next_global(ctx);
-        for node in affected {
-            self.dispatch(ctx, node);
-        }
+        self.dispatch_buffered(ctx);
     }
 
-    /// Enqueues submissions as jobs; returns the affected nodes (for
-    /// dispatching after the task bookkeeping is consistent).
-    fn submit(
-        &mut self,
-        ctx: &mut Context<Event>,
-        task: TaskId,
-        submissions: &[sda_core::Submission],
-    ) -> Vec<NodeId> {
+    /// Enqueues the submissions waiting in `sub_buf` as jobs of `task`
+    /// (the buffer is left intact for [`SystemModel::dispatch_buffered`]).
+    fn submit_buffered(&mut self, ctx: &mut Context<Event>, task: TaskId) {
         let now = ctx.now().as_f64();
-        let mut affected = Vec::with_capacity(submissions.len());
-        for sub in submissions {
+        let traced = self.traced(task);
+        for i in 0..self.sub_buf.len() {
+            let sub = self.sub_buf[i];
             let job = Job::global(
                 task,
                 sub.subtask,
@@ -277,7 +349,7 @@ impl SystemModel {
                 sub.priority,
             );
             self.nodes[sub.node.index()].enqueue(ctx.now(), job);
-            if self.traced(task) {
+            if traced {
                 self.trace.push(TraceEvent::Submitted {
                     task,
                     time: now,
@@ -285,9 +357,17 @@ impl SystemModel {
                     deadline: sub.deadline,
                 });
             }
-            affected.push(sub.node);
         }
-        affected
+    }
+
+    /// Dispatches each node touched by the submissions in `sub_buf`, in
+    /// submission order — the same order the old collect-then-dispatch
+    /// path used, without the affected-node vector.
+    fn dispatch_buffered(&mut self, ctx: &mut Context<Event>) {
+        for i in 0..self.sub_buf.len() {
+            let node = self.sub_buf[i].node;
+            self.dispatch(ctx, node);
+        }
     }
 
     fn handle_service_complete(&mut self, ctx: &mut Context<Event>, node: NodeId, epoch: u64) {
@@ -320,37 +400,38 @@ impl SystemModel {
                         virtual_miss: now > job.deadline,
                     });
                 }
-                let Some(inflight) = self.tasks.get_mut(&task.raw()) else {
+                let Some(slot) = self.lookup_task(task) else {
                     debug_assert!(false, "completion for unknown task {task}");
                     return;
                 };
-                inflight.outstanding -= 1;
-                if inflight.aborted {
-                    if inflight.outstanding == 0 {
-                        self.tasks.remove(&task.raw());
+                let entry = &mut self.tasks[slot];
+                entry.outstanding -= 1;
+                if entry.aborted {
+                    if entry.outstanding == 0 {
+                        self.release_task_slot(slot);
                     }
                     return;
                 }
-                match inflight.run.complete(subtask, &self.config.strategy, now) {
-                    Completion::Submitted(subs) => {
-                        inflight.outstanding += subs.len();
-                        let affected = self.submit(ctx, task, &subs);
-                        for n in affected {
-                            self.dispatch(ctx, n);
-                        }
+                self.sub_buf.clear();
+                let finished =
+                    entry
+                        .run
+                        .complete(subtask, &self.config.strategy, now, &mut self.sub_buf);
+                if finished {
+                    let (arrival, deadline) = (entry.run.arrival(), entry.run.global_deadline());
+                    self.metrics.global.record(arrival, deadline, now);
+                    self.release_task_slot(slot);
+                    if self.traced(task) {
+                        self.trace.push(TraceEvent::Finished {
+                            task,
+                            time: now,
+                            missed: now > deadline,
+                        });
                     }
-                    Completion::Finished => {
-                        let (arrival, deadline) = (inflight.arrival, inflight.deadline);
-                        self.metrics.global.record(arrival, deadline, now);
-                        self.tasks.remove(&task.raw());
-                        if self.traced(task) {
-                            self.trace.push(TraceEvent::Finished {
-                                task,
-                                time: now,
-                                missed: now > deadline,
-                            });
-                        }
-                    }
+                } else {
+                    entry.outstanding += self.sub_buf.len() as u32;
+                    self.submit_buffered(ctx, task);
+                    self.dispatch_buffered(ctx);
                 }
             }
         }
@@ -365,20 +446,22 @@ impl SystemModel {
             JobOrigin::Global { task, .. } => {
                 self.metrics.subtask_virtual_miss.record(true);
                 let traced = self.traced(task);
-                let Some(inflight) = self.tasks.get_mut(&task.raw()) else {
+                let Some(slot) = self.lookup_task(task) else {
                     return;
                 };
-                inflight.outstanding -= 1;
-                if !inflight.aborted {
-                    inflight.aborted = true;
+                let entry = &mut self.tasks[slot];
+                entry.outstanding -= 1;
+                let outstanding = entry.outstanding;
+                if !entry.aborted {
+                    entry.aborted = true;
                     self.metrics.global.record_aborted();
                     self.metrics.aborted_globals += 1;
                     if traced {
                         self.trace.push(TraceEvent::Aborted { task, time: now });
                     }
                 }
-                if inflight.outstanding == 0 {
-                    self.tasks.remove(&task.raw());
+                if outstanding == 0 {
+                    self.release_task_slot(slot);
                 }
             }
         }
@@ -387,21 +470,26 @@ impl SystemModel {
     /// Starts the next job at `node` if the server is idle, applying the
     /// overload policy, and schedules its completion. In preemptive mode
     /// a busy server is first preempted when the queue head outranks the
-    /// running job; the preempted job's completion event stays in the
-    /// event list and is invalidated by the epoch check instead of being
+    /// running job; the preempted job stays resident in the node's job
+    /// slab (only its slot index re-enters the heap) and its completion
+    /// event is invalidated by the epoch check instead of being
     /// cancelled.
     fn dispatch(&mut self, ctx: &mut Context<Event>, node: NodeId) {
         if self.config.preemptive && self.nodes[node.index()].should_preempt() {
-            let job = self.nodes[node.index()].preempt(ctx.now());
-            self.nodes[node.index()].enqueue(ctx.now(), job);
+            self.nodes[node.index()].preempt_requeue(ctx.now());
         }
         let started = match self.config.overload {
             OverloadPolicy::NoAbort => self.nodes[node.index()].try_start(ctx.now()),
             OverloadPolicy::AbortTardy => {
                 let now = ctx.now().as_f64();
-                let (started, discarded) = self.nodes[node.index()]
-                    .try_start_with_admission(ctx.now(), |j| !j.is_tardy(now));
-                for j in discarded {
+                self.discard_buf.clear();
+                let started = self.nodes[node.index()].try_start_with_admission(
+                    ctx.now(),
+                    |j| !j.is_tardy(now),
+                    &mut self.discard_buf,
+                );
+                for i in 0..self.discard_buf.len() {
+                    let j = self.discard_buf[i];
                     self.on_job_discarded(now, j);
                 }
                 started

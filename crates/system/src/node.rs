@@ -15,9 +15,11 @@ use sda_sched::{Job, Policy, ReadyQueue};
 use sda_sim::stats::TimeWeighted;
 use sda_sim::SimTime;
 
+/// The in-service job stays resident in the ready queue's job slab; the
+/// node only tracks which slot it occupies and when it started.
 #[derive(Debug)]
 struct InService {
-    job: Job,
+    slot: u32,
     started: SimTime,
 }
 
@@ -64,7 +66,7 @@ impl Node {
 
     /// The job in service, if any.
     pub fn current(&self) -> Option<&Job> {
-        self.in_service.as_ref().map(|s| &s.job)
+        self.in_service.as_ref().map(|s| self.queue.job(s.slot))
     }
 
     /// Times a job was preempted at this node since the last reset.
@@ -92,7 +94,7 @@ impl Node {
     /// server would switch now.
     pub fn should_preempt(&self) -> bool {
         match (self.in_service.as_ref(), self.queue.peek()) {
-            (Some(cur), Some(head)) => self.queue.policy().beats(head, &cur.job),
+            (Some(cur), Some(head)) => self.queue.policy().beats(head, self.queue.job(cur.slot)),
             _ => false,
         }
     }
@@ -103,17 +105,43 @@ impl Node {
     /// for this job is *not* cancelled — it carries the now-stale epoch
     /// and will be ignored when it fires.
     ///
+    /// Prefer [`Node::preempt_requeue`] on the hot path: it puts the job
+    /// straight back into the ready queue without moving the payload.
+    ///
     /// # Panics
     ///
     /// Panics if the server is idle.
     pub fn preempt(&mut self, now: SimTime) -> Job {
-        let mut cur = self.in_service.take().expect("preempt on an idle server");
+        let cur = self.in_service.take().expect("preempt on an idle server");
         let elapsed = now - cur.started;
-        cur.job.service = (cur.job.service - elapsed).max(0.0);
-        cur.job.pex = (cur.job.pex - elapsed).max(0.0);
+        let job = self.queue.job_mut(cur.slot);
+        job.service = (job.service - elapsed).max(0.0);
+        job.pex = (job.pex - elapsed).max(0.0);
         self.utilization.update(now, 0.0);
         self.preemptions += 1;
-        cur.job
+        self.queue.release(cur.slot)
+    }
+
+    /// Preempts the in-service job at `now` and re-enqueues it in place:
+    /// remaining service and prediction are burned down inside the job
+    /// slab, and only the slot index re-enters the heap (with a fresh
+    /// FIFO sequence, exactly as a pop-adjust-push round trip would get).
+    /// Equivalent to `let j = preempt(now); enqueue(now, j);` without
+    /// moving the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is idle.
+    pub fn preempt_requeue(&mut self, now: SimTime) {
+        let cur = self.in_service.take().expect("preempt on an idle server");
+        let elapsed = now - cur.started;
+        let job = self.queue.job_mut(cur.slot);
+        job.service = (job.service - elapsed).max(0.0);
+        job.pex = (job.pex - elapsed).max(0.0);
+        self.utilization.update(now, 0.0);
+        self.preemptions += 1;
+        self.queue.requeue(cur.slot);
+        self.queue_length.update(now, self.queue.len() as f64);
     }
 
     /// Queued jobs (not counting the one in service).
@@ -132,50 +160,54 @@ impl Node {
         self.queue_length.update(now, self.queue.len() as f64);
     }
 
-    fn start(&mut self, now: SimTime, job: Job) {
+    fn start(&mut self, now: SimTime, slot: u32) {
         self.queue_length.update(now, self.queue.len() as f64);
         self.utilization.update(now, 1.0);
         self.service_epoch += 1;
-        self.in_service = Some(InService { job, started: now });
+        self.in_service = Some(InService { slot, started: now });
     }
 
     /// If the server is idle, pops the next job (per the discipline) and
-    /// marks the server busy. Returns a copy of the started job so the
-    /// caller can schedule its completion (stamped with the new
-    /// [`Node::service_epoch`]). Does nothing when busy or empty.
+    /// marks the server busy; the job itself stays resident in the queue
+    /// slab. Returns a copy of the started job so the caller can schedule
+    /// its completion (stamped with the new [`Node::service_epoch`]).
+    /// Does nothing when busy or empty.
     pub fn try_start(&mut self, now: SimTime) -> Option<Job> {
         if self.in_service.is_some() {
             return None;
         }
-        let job = self.queue.pop()?;
-        self.start(now, job);
-        Some(job)
+        let slot = self.queue.pop_slot()?;
+        self.start(now, slot);
+        Some(*self.queue.job(slot))
     }
 
     /// Like [`Node::try_start`] but discards queued jobs failing
     /// `admit` (the firm-deadline overload policy) instead of serving
-    /// them; discarded jobs are returned in the second slot.
+    /// them; discarded jobs are appended to the caller-provided
+    /// `discarded` buffer (not cleared first), so the hot path reuses
+    /// one buffer instead of allocating per dispatch.
     pub fn try_start_with_admission(
         &mut self,
         now: SimTime,
         mut admit: impl FnMut(&Job) -> bool,
-    ) -> (Option<Job>, Vec<Job>) {
+        discarded: &mut Vec<Job>,
+    ) -> Option<Job> {
         if self.in_service.is_some() {
-            return (None, Vec::new());
+            return None;
         }
-        let mut discarded = Vec::new();
-        while let Some(job) = self.queue.pop() {
-            if admit(&job) {
-                self.start(now, job);
-                return (Some(job), discarded);
+        while let Some(slot) = self.queue.pop_slot() {
+            if admit(self.queue.job(slot)) {
+                self.start(now, slot);
+                return Some(*self.queue.job(slot));
             }
-            discarded.push(job);
+            discarded.push(self.queue.release(slot));
         }
         self.queue_length.update(now, self.queue.len() as f64);
-        (None, discarded)
+        None
     }
 
-    /// Marks the in-service job finished at `now`, returning it.
+    /// Marks the in-service job finished at `now`, vacating its slab slot
+    /// and returning it.
     ///
     /// # Panics
     ///
@@ -189,7 +221,7 @@ impl Node {
             .expect("finish_service on an idle server");
         self.utilization.update(now, 0.0);
         self.served += 1;
-        cur.job
+        self.queue.release(cur.slot)
     }
 
     /// Time-average server utilization since the last reset.
@@ -257,7 +289,9 @@ mod tests {
         n.enqueue(t(0.0), job(2.0, 1.0)); // also tardy
         n.enqueue(t(0.0), job(9.0, 1.0)); // fine
         let now = t(5.0);
-        let (started, discarded) = n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
+        let mut discarded = Vec::new();
+        let started =
+            n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()), &mut discarded);
         assert_eq!(started.unwrap().deadline, 9.0);
         assert_eq!(discarded.len(), 2);
         assert_eq!(n.queue_len(), 0);
@@ -268,7 +302,9 @@ mod tests {
         let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
         n.enqueue(t(0.0), job(1.0, 1.0));
         let now = t(5.0);
-        let (started, discarded) = n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()));
+        let mut discarded = Vec::new();
+        let started =
+            n.try_start_with_admission(now, |j| !j.is_tardy(now.as_f64()), &mut discarded);
         assert!(started.is_none());
         assert_eq!(discarded.len(), 1);
         assert!(!n.is_busy());
@@ -294,6 +330,38 @@ mod tests {
         // Re-enqueue and continue: tighter job runs first.
         n.enqueue(t(1.0), preempted);
         assert_eq!(n.try_start(t(1.0)).unwrap().deadline, 3.0);
+    }
+
+    #[test]
+    fn preempt_requeue_equals_preempt_plus_enqueue() {
+        let drive = |requeue_in_place: bool| {
+            let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+            n.enqueue(t(0.0), job(9.0, 4.0));
+            n.try_start(t(0.0));
+            n.enqueue(t(1.0), job(3.0, 1.0));
+            if requeue_in_place {
+                n.preempt_requeue(t(1.0));
+            } else {
+                let j = n.preempt(t(1.0));
+                n.enqueue(t(1.0), j);
+            }
+            // The tighter job starts; the preempted one follows with its
+            // remaining 3 units of service.
+            let first = n.try_start(t(1.0)).unwrap();
+            n.finish_service(t(2.0));
+            let second = n.try_start(t(2.0)).unwrap();
+            (
+                first.deadline,
+                second.deadline,
+                second.service,
+                n.preemptions(),
+                n.utilization(t(2.0)).to_bits(),
+                n.mean_queue_length(t(2.0)).to_bits(),
+            )
+        };
+        assert_eq!(drive(true), drive(false));
+        let got = drive(true);
+        assert_eq!((got.0, got.1, got.2, got.3), (3.0, 9.0, 3.0, 1));
     }
 
     #[test]

@@ -153,7 +153,13 @@ impl ReplicatedResult {
 }
 
 /// Runs `replications` independent runs, deriving per-replication seeds
-/// from `base.seed`.
+/// from `base.seed`, in parallel across the machine's cores.
+///
+/// Equivalent to [`run_replications_with_threads`] with `threads = 0`
+/// (one worker per available core, capped at the replication count).
+/// Results are bit-identical regardless of worker count: each
+/// replication's seed lineage depends only on its index, and results
+/// are folded in index order.
 ///
 /// # Errors
 ///
@@ -163,6 +169,72 @@ pub fn run_replications(
     base: &RunConfig,
     replications: usize,
 ) -> Result<ReplicatedResult, ConfigError> {
+    run_replications_with_threads(config, base, replications, 0)
+}
+
+/// The per-replication seed: a pure function of the base seed and the
+/// replication index, so execution order and thread count cannot change
+/// any run's random streams.
+fn replication_seed(base_seed: u64, index: usize) -> u64 {
+    RngFactory::new(base_seed)
+        .subfactory(index as u64)
+        .master_seed()
+}
+
+/// [`run_replications`] with an explicit worker count (`0` = all cores).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for invalid workload parameters.
+pub fn run_replications_with_threads(
+    config: &SystemConfig,
+    base: &RunConfig,
+    replications: usize,
+    threads: usize,
+) -> Result<ReplicatedResult, ConfigError> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .clamp(1, replications.max(1));
+
+    let mut runs: Vec<Option<Result<RunResult, ConfigError>>> = Vec::new();
+    if workers <= 1 || replications <= 1 {
+        for r in 0..replications {
+            let run_cfg = RunConfig {
+                seed: replication_seed(base.seed, r),
+                ..*base
+            };
+            runs.push(Some(run_once(config, &run_cfg)));
+        }
+    } else {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+        let results: Mutex<Vec<Option<Result<RunResult, ConfigError>>>> =
+            Mutex::new((0..replications).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let r = next.fetch_add(1, Ordering::Relaxed);
+                    if r >= replications {
+                        break;
+                    }
+                    let run_cfg = RunConfig {
+                        seed: replication_seed(base.seed, r),
+                        ..*base
+                    };
+                    let run = run_once(config, &run_cfg);
+                    results.lock().expect("no poisoned lock")[r] = Some(run);
+                });
+            }
+        });
+        runs = results.into_inner().expect("no poisoned lock");
+    }
+
     let mut result = ReplicatedResult {
         local_miss_pct: Replications::new(),
         global_miss_pct: Replications::new(),
@@ -172,12 +244,10 @@ pub fn run_replications(
         utilization: Replications::new(),
         runs: Vec::with_capacity(replications),
     };
-    for r in 0..replications {
-        let seed = RngFactory::new(base.seed)
-            .subfactory(r as u64)
-            .master_seed();
-        let run_cfg = RunConfig { seed, ..*base };
-        let run = run_once(config, &run_cfg)?;
+    // Fold in replication-index order so the aggregate statistics are
+    // independent of completion order.
+    for run in runs {
+        let run = run.expect("every replication computed")?;
         result.local_miss_pct.add(run.metrics.local.miss_percent());
         result
             .global_miss_pct
@@ -225,6 +295,27 @@ mod tests {
         let vals = a.global_miss_pct.values();
         assert!(vals.windows(2).any(|w| w[0] != w[1]), "{vals:?}");
         assert!(a.global_miss_pct.confidence_interval().is_some());
+    }
+
+    #[test]
+    fn replications_are_deterministic_across_thread_counts() {
+        // Mirrors the experiment harness's
+        // `sweep_is_deterministic_across_thread_counts`: worker count
+        // must not change any statistic bit.
+        let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        let base = RunConfig {
+            warmup: 200.0,
+            duration: 2_500.0,
+            seed: 11,
+        };
+        let serial = run_replications_with_threads(&cfg, &base, 4, 1).unwrap();
+        let par2 = run_replications_with_threads(&cfg, &base, 4, 2).unwrap();
+        let par4 = run_replications_with_threads(&cfg, &base, 4, 4).unwrap();
+        assert_eq!(serial, par2, "1 vs 2 workers");
+        assert_eq!(serial, par4, "1 vs 4 workers");
+        // And the default (all cores) matches too.
+        let auto = run_replications(&cfg, &base, 4).unwrap();
+        assert_eq!(serial, auto, "1 worker vs default");
     }
 
     #[test]

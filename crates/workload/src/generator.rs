@@ -3,8 +3,8 @@
 
 use rand::Rng;
 
-use sda_core::{NodeId, TaskAttributes, TaskSpec};
-use sda_sim::dist::{Dist, Exponential, Uniform};
+use sda_core::{FlatRun, NodeId, TaskAttributes, TaskSpec};
+use sda_sim::dist::{Exponential, Sampler, Uniform};
 use sda_sim::rng::{RngFactory, Stream};
 
 use crate::config::{ConfigError, DerivedRates, WorkloadConfig};
@@ -41,12 +41,18 @@ impl GlobalTask {
 
 /// Generates the paper's workload deterministically from named RNG
 /// streams. See the [crate docs](crate) for the model and an example.
+///
+/// All samplers are closed [`Sampler`] enums (no `Box<dyn Dist>`), the
+/// per-stream interarrival exponentials are precomputed, and
+/// [`TaskFactory::make_global_flat`] fills a recycled
+/// [`FlatRun`] — so steady-state task generation performs zero heap
+/// allocations and no virtual dispatch.
 #[derive(Debug)]
 pub struct TaskFactory {
     cfg: WorkloadConfig,
     rates: DerivedRates,
-    local_ex: Box<dyn Dist + Send + Sync>,
-    subtask_ex: Box<dyn Dist + Send + Sync>,
+    local_ex: Sampler,
+    subtask_ex: Sampler,
     slack: Uniform,
     // One arrival stream per node keeps the per-node Poisson processes
     // independent of each other and of everything else.
@@ -61,6 +67,12 @@ pub struct TaskFactory {
     shape_draw: Stream,
     /// Per-node local arrival rates (sums to `k · λ_local_per_node`).
     node_rates: Vec<f64>,
+    /// Interarrival samplers derived from `node_rates` (`None` at rate 0).
+    local_arrival_exp: Vec<Option<Exponential>>,
+    /// Interarrival sampler of the global stream (`None` at rate 0).
+    global_arrival_exp: Option<Exponential>,
+    /// Fisher-Yates scratch for distinct-node draws (reused per stage).
+    node_scratch: Vec<u32>,
 }
 
 impl TaskFactory {
@@ -73,22 +85,28 @@ impl TaskFactory {
         let rates = cfg.rates()?;
         let local_ex = cfg
             .service
-            .build(cfg.mean_local_ex)
+            .build_sampler(cfg.mean_local_ex)
             .expect("validated shape");
         let subtask_ex = cfg
             .service
-            .build(cfg.mean_subtask_ex)
+            .build_sampler(cfg.mean_subtask_ex)
             .expect("validated shape");
         let slack = Uniform::new(cfg.slack.min, cfg.slack.max).expect("validated range");
 
         let total_local_rate = rates.lambda_local_per_node * cfg.nodes as f64;
-        let node_rates = match &cfg.local_weights {
+        let node_rates: Vec<f64> = match &cfg.local_weights {
             None => vec![rates.lambda_local_per_node; cfg.nodes],
             Some(w) => {
                 let sum: f64 = w.iter().sum();
                 w.iter().map(|wi| total_local_rate * wi / sum).collect()
             }
         };
+        let local_arrival_exp = node_rates
+            .iter()
+            .map(|&rate| (rate > 0.0).then(|| Exponential::with_rate(rate).expect("positive rate")))
+            .collect();
+        let global_arrival_exp = (rates.lambda_global > 0.0)
+            .then(|| Exponential::with_rate(rates.lambda_global).expect("positive rate"));
 
         let local_arrivals = (0..cfg.nodes)
             .map(|i| rng.stream_indexed("workload.local.arrival", i))
@@ -109,6 +127,9 @@ impl TaskFactory {
             pex_noise: rng.stream("workload.pex"),
             shape_draw: rng.stream("workload.shape"),
             node_rates,
+            local_arrival_exp,
+            global_arrival_exp,
+            node_scratch: Vec::with_capacity(cfg.nodes),
             cfg,
         })
     }
@@ -123,31 +144,30 @@ impl TaskFactory {
         self.rates
     }
 
+    /// Per-node local arrival rates (sums to `k · λ_local_per_node`;
+    /// shifted by [`WorkloadConfig::local_weights`] when set).
+    pub fn node_rates(&self) -> &[f64] {
+        &self.node_rates
+    }
+
     /// Draws the next interarrival gap of `node`'s local Poisson stream;
     /// `None` if that node generates no local tasks (rate 0).
     pub fn next_local_interarrival(&mut self, node: NodeId) -> Option<f64> {
-        let rate = self.node_rates[node.index()];
-        if rate <= 0.0 {
-            return None;
-        }
-        let exp = Exponential::with_rate(rate).expect("positive rate");
-        Some(exp.sample(&mut self.local_arrivals[node.index()]))
+        let exp = self.local_arrival_exp[node.index()].as_ref()?;
+        Some(exp.sample_with(&mut self.local_arrivals[node.index()]))
     }
 
     /// Draws the next interarrival gap of the global Poisson stream;
     /// `None` if no global tasks are generated (`frac_local = 1`).
     pub fn next_global_interarrival(&mut self) -> Option<f64> {
-        if self.rates.lambda_global <= 0.0 {
-            return None;
-        }
-        let exp = Exponential::with_rate(self.rates.lambda_global).expect("positive rate");
-        Some(exp.sample(&mut self.global_arrivals))
+        let exp = self.global_arrival_exp.as_ref()?;
+        Some(exp.sample_with(&mut self.global_arrivals))
     }
 
     /// Generates a local task arriving at `now` at `node`.
     pub fn make_local(&mut self, node: NodeId, now: f64) -> LocalTask {
-        let ex = self.local_ex.sample(&mut self.local_service);
-        let slack = self.slack.sample(&mut self.local_slack);
+        let ex = self.local_ex.sample_with(&mut self.local_service);
+        let slack = self.slack.sample_with(&mut self.local_slack);
         LocalTask {
             node,
             attrs: TaskAttributes::from_slack(now, ex, slack),
@@ -165,37 +185,62 @@ impl TaskFactory {
     /// * pipelines: `dl = ar + cp_ex + u·rel_flex·E[cp]/E[ex_loc]`
     ///
     /// where `u ~ U[Smin, Smax]` is the same base draw the locals use.
+    ///
+    /// This is the allocating convenience wrapper around
+    /// [`TaskFactory::make_global_flat`] (the single sampling path, so
+    /// the two agree draw-for-draw); the simulation hot path uses the
+    /// flat variant with a pooled [`FlatRun`] directly.
     pub fn make_global(&mut self, now: f64) -> GlobalTask {
-        let spec = match self.cfg.shape {
-            GlobalShape::Serial { m } => self.serial_spec(m),
+        let mut run = FlatRun::new();
+        self.make_global_flat(now, &mut run);
+        GlobalTask {
+            spec: self.nested_spec(&run),
+            arrival: now,
+            deadline: run.global_deadline(),
+        }
+    }
+
+    /// Fills a recycled [`FlatRun`] with a freshly sampled global task
+    /// arriving at `now` — structure, per-subtask `ex`/`pex`, node
+    /// placement and the end-to-end deadline. Performs no heap
+    /// allocation once the run's capacity has warmed up.
+    pub fn make_global_flat(&mut self, now: f64, run: &mut FlatRun) {
+        run.reset();
+        match self.cfg.shape {
+            GlobalShape::Serial { m } => {
+                self.fill_serial(m, run);
+                run.set_structure(true, false);
+            }
             GlobalShape::SerialRandomM { min_m, max_m } => {
                 let m = self.shape_draw.gen_range(min_m..=max_m);
-                self.serial_spec(m)
+                self.fill_serial(m, run);
+                run.set_structure(true, false);
             }
-            GlobalShape::Parallel { m } => self.parallel_spec(m),
+            GlobalShape::Parallel { m } => {
+                self.fill_parallel_stage(m, run);
+                run.set_structure(false, true);
+            }
             GlobalShape::SerialParallel { stages, branches } => {
-                let groups = (0..stages).map(|_| self.parallel_spec(branches)).collect();
-                TaskSpec::Serial(groups)
+                for _ in 0..stages {
+                    self.fill_parallel_stage(branches, run);
+                }
+                run.set_structure(true, true);
             }
-        };
-        let u = self.slack.sample(&mut self.global_slack);
-        let factor = self.slack_factor_for(&spec);
-        let deadline = now + spec.critical_path_ex() + u * factor;
-        GlobalTask {
-            spec,
-            arrival: now,
-            deadline,
         }
+        let u = self.slack.sample_with(&mut self.global_slack);
+        let factor = self.flat_slack_factor(run.simple_count());
+        let deadline = now + run.critical_path_ex() + u * factor;
+        run.set_timing(now, deadline);
     }
 
     /// Per-task slack scaling (see [`WorkloadConfig::global_slack_factor`]
     /// for the expected-value version; here the serial factor uses the
     /// task's *actual* stage count so heterogeneous-`m` tasks get slack
     /// proportional to their own size).
-    fn slack_factor_for(&self, spec: &TaskSpec) -> f64 {
+    fn flat_slack_factor(&self, simple_count: usize) -> f64 {
         match self.cfg.shape {
             GlobalShape::Serial { .. } | GlobalShape::SerialRandomM { .. } => {
-                self.cfg.rel_flex * spec.simple_count() as f64 * self.cfg.mean_subtask_ex
+                self.cfg.rel_flex * simple_count as f64 * self.cfg.mean_subtask_ex
                     / self.cfg.mean_local_ex
             }
             GlobalShape::Parallel { .. } => 1.0,
@@ -206,45 +251,57 @@ impl TaskFactory {
         }
     }
 
-    fn sample_subtask(&mut self, node: NodeId) -> TaskSpec {
-        let ex = self.subtask_ex.sample(&mut self.global_service);
-        let pex = self.cfg.pex.predict(ex, &mut self.pex_noise);
-        TaskSpec::simple(node, ex, pex)
-    }
-
-    fn serial_spec(&mut self, m: usize) -> TaskSpec {
+    /// `m` bare serial stages, nodes drawn uniformly with replacement.
+    fn fill_serial(&mut self, m: usize, run: &mut FlatRun) {
         let k = self.cfg.nodes as u32;
-        let children = (0..m)
-            .map(|_| {
-                let node = NodeId::new(self.node_pick.gen_range(0..k));
-                self.sample_subtask(node)
-            })
-            .collect();
-        TaskSpec::Serial(children)
+        for _ in 0..m {
+            let node = NodeId::new(self.node_pick.gen_range(0..k));
+            let ex = self.subtask_ex.sample_with(&mut self.global_service);
+            let pex = self.cfg.pex.predict(ex, &mut self.pex_noise);
+            run.push_subtask(node, ex, pex);
+            run.end_stage();
+        }
     }
 
-    fn parallel_spec(&mut self, m: usize) -> TaskSpec {
-        let nodes = self.distinct_nodes(m);
-        let children = nodes
-            .into_iter()
-            .map(|node| self.sample_subtask(node))
-            .collect();
-        TaskSpec::Parallel(children)
-    }
-
-    /// Draws `m` distinct nodes by partial Fisher-Yates (§5.2 places the
-    /// branches of a fan at `m` different nodes).
-    fn distinct_nodes(&mut self, m: usize) -> Vec<NodeId> {
+    /// One parallel stage of `m` branches at `m` distinct nodes, drawn by
+    /// partial Fisher-Yates over the reusable scratch pool (§5.2 places
+    /// the branches of a fan at `m` different nodes).
+    fn fill_parallel_stage(&mut self, m: usize, run: &mut FlatRun) {
         let k = self.cfg.nodes;
         debug_assert!(m <= k, "validated by ConfigError::FanWiderThanNodes");
-        let mut pool: Vec<u32> = (0..k as u32).collect();
-        let mut out = Vec::with_capacity(m);
+        self.node_scratch.clear();
+        self.node_scratch.extend(0..k as u32);
         for i in 0..m {
             let j = self.node_pick.gen_range(i..k);
-            pool.swap(i, j);
-            out.push(NodeId::new(pool[i]));
+            self.node_scratch.swap(i, j);
         }
-        out
+        for i in 0..m {
+            let node = NodeId::new(self.node_scratch[i]);
+            let ex = self.subtask_ex.sample_with(&mut self.global_service);
+            let pex = self.cfg.pex.predict(ex, &mut self.pex_noise);
+            run.push_subtask(node, ex, pex);
+        }
+        run.end_stage();
+    }
+
+    /// Rebuilds the nested [`TaskSpec`] equivalent of a filled run, per
+    /// the configured shape (for the allocating [`TaskFactory::make_global`]
+    /// path and tools that want the tree form).
+    fn nested_spec(&self, run: &FlatRun) -> TaskSpec {
+        let leaves = |subs: &[sda_core::SimpleSpec]| -> Vec<TaskSpec> {
+            subs.iter().map(|s| TaskSpec::Simple(*s)).collect()
+        };
+        match self.cfg.shape {
+            GlobalShape::Serial { .. } | GlobalShape::SerialRandomM { .. } => {
+                TaskSpec::Serial(leaves(run.subtasks()))
+            }
+            GlobalShape::Parallel { .. } => TaskSpec::Parallel(leaves(run.subtasks())),
+            GlobalShape::SerialParallel { .. } => TaskSpec::Serial(
+                (0..run.stage_count())
+                    .map(|s| TaskSpec::Parallel(leaves(run.stage(s))))
+                    .collect(),
+            ),
+        }
     }
 }
 
@@ -269,6 +326,43 @@ mod tests {
                 b.make_local(NodeId::new(2), 1.0)
             );
             assert_eq!(a.next_global_interarrival(), b.next_global_interarrival());
+        }
+    }
+
+    #[test]
+    fn flat_and_nested_paths_agree_bit_exactly() {
+        use sda_core::FlatRun;
+        for cfg in [
+            WorkloadConfig::baseline(),
+            WorkloadConfig::psp_baseline(),
+            WorkloadConfig::combined_baseline(),
+            WorkloadConfig {
+                shape: GlobalShape::SerialRandomM { min_m: 2, max_m: 8 },
+                ..WorkloadConfig::baseline()
+            },
+        ] {
+            let mut nested = factory(cfg.clone(), 31);
+            let mut flat = factory(cfg, 31);
+            let mut run = FlatRun::new();
+            for step in 0..200 {
+                let now = step as f64 * 0.5;
+                let g = nested.make_global(now);
+                flat.make_global_flat(now, &mut run);
+                assert_eq!(g.deadline.to_bits(), run.global_deadline().to_bits());
+                assert_eq!(g.arrival, run.arrival());
+                let nested_subs = g.spec.simple_subtasks();
+                assert_eq!(nested_subs.len(), run.simple_count());
+                for (a, b) in nested_subs.iter().zip(run.subtasks()) {
+                    assert_eq!(a.node, b.node);
+                    assert_eq!(a.ex.to_bits(), b.ex.to_bits());
+                    assert_eq!(a.pex.to_bits(), b.pex.to_bits());
+                }
+                // Interleave arrival draws so stream positions stay lock-step.
+                assert_eq!(
+                    nested.next_global_interarrival(),
+                    flat.next_global_interarrival()
+                );
+            }
         }
     }
 

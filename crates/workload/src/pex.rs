@@ -35,8 +35,9 @@ pub enum PexModel {
 
 impl PexModel {
     /// Applies the model: derives a prediction for a subtask whose real
-    /// execution time is `ex`.
-    pub fn predict(&self, ex: f64, rng: &mut dyn RngCore) -> f64 {
+    /// execution time is `ex`. Generic over the RNG so the hot path pays
+    /// no trait-object dispatch per prediction.
+    pub fn predict<R: RngCore + ?Sized>(&self, ex: f64, rng: &mut R) -> f64 {
         match *self {
             PexModel::Perfect => ex,
             PexModel::Noisy { error } => {

@@ -3,7 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use sda_sim::dist::{Constant, Dist, DistError, Erlang, Exponential, LogNormal, Pareto};
+use sda_sim::dist::{Constant, Dist, DistError, Erlang, Exponential, LogNormal, Pareto, Sampler};
 
 /// The distributional *shape* of execution times around a configured
 /// mean. The paper uses exponential times throughout (CV² = 1); the
@@ -41,14 +41,29 @@ impl ServiceVariability {
     ///
     /// Propagates parameter validation from the underlying distribution.
     pub fn build(&self, mean: f64) -> Result<Box<dyn Dist + Send + Sync>, DistError> {
+        Ok(Box::new(self.build_sampler(mean)?))
+    }
+
+    /// Builds a devirtualized [`Sampler`] with the given mean — the
+    /// allocation-free counterpart of [`ServiceVariability::build`],
+    /// drawing the exact same variate sequence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation from the underlying distribution.
+    pub fn build_sampler(&self, mean: f64) -> Result<Sampler, DistError> {
         Ok(match *self {
-            ServiceVariability::Exponential => Box::new(Exponential::with_mean(mean)?),
-            ServiceVariability::Deterministic => Box::new(Constant::new(mean)?),
+            ServiceVariability::Exponential => Sampler::Exponential(Exponential::with_mean(mean)?),
+            ServiceVariability::Deterministic => Sampler::Constant(Constant::new(mean)?),
             ServiceVariability::Erlang { stages } => {
-                Box::new(Erlang::new(stages, mean / f64::from(stages.max(1)))?)
+                Sampler::Erlang(Erlang::new(stages, mean / f64::from(stages.max(1)))?)
             }
-            ServiceVariability::LogNormal { cv2 } => Box::new(LogNormal::with_mean_cv2(mean, cv2)?),
-            ServiceVariability::Pareto { alpha } => Box::new(Pareto::with_mean(mean, alpha)?),
+            ServiceVariability::LogNormal { cv2 } => {
+                Sampler::LogNormal(LogNormal::with_mean_cv2(mean, cv2)?)
+            }
+            ServiceVariability::Pareto { alpha } => {
+                Sampler::Pareto(Pareto::with_mean(mean, alpha)?)
+            }
         })
     }
 

@@ -1,0 +1,97 @@
+//! Proof that the steady-state simulation loop is allocation-free.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator; after a
+//! settling period past warm-up (during which slabs, ready queues, event
+//! heaps, the task pool and the stats buffers reach their working
+//! capacity), the measured window must perform (amortized) **zero** heap
+//! allocations per simulated event: every arrival, dispatch, preemption,
+//! completion and abort runs on recycled storage.
+//!
+//! The assertion allows a small absolute number of allocations per
+//! window (≤ 64 over hundreds of thousands of events) because slabs may
+//! still double once if a random-walk queue depth sets a new high-water
+//! mark after settling; that is still zero per event, amortized.
+//!
+//! This test lives in its own integration-test binary so no concurrently
+//! running test can pollute the allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation verbatim to the system allocator;
+// the counter uses a relaxed atomic and allocates nothing itself.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+use sda::core::SdaStrategy;
+use sda::sim::{Engine, SimTime};
+use sda::system::{Event, SystemConfig, SystemModel};
+
+/// Runs one ρ = 0.9 EDF simulation and returns
+/// `(allocations, events)` over the post-settling measurement window.
+fn measure(preemptive: bool) -> (u64, u64) {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    cfg.workload.load = 0.9;
+    cfg.preemptive = preemptive;
+    let rng = sda::sim::rng::RngFactory::new(0xA110C);
+    let model = SystemModel::new(cfg, &rng).expect("valid config");
+    let mut engine = Engine::new(model);
+    engine
+        .context_mut()
+        .schedule_at(SimTime::ZERO, Event::Init { warmup_end: 500.0 });
+
+    // Warm-up + settling: statistics reset at t = 500 (which itself
+    // allocates fresh quantile estimators once), then capacities grow to
+    // their working set until t = 3000.
+    engine.run_until(SimTime::from(3_000.0));
+
+    let events_before = engine.context().events_handled();
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    engine.run_until(SimTime::from(12_000.0));
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let events = engine.context().events_handled() - events_before;
+    (allocs, events)
+}
+
+#[test]
+fn steady_state_is_allocation_free_per_event() {
+    for preemptive in [false, true] {
+        let (allocs, events) = measure(preemptive);
+        assert!(
+            events > 50_000,
+            "measurement window too small: {events} events (preemptive={preemptive})"
+        );
+        // Amortized zero per event: allow only stray capacity doublings.
+        assert!(
+            allocs <= 64,
+            "steady state allocated {allocs} times over {events} events \
+             (preemptive={preemptive}) — the hot path regressed to \
+             per-event allocation"
+        );
+    }
+}
