@@ -22,6 +22,8 @@ fn bench_ssp_formulas(c: &mut Criterion) {
                         global_deadline: black_box(100.0),
                         pex_current: black_box(2.0),
                         pex_remaining_after: black_box(&pex_rest),
+                        comm_current: 0.0,
+                        comm_after: 0.0,
                     };
                     black_box(s.deadline(&input))
                 });
@@ -45,6 +47,8 @@ fn bench_psp_formulas(c: &mut Criterion) {
                     arrival_time: black_box(10.0),
                     global_deadline: black_box(100.0),
                     branch_count: black_box(8),
+                    comm_current: 0.0,
+                    comm_after: 0.0,
                 };
                 black_box(s.deadline(&input))
             });

@@ -291,7 +291,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length bounds for [`vec`]: an exact length or a half-open range.
+    /// Length bounds for [`vec()`]: an exact length or a half-open range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,

@@ -365,11 +365,16 @@ impl TaskRun {
             .iter()
             .map(|&c| self.arena[c].pex_agg)
             .collect();
+        // The nested runtime models the paper's delay-free network; the
+        // communication-aware hot path is `FlatRun` (see
+        // `FlatRun::set_expected_comm`).
         strategy.serial_deadline(&SspInput {
             submit_time: now,
             global_deadline: window_deadline,
             pex_current,
             pex_remaining_after: &pex_rest,
+            comm_current: 0.0,
+            comm_after: 0.0,
         })
     }
 
@@ -413,6 +418,8 @@ impl TaskRun {
                     arrival_time: now,
                     global_deadline: deadline,
                     branch_count: n,
+                    comm_current: 0.0,
+                    comm_after: 0.0,
                 });
                 for child in children {
                     self.activate(child, strategy, now, branch_dl, out);

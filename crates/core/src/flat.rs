@@ -94,6 +94,11 @@ pub struct FlatRun {
     completed: u32,
     started: bool,
     finished: bool,
+    /// Expected one-hop communication delay of the network the task runs
+    /// over (0.0 = the paper's delay-free network). Feeds the `comm_*`
+    /// fields of [`SspInput`]/[`PspInput`] so slack-dividing strategies
+    /// reserve slack for transit.
+    expected_hop_comm: f64,
 }
 
 impl FlatRun {
@@ -118,6 +123,7 @@ impl FlatRun {
         self.completed = 0;
         self.started = false;
         self.finished = false;
+        self.expected_hop_comm = 0.0;
     }
 
     /// Appends one subtask to the stage currently being built.
@@ -156,6 +162,25 @@ impl FlatRun {
     pub fn set_timing(&mut self, arrival: f64, deadline: f64) {
         self.arrival = arrival;
         self.deadline = deadline;
+    }
+
+    /// Declares the expected one-hop communication delay of the network
+    /// this task will traverse. Every hand-off (initial fan-out,
+    /// inter-stage forwarding, result return) is expected to cost this
+    /// much; deadline decomposition reserves slack accordingly. Reset
+    /// (and default) is `0.0`, which reproduces the paper's delay-free
+    /// deadlines bit-exactly.
+    pub fn set_expected_comm(&mut self, per_hop: f64) {
+        debug_assert!(
+            per_hop.is_finite() && per_hop >= 0.0,
+            "invalid expected hop delay {per_hop}"
+        );
+        self.expected_hop_comm = per_hop;
+    }
+
+    /// The declared expected one-hop communication delay.
+    pub fn expected_comm(&self) -> f64 {
+        self.expected_hop_comm
     }
 
     /// The task's arrival time.
@@ -301,12 +326,18 @@ impl FlatRun {
         out: &mut Vec<Submission>,
     ) {
         let (start, end) = self.stage_bounds(stage);
+        let hop = self.expected_hop_comm;
         let stage_dl = if self.serial_levels {
             strategy.serial_deadline(&SspInput {
                 submit_time: now,
                 global_deadline: self.deadline,
                 pex_current: self.stage_pex[stage],
                 pex_remaining_after: &self.stage_pex[stage + 1..],
+                // One hop is in flight to this stage; after it completes
+                // there are (stage_count − 1 − stage) inter-stage
+                // hand-offs plus the result return still to pay.
+                comm_current: hop,
+                comm_after: hop * (self.stage_ends.len() - stage) as f64,
             })
         } else {
             self.deadline
@@ -316,6 +347,11 @@ impl FlatRun {
                 arrival_time: now,
                 global_deadline: stage_dl,
                 branch_count: end - start,
+                comm_current: hop,
+                // For a group inside a serial decomposition the window
+                // already reserves downstream transit; a top-level
+                // parallel task still owes its result return.
+                comm_after: if self.serial_levels { 0.0 } else { hop },
             })
         } else {
             stage_dl
@@ -525,6 +561,46 @@ mod tests {
         assert!(run.complete(subs[0].subtask, &strategy, 3.0, &mut more));
         assert!(run.is_finished());
         assert_eq!(run.progress(), (1, 1));
+    }
+
+    #[test]
+    fn expected_comm_reserves_slack_per_stage() {
+        // Two serial stages, pex 1 each, dl = 8, hop delay 0.5.
+        // Remaining comm at stage 0: 0.5 in flight + 2·0.5 ahead = 1.5;
+        // EQS slack = 8 − 0 − 2 − 1.5 = 4.5 → share 2.25;
+        // dl(T1) = 0 + 0.5 + 1 + 2.25 = 3.75.
+        let mut run = serial_chain(&[1.0, 1.0], 8.0);
+        run.set_expected_comm(0.5);
+        assert_eq!(run.expected_comm(), 0.5);
+        let strategy = SdaStrategy::new(
+            crate::SerialStrategy::EqualSlack,
+            crate::ParallelStrategy::UltimateDeadline,
+        );
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert!(
+            (subs[0].deadline - 3.75).abs() < 1e-12,
+            "{}",
+            subs[0].deadline
+        );
+        // Stage 2 (last): comm in flight 0.5, after = result return 0.5;
+        // at t = 2: slack = 8 − 2 − 1 − 1 = 4 → dl = 2 + 0.5 + 1 + 4 = 7.5.
+        let mut more = Vec::new();
+        let finished = run.complete(subs[0].subtask, &strategy, 2.0, &mut more);
+        assert!(!finished);
+        assert!(
+            (more[0].deadline - 7.5).abs() < 1e-12,
+            "{}",
+            more[0].deadline
+        );
+    }
+
+    #[test]
+    fn reset_clears_expected_comm() {
+        let mut run = serial_chain(&[1.0], 2.0);
+        run.set_expected_comm(1.25);
+        run.reset();
+        assert_eq!(run.expected_comm(), 0.0);
     }
 
     #[test]

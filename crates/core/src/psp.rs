@@ -11,6 +11,10 @@ use serde::{Deserialize, Serialize};
 use crate::ids::PriorityClass;
 
 /// Everything a PSP strategy may look at when a parallel group activates.
+///
+/// The `comm_*` fields carry *expected* inter-node transit times for a
+/// network with message delays (the paper's network is delay-free); both
+/// zero recovers the paper's formulas bit-exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PspInput {
     /// Activation time of the group — `ar(T)` for a top-level parallel
@@ -20,12 +24,28 @@ pub struct PspInput {
     pub global_deadline: f64,
     /// Number of parallel branches `n`.
     pub branch_count: usize,
+    /// Expected communication delay of the fan-out hand-offs currently in
+    /// flight to the branch nodes. `0.0` in a delay-free network.
+    pub comm_current: f64,
+    /// Expected communication delay after the group completes (e.g. the
+    /// result return of a top-level parallel task). For a group embedded
+    /// in a larger task this is `0.0` — downstream transit is already
+    /// reserved by the serial decomposition that produced the group's
+    /// window.
+    pub comm_after: f64,
 }
 
 impl PspInput {
     /// The window `dl(T) − ar(T)` available to the group.
     pub fn window(&self) -> f64 {
         self.global_deadline - self.arrival_time
+    }
+
+    /// The window net of expected communication:
+    /// `dl(T) − ar(T) − comm_current − comm_after` — what is actually
+    /// available for queueing and execution at the branch nodes.
+    pub fn net_window(&self) -> f64 {
+        self.window() - self.comm_current - self.comm_after
     }
 }
 
@@ -48,7 +68,13 @@ impl PspInput {
 /// ```
 /// use sda_core::{ParallelStrategy, PspInput};
 ///
-/// let input = PspInput { arrival_time: 10.0, global_deadline: 22.0, branch_count: 4 };
+/// let input = PspInput {
+///     arrival_time: 10.0,
+///     global_deadline: 22.0,
+///     branch_count: 4,
+///     comm_current: 0.0,
+///     comm_after: 0.0,
+/// };
 /// assert_eq!(ParallelStrategy::UltimateDeadline.deadline(&input), 22.0);
 /// // DIV-1: 10 + 12/4 = 13; DIV-2: 10 + 12/8 = 11.5
 /// assert_eq!(ParallelStrategy::div(1.0)?.deadline(&input), 13.0);
@@ -108,6 +134,12 @@ impl ParallelStrategy {
 
     /// The virtual deadline assigned to every branch of the group.
     ///
+    /// Under communication delays DIV-x shifts the deadline past the
+    /// in-flight fan-out hop and divides only the window net of expected
+    /// transit (`ar + comm_current + net_window/(n·x)`); UD and GF keep
+    /// the group deadline unchanged. With zero `comm` terms this is
+    /// bit-exactly the paper's eq. (1).
+    ///
     /// Note the DIV-x deadline is always later than the activation time
     /// (for a positive window), so a branch may still lose to a local task
     /// with an early enough deadline — the observation that motivates GF.
@@ -117,7 +149,9 @@ impl ParallelStrategy {
                 input.global_deadline
             }
             ParallelStrategy::Div { x } => {
-                input.arrival_time + input.window() / (input.branch_count as f64 * x)
+                input.arrival_time
+                    + input.comm_current
+                    + input.net_window() / (input.branch_count as f64 * x)
             }
         }
     }
@@ -149,6 +183,8 @@ mod tests {
             arrival_time: ar,
             global_deadline: dl,
             branch_count: n,
+            comm_current: 0.0,
+            comm_after: 0.0,
         }
     }
 
@@ -192,6 +228,34 @@ mod tests {
         assert!(d2 < d1, "larger x → earlier deadline");
         let d1_n6 = ParallelStrategy::div(1.0).unwrap().deadline(&i6);
         assert!(d1_n6 < d1, "more branches → earlier deadline");
+    }
+
+    #[test]
+    fn comm_terms_shift_and_shrink_div_windows() {
+        // Fan-out hop d = 1 in flight, result return d = 1 ahead.
+        let i = PspInput {
+            arrival_time: 5.0,
+            global_deadline: 25.0,
+            branch_count: 4,
+            comm_current: 1.0,
+            comm_after: 1.0,
+        };
+        assert_eq!(i.window(), 20.0);
+        assert_eq!(i.net_window(), 18.0);
+        // DIV-1: 5 + 1 + 18/4 = 10.5 (delay-free value was 10).
+        let div1 = ParallelStrategy::div(1.0).unwrap();
+        assert!((div1.deadline(&i) - 10.5).abs() < EPS);
+        // UD and GF ignore the comm terms.
+        assert_eq!(ParallelStrategy::UltimateDeadline.deadline(&i), 25.0);
+        assert_eq!(ParallelStrategy::GlobalsFirst.deadline(&i), 25.0);
+    }
+
+    #[test]
+    fn zero_comm_div_is_bit_identical_to_eq_1() {
+        let i = input(5.0, 25.0, 4);
+        let div1 = ParallelStrategy::div(1.0).unwrap();
+        let paper: f64 = 5.0 + 20.0 / 4.0;
+        assert_eq!(div1.deadline(&i).to_bits(), paper.to_bits());
     }
 
     #[test]

@@ -13,6 +13,12 @@ use serde::{Deserialize, Serialize};
 ///
 /// With `m` subtasks total and `Ti` the current one, the remaining
 /// predicted work is `pex(Ti) + Σ pex_remaining_after`.
+///
+/// The paper's network is delay-free; the `comm_*` fields generalize the
+/// inputs to a system with inter-node message delays. Both are expected
+/// (not sampled) transit times — strategies *reserve* slack for them, the
+/// realized delays show up through inheritance at the next submission.
+/// Set both to `0.0` to recover the paper's formulas exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SspInput<'a> {
     /// Submission time of the current subtask — `ar(Ti)`. For `i = 1`
@@ -26,6 +32,15 @@ pub struct SspInput<'a> {
     /// Predicted execution times of the subtasks after the current one,
     /// `pex(T_{i+1}), …, pex(T_m)`.
     pub pex_remaining_after: &'a [f64],
+    /// Expected communication delay between this submission and the
+    /// start of `Ti`'s window at its node — the hand-off currently in
+    /// flight. `0.0` in a delay-free network.
+    pub comm_current: f64,
+    /// Expected communication delay still to be paid *after* `Ti`
+    /// completes: the remaining inter-stage hand-offs plus the final
+    /// result return to the process manager. `0.0` in a delay-free
+    /// network.
+    pub comm_after: f64,
 }
 
 impl SspInput<'_> {
@@ -46,11 +61,21 @@ impl SspInput<'_> {
         1 + self.pex_remaining_after.len()
     }
 
+    /// Total expected communication still ahead of the task (the hand-off
+    /// in flight plus everything after the current subtask).
+    pub fn comm_total(&self) -> f64 {
+        self.comm_current + self.comm_after
+    }
+
     /// Total remaining slack at submission:
-    /// `dl(T) − ar(Ti) − Σ_{j≥i} pex(Tj)`. May be negative if the task is
-    /// already behind.
+    /// `dl(T) − ar(Ti) − Σ_{j≥i} pex(Tj) − E[remaining communication]`.
+    /// May be negative if the task is already behind.
     pub fn remaining_slack(&self) -> f64 {
-        self.global_deadline - self.submit_time - self.pex_including()
+        self.global_deadline
+            - self.submit_time
+            - self.pex_including()
+            - self.comm_current
+            - self.comm_after
     }
 }
 
@@ -79,6 +104,8 @@ impl SspInput<'_> {
 ///     global_deadline: 20.0,
 ///     pex_current: 2.0,
 ///     pex_remaining_after: &[3.0, 5.0],
+///     comm_current: 0.0,
+///     comm_after: 0.0,
 /// };
 /// assert_eq!(SerialStrategy::UltimateDeadline.deadline(&input), 20.0);
 /// assert_eq!(SerialStrategy::EffectiveDeadline.deadline(&input), 12.0);
@@ -151,7 +178,20 @@ impl SerialStrategy {
     }
 
     /// Computes the virtual deadline `dl(Ti)` for the subtask described by
-    /// `input`, per the paper's definitions (1)–(4).
+    /// `input`, per the paper's definitions (1)–(4), generalized to a
+    /// network with expected communication delays:
+    ///
+    /// * UD ignores communication entirely (unchanged semantics — it uses
+    ///   no estimates of any kind);
+    /// * ED additionally subtracts the expected communication *after* the
+    ///   current subtask (`dl(T) − Σ_{j>i} pex(Tj) − comm_after`);
+    /// * EQS/EQF place the deadline after the in-flight hand-off
+    ///   (`ar(Ti) + comm_current + pex(Ti) + share`) and divide only the
+    ///   slack left once all expected transit is reserved (see
+    ///   [`SspInput::remaining_slack`]).
+    ///
+    /// With both `comm` fields zero this reduces bit-exactly to the
+    /// paper's formulas.
     ///
     /// Degenerate case: if every remaining `pex` is zero, EQF's
     /// proportional share is undefined (0/0); it falls back to EQS's equal
@@ -159,9 +199,12 @@ impl SerialStrategy {
     pub fn deadline(&self, input: &SspInput<'_>) -> f64 {
         match self {
             SerialStrategy::UltimateDeadline => input.global_deadline,
-            SerialStrategy::EffectiveDeadline => input.global_deadline - input.pex_after(),
+            SerialStrategy::EffectiveDeadline => {
+                input.global_deadline - input.pex_after() - input.comm_after
+            }
             SerialStrategy::EqualSlack => {
                 input.submit_time
+                    + input.comm_current
                     + input.pex_current
                     + input.remaining_slack() / input.remaining_count() as f64
             }
@@ -172,6 +215,7 @@ impl SerialStrategy {
                     return SerialStrategy::EqualSlack.deadline(input);
                 }
                 input.submit_time
+                    + input.comm_current
                     + input.pex_current
                     + input.remaining_slack() * (input.pex_current / total_pex)
             }
@@ -185,6 +229,7 @@ impl SerialStrategy {
                 let mean_pex = total_pex / input.remaining_count() as f64;
                 let inflated = total_pex + f64::from(*artificial_stages) * mean_pex;
                 input.submit_time
+                    + input.comm_current
                     + input.pex_current
                     + input.remaining_slack() * (input.pex_current / inflated)
             }
@@ -206,11 +251,14 @@ impl SerialStrategy {
         let mut deadlines = Vec::with_capacity(pex.len());
         let mut submit = arrival;
         for (i, &p) in pex.iter().enumerate() {
+            // Planning assumes the paper's delay-free network.
             let input = SspInput {
                 submit_time: submit,
                 global_deadline,
                 pex_current: p,
                 pex_remaining_after: &pex[i + 1..],
+                comm_current: 0.0,
+                comm_after: 0.0,
             };
             let dl = self.deadline(&input);
             // The next stage is submitted when this one completes; in the
@@ -247,6 +295,8 @@ mod tests {
             global_deadline: dl,
             pex_current: pex_cur,
             pex_remaining_after: rest,
+            comm_current: 0.0,
+            comm_after: 0.0,
         }
     }
 
@@ -434,6 +484,64 @@ mod tests {
         .deadline(&i);
         // slack = 6; share = 6·(4/8) = 3 → dl = 17.
         assert!((as1 - 17.0).abs() < EPS, "got {as1}");
+    }
+
+    #[test]
+    fn comm_terms_reserve_slack_for_transit() {
+        // 3 stages, pex [2, 3, 5], dl 24, one hop in flight (d = 1) and
+        // three hops still ahead (2 hand-offs + result return, d = 1
+        // each): divisible slack = 24 − 0 − 10 − 1 − 3 = 10, the same 10
+        // the delay-free case had at dl 20.
+        let comm = SspInput {
+            submit_time: 0.0,
+            global_deadline: 24.0,
+            pex_current: 2.0,
+            pex_remaining_after: &[3.0, 5.0],
+            comm_current: 1.0,
+            comm_after: 3.0,
+        };
+        assert_eq!(comm.comm_total(), 4.0);
+        assert!((comm.remaining_slack() - 10.0).abs() < EPS);
+        // UD ignores communication entirely.
+        assert_eq!(SerialStrategy::UltimateDeadline.deadline(&comm), 24.0);
+        // ED backs off by the downstream work *and* downstream transit.
+        assert_eq!(SerialStrategy::EffectiveDeadline.deadline(&comm), 13.0);
+        // EQS/EQF shift by the in-flight hop and divide the net slack:
+        // the delay-free values (2 + 10/3 and 4.0) each move up by 1.
+        let eqs = SerialStrategy::EqualSlack.deadline(&comm);
+        assert!((eqs - (1.0 + 2.0 + 10.0 / 3.0)).abs() < EPS);
+        let eqf = SerialStrategy::EqualFlexibility.deadline(&comm);
+        assert!((eqf - 5.0).abs() < EPS);
+    }
+
+    #[test]
+    fn zero_comm_is_bit_identical_to_the_paper_formulas() {
+        let no_comm = input(3.0, 25.0, 2.0, &[3.0, 5.0]);
+        for s in [
+            SerialStrategy::UltimateDeadline,
+            SerialStrategy::EffectiveDeadline,
+            SerialStrategy::EqualSlack,
+            SerialStrategy::EqualFlexibility,
+            SerialStrategy::EqualFlexibilityArtificial {
+                artificial_stages: 2,
+            },
+        ] {
+            // Hand-computed paper values (comm-free formulas).
+            let expected: f64 = match s {
+                SerialStrategy::UltimateDeadline => 25.0,
+                SerialStrategy::EffectiveDeadline => 25.0 - 8.0,
+                SerialStrategy::EqualSlack => 3.0 + 2.0 + 12.0 / 3.0,
+                SerialStrategy::EqualFlexibility => 3.0 + 2.0 + 12.0 * 0.2,
+                SerialStrategy::EqualFlexibilityArtificial { .. } => {
+                    3.0 + 2.0 + 12.0 * (2.0 / (10.0 + 2.0 * (10.0 / 3.0)))
+                }
+            };
+            assert_eq!(
+                s.deadline(&no_comm).to_bits(),
+                expected.to_bits(),
+                "{s} with zero comm must reproduce the paper formula bit-exactly"
+            );
+        }
     }
 
     #[test]

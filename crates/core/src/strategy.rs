@@ -105,6 +105,8 @@ mod tests {
             global_deadline: 20.0,
             pex_current: 2.0,
             pex_remaining_after: &[3.0, 5.0],
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         assert_eq!(
             s.serial_deadline(&ssp),
@@ -114,6 +116,8 @@ mod tests {
             arrival_time: 0.0,
             global_deadline: 12.0,
             branch_count: 3,
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         assert_eq!(s.parallel_deadline(&psp), 4.0);
         assert_eq!(s.priority_class(), PriorityClass::Normal);
@@ -139,6 +143,8 @@ mod tests {
             global_deadline: 11.0,
             pex_current: 1.0,
             pex_remaining_after: &[],
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         assert_eq!(div.serial_deadline(&ssp), 11.0);
     }
@@ -153,6 +159,8 @@ mod tests {
             arrival_time: 0.0,
             global_deadline: 8.0,
             branch_count: 2,
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         for s in &strategies {
             assert!(s.parallel_deadline(&psp) <= 8.0);

@@ -32,6 +32,8 @@ proptest! {
             global_deadline,
             pex_current: pex[0],
             pex_remaining_after: &pex[1..],
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         let dl = SerialStrategy::EqualSlack.deadline(&input);
         let share = dl - submit - pex[0];
@@ -53,6 +55,8 @@ proptest! {
             global_deadline,
             pex_current: pex[0],
             pex_remaining_after: &pex[1..],
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         let dl = SerialStrategy::EqualFlexibility.deadline(&input);
         let fl = (dl - submit - pex[0]) / pex[0];
@@ -76,6 +80,8 @@ proptest! {
             global_deadline,
             pex_current: pex[0],
             pex_remaining_after: &pex[1..],
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         let ud = SerialStrategy::UltimateDeadline.deadline(&input);
         let ed = SerialStrategy::EffectiveDeadline.deadline(&input);
@@ -123,6 +129,8 @@ proptest! {
             arrival_time: arrival,
             global_deadline: arrival + window,
             branch_count: n,
+            comm_current: 0.0,
+            comm_after: 0.0,
         };
         let div = ParallelStrategy::div(x).unwrap();
         let dl = div.deadline(&input);

@@ -14,6 +14,7 @@ pub mod gf;
 pub mod hetero_load;
 pub mod hetero_m;
 pub mod mlf;
+pub mod network;
 pub mod pex_error;
 pub mod preemption;
 pub mod rel_flex;

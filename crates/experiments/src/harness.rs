@@ -62,6 +62,19 @@ impl ExperimentOpts {
         }
     }
 
+    /// The fastest setting that still exercises every code path: one
+    /// replication per point, minimal horizon. `--smoke` exists so CI can
+    /// run each sweep binary end to end on every push without burning
+    /// minutes on statistical quality.
+    pub fn smoke() -> ExperimentOpts {
+        ExperimentOpts {
+            reps: 1,
+            warmup: 200.0,
+            duration: 1_500.0,
+            ..ExperimentOpts::default()
+        }
+    }
+
     /// Parses `std::env::args`, starting from the defaults.
     ///
     /// Unknown flags abort with a usage message on stderr (exit code 2)
@@ -71,7 +84,7 @@ impl ExperimentOpts {
         Self::parse(&args).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: [--full|--quick] [--reps N] [--duration T] [--warmup T] \
+                "usage: [--full|--quick|--smoke] [--reps N] [--duration T] [--warmup T] \
                  [--seed S] [--threads N] [--csv DIR]"
             );
             std::process::exit(2);
@@ -100,6 +113,12 @@ impl ExperimentOpts {
                     opts.reps = q.reps;
                     opts.warmup = q.warmup;
                     opts.duration = q.duration;
+                }
+                "--smoke" => {
+                    let s = ExperimentOpts::smoke();
+                    opts.reps = s.reps;
+                    opts.warmup = s.warmup;
+                    opts.duration = s.duration;
                 }
                 "--reps" => {
                     opts.reps = value_of("--reps")?
@@ -197,6 +216,8 @@ pub struct CellStats {
     pub global_response: PointStat,
     /// Mean local response time.
     pub local_response: PointStat,
+    /// Mean hand-off transit time (0 under free communication).
+    pub transit: PointStat,
 }
 
 /// Which metric of a [`CellStats`] to tabulate.
@@ -214,6 +235,8 @@ pub enum Metric {
     GlobalResponse,
     /// Mean local response time.
     LocalResponse,
+    /// Mean hand-off transit time.
+    Transit,
 }
 
 impl Metric {
@@ -226,6 +249,7 @@ impl Metric {
             Metric::Utilization => "node utilization",
             Metric::GlobalResponse => "global response time",
             Metric::LocalResponse => "local response time",
+            Metric::Transit => "hand-off transit time",
         }
     }
 
@@ -237,6 +261,7 @@ impl Metric {
             Metric::Utilization => cell.utilization,
             Metric::GlobalResponse => cell.global_response,
             Metric::LocalResponse => cell.local_response,
+            Metric::Transit => cell.transit,
         }
     }
 }
@@ -453,6 +478,7 @@ pub fn run_sweep(
                     utilization: PointStat::from_reps(&rep.utilization),
                     global_response: PointStat::from_reps(&rep.global_response),
                     local_response: PointStat::from_reps(&rep.local_response),
+                    transit: PointStat::from_reps(&rep.transit),
                 };
                 results.lock().expect("no poisoned lock")[i] = Some(cell);
             });
@@ -509,6 +535,9 @@ mod tests {
         assert!(ExperimentOpts::parse(&["--reps".into(), "0".into()]).is_err());
         let full = ExperimentOpts::parse(&["--full".into()]).unwrap();
         assert_eq!(full.duration, 1_000_000.0);
+        let smoke = ExperimentOpts::parse(&["--smoke".into()]).unwrap();
+        assert_eq!(smoke.reps, 1);
+        assert!(smoke.duration < ExperimentOpts::quick().duration);
     }
 
     #[test]
@@ -565,6 +594,10 @@ mod tests {
             local_response: PointStat {
                 mean: 1.0,
                 half_width: 0.2,
+            },
+            transit: PointStat {
+                mean: 0.0,
+                half_width: f64::INFINITY,
             },
         };
         let data = SweepData {

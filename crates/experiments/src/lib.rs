@@ -25,10 +25,12 @@
 //! | §7 future work — EQF + artificial stages | [`ext::eqf_as`] | `ext_eqf_as` |
 //! | beyond the paper — service-time variability | [`ext::service_cv`] | `ext_service_cv` |
 //! | beyond the paper — preemptive EDF servers | [`ext::preemption`] | `ext_preemption` |
+//! | beyond the paper — node speeds & message delays | [`ext::network`] | `ext_network` |
 //!
 //! Binaries accept `--full` (paper-scale runs: 2 × 10⁶ time units),
-//! `--quick` (CI-scale), `--reps N`, `--duration T`, `--warmup T`,
-//! `--seed S`, `--threads N`; the default sits between quick and full.
+//! `--quick` (CI-scale), `--smoke` (single-rep end-to-end exercise),
+//! `--reps N`, `--duration T`, `--warmup T`, `--seed S`, `--threads N`;
+//! the default sits between quick and full.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

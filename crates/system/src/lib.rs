@@ -2,17 +2,26 @@
 //!
 //! The executable model of the paper's §3.2 architecture:
 //!
-//! * `k` homogeneous **nodes**, each a non-preemptive single server with
+//! * `k` **nodes**, each a non-preemptive single server with
 //!   its own [`ReadyQueue`](sda_sched::ReadyQueue) — schedulers are
-//!   independent and never coordinate;
+//!   independent and never coordinate. Homogeneous by default;
+//!   `WorkloadConfig::node_speeds` gives each node a speed factor
+//!   (service time `ex / speed`) for heterogeneous-hardware studies;
 //! * a **process manager** that receives global tasks, assigns virtual
 //!   deadlines via an [`SdaStrategy`](sda_core::SdaStrategy), submits
 //!   simple subtasks to their nodes and enforces precedence
 //!   (via [`TaskRun`](sda_core::TaskRun));
+//! * a **network model** ([`NetworkModel`], default
+//!   [`Zero`](NetworkModel::Zero) = the paper's free communication):
+//!   under a non-zero model every subtask hand-off — initial fan-out,
+//!   serial forwarding, fan-in, result return — becomes a delayed
+//!   in-flight event, and deadline-assignment strategies reserve slack
+//!   for the expected transit;
 //! * per-node **local task** streams competing with global subtasks;
 //! * **metrics**: per-class missed-deadline ratios (the paper's primary
 //!   measure), response times, tardiness, subtask-level virtual-deadline
-//!   misses and node utilizations, with warm-up deletion.
+//!   misses, hand-off transit times and node utilizations, with warm-up
+//!   deletion.
 //!
 //! The model runs on the deterministic [`sda_sim`] engine;
 //! [`run_replications`] executes independent replications and reports
@@ -47,7 +56,7 @@ mod node;
 mod runner;
 
 pub use batch::{run_batch_means, BatchedResult};
-pub use config::{OverloadPolicy, SystemConfig};
+pub use config::{NetworkModel, OverloadPolicy, SystemConfig};
 pub use metrics::{ClassMetrics, Metrics};
 pub use model::{Event, SystemModel, TraceEvent};
 pub use node::Node;

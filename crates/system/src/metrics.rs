@@ -6,6 +6,21 @@ use serde::{Deserialize, Serialize};
 use sda_sim::stats::{P2Quantile, Ratio, Tally};
 
 /// Per-class statistics (one for locals, one for globals).
+///
+/// # Aborted-task semantics
+///
+/// A task killed by the firm-deadline policy reaches a terminal state
+/// without ever *completing*, so it contributes to exactly one family of
+/// statistics: [`ClassMetrics::record_aborted`] counts it in the
+/// missed-deadline ratio (an abort is always a miss) and in
+/// [`ClassMetrics::completed`] (terminal states), but it adds **no
+/// observation** to the response/tardiness/lateness tallies or the
+/// percentile estimators — there is no completion time to measure.
+/// Under `OverloadPolicy::AbortTardy` the distribution statistics are
+/// therefore *conditional on completion* (and biased low relative to a
+/// hypothetical run-to-completion): compare
+/// [`miss_ratio`](ClassMetrics::miss_ratio) across policies, not
+/// `tardiness_p99`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassMetrics {
     miss: Ratio,
@@ -42,7 +57,8 @@ impl ClassMetrics {
     }
 
     /// Records a task discarded by the firm-deadline policy — counts as a
-    /// miss with no response-time observation.
+    /// miss with **no** response/tardiness/percentile observation (see
+    /// the type-level docs for the exact semantics).
     pub fn record_aborted(&mut self) {
         self.miss.record(true);
     }
@@ -100,7 +116,12 @@ impl ClassMetrics {
 }
 
 /// All simulation output: per-class metrics, subtask-level virtual
-/// deadline accounting and abort counts.
+/// deadline accounting, network transit times and abort counts.
+///
+/// Aborted tasks (firm-deadline policy) are terminal-but-not-completed:
+/// they count in `local`/`global` miss ratios and in the `aborted_*`
+/// counters, while the response/tardiness distributions deliberately
+/// exclude them — see [`ClassMetrics`] for the full semantics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Metrics {
     /// Statistics over local tasks.
@@ -111,6 +132,10 @@ pub struct Metrics {
     /// individual global subtask finished after its assigned virtual
     /// deadline. Not a paper figure, but explains the end-to-end numbers.
     pub subtask_virtual_miss: Ratio,
+    /// Sampled transit time of every networked hand-off (initial
+    /// fan-out, inter-stage forwarding, result return). Empty under
+    /// `NetworkModel::Zero`, where hand-offs are delivered inline.
+    pub transit: Tally,
     /// Global tasks aborted by the firm-deadline policy.
     pub aborted_globals: u64,
     /// Local tasks discarded by the firm-deadline policy.
@@ -160,6 +185,31 @@ mod tests {
         assert_eq!(m.completed(), 1);
         assert_eq!(m.missed(), 1);
         assert_eq!(m.response().count(), 0);
+    }
+
+    #[test]
+    fn aborts_pin_miss_and_percentile_accounting() {
+        // Regression for the documented semantics: aborts move the miss
+        // ratio but leave every distribution statistic untouched.
+        let mut m = ClassMetrics::default();
+        for i in 0..100 {
+            m.record(0.0, 10.0, 5.0 + f64::from(i % 10)); // 4 of 10 miss
+        }
+        let (p95_before, t99_before) = (m.response_p95(), m.tardiness_p99());
+        let (resp_n, tard_mean) = (m.response().count(), m.tardiness().mean());
+        let miss_before = m.miss_ratio();
+        for _ in 0..50 {
+            m.record_aborted();
+        }
+        assert_eq!(m.completed(), 150);
+        assert_eq!(m.missed(), 40 + 50);
+        assert!(m.miss_ratio() > miss_before);
+        // Distribution statistics are conditional on completion: the 50
+        // aborts added no observation anywhere.
+        assert_eq!(m.response().count(), resp_n);
+        assert_eq!(m.tardiness().mean(), tard_mean);
+        assert_eq!(m.response_p95(), p95_before);
+        assert_eq!(m.tardiness_p99(), t99_before);
     }
 
     #[test]

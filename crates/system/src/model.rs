@@ -11,11 +11,12 @@
 
 use sda_core::{FlatRun, NodeId, Submission, TaskId};
 use sda_sched::{Job, JobOrigin};
-use sda_sim::rng::RngFactory;
+use sda_sim::dist::Exponential;
+use sda_sim::rng::{RngFactory, Stream};
 use sda_sim::{Context, Simulation};
 use sda_workload::{ConfigError, TaskFactory};
 
-use crate::config::{OverloadPolicy, SystemConfig};
+use crate::config::{NetworkModel, OverloadPolicy, SystemConfig};
 use crate::metrics::Metrics;
 use crate::node::Node;
 
@@ -45,6 +46,26 @@ pub enum Event {
         node: NodeId,
         /// The node's service epoch when this completion was scheduled.
         epoch: u64,
+    },
+    /// A global subtask hand-off reaches its destination node after
+    /// transit through the network. Only scheduled under a non-zero
+    /// [`NetworkModel`](crate::NetworkModel); with free communication
+    /// hand-offs are delivered inline and this event never occurs.
+    SubtaskArrive {
+        /// The owning global task.
+        task: TaskId,
+        /// The submission in flight (destination node, virtual deadline,
+        /// service demand).
+        sub: Submission,
+    },
+    /// The result of a finished global task reaches the process manager
+    /// after transit; the task's completion time (for metrics and the
+    /// end-to-end deadline check) is this arrival, not the last
+    /// subtask's service completion. Only scheduled under a non-zero
+    /// network model.
+    ResultReturn {
+        /// The finished task.
+        task: TaskId,
     },
     /// Warm-up ends: all statistics restart.
     EndWarmup,
@@ -156,8 +177,23 @@ pub struct SystemModel {
     /// Reusable submission buffer (arrival waves and completion
     /// follow-ups; uses never nest).
     sub_buf: Vec<Submission>,
+    /// Transit delay of each buffered submission, parallel to `sub_buf`
+    /// (all zero under free communication; a positive entry means the
+    /// hand-off is in flight as a [`Event::SubtaskArrive`]).
+    delay_buf: Vec<f64>,
     /// Reusable buffer for admission-policy discards.
     discard_buf: Vec<Job>,
+    /// RNG stream of the network-delay model (only `Exponential` draws
+    /// from it, so deterministic models perturb nothing).
+    net_rng: Stream,
+    /// The hop-delay distribution, pre-built once for the
+    /// `NetworkModel::Exponential` case so the per-hand-off path pays no
+    /// re-validation (`None` for the deterministic models).
+    net_exp: Option<Exponential>,
+    /// Expected per-hop transit time, pre-computed from the network
+    /// model; stamped onto every task's [`FlatRun`] so deadline
+    /// assignment reserves slack for communication.
+    hop_comm: f64,
     metrics: Metrics,
     /// How many more global tasks may start tracing.
     trace_budget: u64,
@@ -174,10 +210,19 @@ impl SystemModel {
     ///
     /// Returns [`ConfigError`] for invalid workload parameters.
     pub fn new(config: SystemConfig, rng: &RngFactory) -> Result<SystemModel, ConfigError> {
+        config.network.validate(config.workload.nodes)?;
         let factory = TaskFactory::new(config.workload.clone(), rng)?;
         let nodes = (0..config.workload.nodes)
             .map(|i| Node::new(NodeId::new(i as u32), config.policy))
             .collect();
+        let net_rng = rng.stream("system.network");
+        let hop_comm = config.network.expected_hop_delay();
+        let net_exp = match config.network {
+            NetworkModel::Exponential { mean } => {
+                Some(Exponential::with_mean(mean).expect("validated above"))
+            }
+            _ => None,
+        };
         Ok(SystemModel {
             config,
             factory,
@@ -187,7 +232,11 @@ impl SystemModel {
             in_flight: 0,
             next_local_id: 0,
             sub_buf: Vec::new(),
+            delay_buf: Vec::new(),
             discard_buf: Vec::new(),
+            net_rng,
+            net_exp,
+            hop_comm,
             metrics: Metrics::new(),
             trace_budget: 0,
             trace_ids: std::collections::HashSet::new(),
@@ -311,6 +360,9 @@ impl SystemModel {
         let slot = self.acquire_task_slot();
         self.factory
             .make_global_flat(now, &mut self.tasks[slot as usize].run);
+        self.tasks[slot as usize]
+            .run
+            .set_expected_comm(self.hop_comm);
         let id = global_task_id(self.tasks[slot as usize].gen, slot);
         if self.trace_budget > 0 {
             self.trace_budget -= 1;
@@ -327,47 +379,108 @@ impl SystemModel {
             .run
             .start(&self.config.strategy, now, &mut self.sub_buf);
         entry.outstanding = self.sub_buf.len() as u32;
-        self.submit_buffered(ctx, id);
+        // The initial fan-out travels process manager → node.
+        self.submit_buffered(ctx, id, None);
         self.schedule_next_global(ctx);
         self.dispatch_buffered(ctx);
     }
 
-    /// Enqueues the submissions waiting in `sub_buf` as jobs of `task`
-    /// (the buffer is left intact for [`SystemModel::dispatch_buffered`]).
-    fn submit_buffered(&mut self, ctx: &mut Context<Event>, task: TaskId) {
-        let now = ctx.now().as_f64();
-        let traced = self.traced(task);
+    /// Delivers one hand-off: enqueues the submission as a job of `task`
+    /// at its node (used inline under free communication, and from
+    /// [`Event::SubtaskArrive`] when the hand-off crossed the network).
+    fn deliver(&mut self, now: sda_sim::SimTime, task: TaskId, sub: Submission) {
+        let t = now.as_f64();
+        let job = Job::global(
+            task,
+            sub.subtask,
+            t,
+            sub.ex,
+            sub.pex,
+            sub.deadline,
+            sub.priority,
+        );
+        self.nodes[sub.node.index()].enqueue(now, job);
+        if self.traced(task) {
+            self.trace.push(TraceEvent::Submitted {
+                task,
+                time: t,
+                node: sub.node,
+                deadline: sub.deadline,
+            });
+        }
+    }
+
+    /// Samples one hand-off's transit time via the pre-built
+    /// distribution when the model is `Exponential` (the only variant
+    /// that draws randomness), falling back to
+    /// [`NetworkModel::sample_delay`] for the deterministic variants.
+    #[inline]
+    fn hop_delay(&mut self, from: Option<NodeId>, to: Option<NodeId>) -> f64 {
+        match &self.net_exp {
+            Some(exp) => exp.sample_with(&mut self.net_rng),
+            None => self
+                .config
+                .network
+                .sample_delay(from, to, &mut self.net_rng),
+        }
+    }
+
+    /// Routes the submissions waiting in `sub_buf` as hand-offs of
+    /// `task` departing from `from` (`None` = the process manager):
+    /// zero-delay hand-offs are enqueued immediately, delayed ones are
+    /// scheduled as [`Event::SubtaskArrive`]. Both buffers are left
+    /// intact for [`SystemModel::dispatch_buffered`].
+    fn submit_buffered(&mut self, ctx: &mut Context<Event>, task: TaskId, from: Option<NodeId>) {
+        let record = !self.config.network.is_zero();
+        self.delay_buf.clear();
         for i in 0..self.sub_buf.len() {
             let sub = self.sub_buf[i];
-            let job = Job::global(
-                task,
-                sub.subtask,
-                now,
-                sub.ex,
-                sub.pex,
-                sub.deadline,
-                sub.priority,
-            );
-            self.nodes[sub.node.index()].enqueue(ctx.now(), job);
-            if traced {
-                self.trace.push(TraceEvent::Submitted {
-                    task,
-                    time: now,
-                    node: sub.node,
-                    deadline: sub.deadline,
-                });
+            let delay = self.hop_delay(from, Some(sub.node));
+            self.delay_buf.push(delay);
+            if record {
+                self.metrics.transit.add(delay);
+            }
+            if delay > 0.0 {
+                ctx.schedule_fast_in(delay, Event::SubtaskArrive { task, sub });
+            } else {
+                self.deliver(ctx.now(), task, sub);
             }
         }
     }
 
-    /// Dispatches each node touched by the submissions in `sub_buf`, in
-    /// submission order — the same order the old collect-then-dispatch
-    /// path used, without the affected-node vector.
+    /// Dispatches each node that received a zero-delay hand-off in
+    /// [`SystemModel::submit_buffered`], in submission order — the same
+    /// order the collect-then-dispatch path used. Nodes whose hand-off
+    /// is still in flight are dispatched when it arrives.
     fn dispatch_buffered(&mut self, ctx: &mut Context<Event>) {
         for i in 0..self.sub_buf.len() {
+            if self.delay_buf[i] > 0.0 {
+                continue;
+            }
             let node = self.sub_buf[i].node;
             self.dispatch(ctx, node);
         }
+    }
+
+    /// A hand-off scheduled by [`SystemModel::submit_buffered`] arrives
+    /// at its destination node.
+    fn handle_subtask_arrive(&mut self, ctx: &mut Context<Event>, task: TaskId, sub: Submission) {
+        let Some(slot) = self.lookup_task(task) else {
+            debug_assert!(false, "hand-off for unknown task {task}");
+            return;
+        };
+        let entry = &mut self.tasks[slot];
+        if entry.aborted {
+            // The task was killed while this hand-off was in flight; the
+            // subtask is dropped on arrival.
+            entry.outstanding -= 1;
+            if entry.outstanding == 0 {
+                self.release_task_slot(slot);
+            }
+            return;
+        }
+        self.deliver(ctx.now(), task, sub);
+        self.dispatch(ctx, sub.node);
     }
 
     fn handle_service_complete(&mut self, ctx: &mut Context<Event>, node: NodeId, epoch: u64) {
@@ -418,22 +531,46 @@ impl SystemModel {
                         .run
                         .complete(subtask, &self.config.strategy, now, &mut self.sub_buf);
                 if finished {
-                    let (arrival, deadline) = (entry.run.arrival(), entry.run.global_deadline());
-                    self.metrics.global.record(arrival, deadline, now);
-                    self.release_task_slot(slot);
-                    if self.traced(task) {
-                        self.trace.push(TraceEvent::Finished {
-                            task,
-                            time: now,
-                            missed: now > deadline,
-                        });
+                    // The result travels node → process manager; the task
+                    // finishes (for the end-to-end deadline check) when
+                    // it arrives there.
+                    let ret = if self.config.network.is_zero() {
+                        0.0
+                    } else {
+                        let d = self.hop_delay(Some(node), None);
+                        self.metrics.transit.add(d);
+                        d
+                    };
+                    if ret > 0.0 {
+                        ctx.schedule_fast_in(ret, Event::ResultReturn { task });
+                    } else {
+                        self.finish_task(task, slot, now);
                     }
                 } else {
                     entry.outstanding += self.sub_buf.len() as u32;
-                    self.submit_buffered(ctx, task);
+                    // Follow-up hand-offs travel from the node whose
+                    // completion released them (serial forwarding; for a
+                    // fan-in, the last-finishing branch's node).
+                    self.submit_buffered(ctx, task, Some(node));
                     self.dispatch_buffered(ctx);
                 }
             }
+        }
+    }
+
+    /// Records a finished global task at `now` (its completion time at
+    /// the process manager) and vacates its slot.
+    fn finish_task(&mut self, task: TaskId, slot: usize, now: f64) {
+        let entry = &self.tasks[slot];
+        let (arrival, deadline) = (entry.run.arrival(), entry.run.global_deadline());
+        self.metrics.global.record(arrival, deadline, now);
+        self.release_task_slot(slot);
+        if self.traced(task) {
+            self.trace.push(TraceEvent::Finished {
+                task,
+                time: now,
+                missed: now > deadline,
+            });
         }
     }
 
@@ -521,6 +658,14 @@ impl Simulation for SystemModel {
             Event::GlobalArrival => self.handle_global_arrival(ctx),
             Event::ServiceComplete { node, epoch } => {
                 self.handle_service_complete(ctx, node, epoch)
+            }
+            Event::SubtaskArrive { task, sub } => self.handle_subtask_arrive(ctx, task, sub),
+            Event::ResultReturn { task } => {
+                let Some(slot) = self.lookup_task(task) else {
+                    debug_assert!(false, "result return for unknown task {task}");
+                    return;
+                };
+                self.finish_task(task, slot, ctx.now().as_f64());
             }
             Event::EndWarmup => {
                 self.metrics.reset();
@@ -741,6 +886,133 @@ mod tests {
             .schedule_at(SimTime::ZERO, Event::Init { warmup_end: 0.0 });
         e.run_until(SimTime::from(200.0));
         assert!(e.model().trace().is_empty());
+    }
+
+    #[test]
+    fn constant_delays_stretch_global_response() {
+        use crate::config::NetworkModel;
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        let mut free = engine(cfg.clone(), 21);
+        free.run_until(SimTime::from(6_000.0));
+
+        cfg.network = NetworkModel::Constant { delay: 0.25 };
+        let mut net = engine(cfg, 21);
+        net.run_until(SimTime::from(6_000.0));
+
+        let mf = free.model().metrics();
+        let mn = net.model().metrics();
+        assert!(mn.global.completed() > 100);
+        // A serial m=4 task pays 5 hops of 0.25 = 1.25 extra end to end.
+        let extra = mn.global.response().mean() - mf.global.response().mean();
+        assert!(
+            extra > 1.0,
+            "delays must stretch the end-to-end response (got +{extra:.3})"
+        );
+        // Every hand-off was recorded: 5 per completed task (4 subtask
+        // hops + 1 result return), modulo tasks still in flight.
+        assert!(mn.transit.count() >= 5 * mn.global.completed());
+        assert_eq!(mn.transit.mean(), 0.25);
+        // Free communication records no transit observations.
+        assert_eq!(mf.transit.count(), 0);
+        // Locals never cross the network.
+        assert_eq!(
+            mf.local.completed(),
+            mn.local.completed(),
+            "local stream must be untouched by the network model"
+        );
+    }
+
+    #[test]
+    fn exponential_delays_average_the_configured_mean() {
+        use crate::config::NetworkModel;
+        let mut cfg = SystemConfig::psp_baseline(SdaStrategy::eqf_div1());
+        cfg.network = NetworkModel::Exponential { mean: 0.5 };
+        let mut e = engine(cfg, 22);
+        e.run_until(SimTime::from(8_000.0));
+        let m = e.model().metrics();
+        assert!(m.global.completed() > 300);
+        assert!(m.transit.count() > 1_000);
+        assert!(
+            (m.transit.mean() - 0.5).abs() < 0.05,
+            "transit mean {} should be near 0.5",
+            m.transit.mean()
+        );
+        assert!(m.transit.min() >= 0.0);
+    }
+
+    #[test]
+    fn delayed_tasks_do_not_leak_in_flight_slots() {
+        use crate::config::NetworkModel;
+        let mut cfg = SystemConfig::psp_baseline(SdaStrategy::ud_div1());
+        cfg.network = NetworkModel::Exponential { mean: 0.4 };
+        cfg.overload = OverloadPolicy::AbortTardy;
+        cfg.workload.load = 0.9;
+        let mut e = engine(cfg, 23);
+        e.run_until(SimTime::from(8_000.0));
+        let m = e.model().metrics();
+        assert!(m.aborted_globals > 0, "high load must abort something");
+        assert!(m.global.completed() > 500);
+        let inflight = e.model().tasks_in_flight();
+        assert!(
+            inflight < 300,
+            "{inflight} tasks in flight with transit + aborts — leak?"
+        );
+    }
+
+    #[test]
+    fn aborted_tasks_counted_in_miss_but_not_in_percentiles() {
+        // Model-level regression for the documented ClassMetrics
+        // semantics under AbortTardy: every terminal global is either a
+        // completion (one response observation) or an abort (none).
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+        cfg.overload = OverloadPolicy::AbortTardy;
+        cfg.workload.load = 0.9;
+        let mut e = engine(cfg, 24);
+        e.run_until(SimTime::from(6_000.0));
+        let m = e.model().metrics();
+        assert!(m.aborted_globals > 0 && m.aborted_locals > 0);
+        assert_eq!(
+            m.global.response().count() + m.aborted_globals,
+            m.global.completed(),
+            "terminal = completed-with-response + aborted"
+        );
+        assert_eq!(
+            m.local.response().count() + m.aborted_locals,
+            m.local.completed()
+        );
+        // Aborts are all misses.
+        assert!(m.global.missed() >= m.aborted_globals);
+        assert!(m.local.missed() >= m.aborted_locals);
+    }
+
+    #[test]
+    fn node_speeds_skew_utilization() {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        cfg.workload.node_speeds = Some(vec![0.5, 1.0, 1.0, 1.0, 1.0, 2.0]);
+        let mut e = engine(cfg, 25);
+        let horizon = SimTime::from(20_000.0);
+        e.run_until(horizon);
+        let utils: Vec<f64> = e
+            .model()
+            .nodes()
+            .iter()
+            .map(|n| n.utilization(horizon))
+            .collect();
+        // The half-speed node serves the same arrival stream at twice the
+        // service time; the double-speed node at half.
+        assert!(
+            utils[0] > 1.5 * utils[1],
+            "slow node {} vs normal {}",
+            utils[0],
+            utils[1]
+        );
+        assert!(
+            utils[5] < 0.75 * utils[1],
+            "fast node {} vs normal {}",
+            utils[5],
+            utils[1]
+        );
+        assert!(e.model().metrics().global.completed() > 100);
     }
 
     #[test]

@@ -82,6 +82,27 @@ impl RunResult {
             self.node_utilization.iter().sum::<f64>() / self.node_utilization.len() as f64
         }
     }
+
+    /// Spread of the per-node utilizations (max − min) — 0 for a
+    /// perfectly balanced system; grows with `node_speeds` skew and
+    /// `local_weights` imbalance.
+    pub fn utilization_spread(&self) -> f64 {
+        let max = self
+            .node_utilization
+            .iter()
+            .copied()
+            .fold(f64::NAN, f64::max);
+        let min = self
+            .node_utilization
+            .iter()
+            .copied()
+            .fold(f64::NAN, f64::min);
+        if max.is_nan() || min.is_nan() {
+            0.0
+        } else {
+            max - min
+        }
+    }
 }
 
 /// Runs the model once.
@@ -136,6 +157,10 @@ pub struct ReplicatedResult {
     pub global_response: Replications,
     /// Mean node utilization per replication.
     pub utilization: Replications,
+    /// Mean hand-off transit time per replication (0 under
+    /// [`NetworkModel::Zero`](crate::NetworkModel::Zero), where no
+    /// transit is observed).
+    pub transit: Replications,
     /// The individual runs, for deeper inspection.
     pub runs: Vec<RunResult>,
 }
@@ -242,6 +267,7 @@ pub fn run_replications_with_threads(
         local_response: Replications::new(),
         global_response: Replications::new(),
         utilization: Replications::new(),
+        transit: Replications::new(),
         runs: Vec::with_capacity(replications),
     };
     // Fold in replication-index order so the aggregate statistics are
@@ -262,6 +288,7 @@ pub fn run_replications_with_threads(
             .global_response
             .add(run.metrics.global.response().mean());
         result.utilization.add(run.mean_utilization());
+        result.transit.add(run.metrics.transit.mean());
         result.runs.push(run);
     }
     Ok(result)
@@ -325,6 +352,31 @@ mod tests {
         assert_eq!(res.md_local(), res.local_miss_pct.mean());
         assert_eq!(res.md_global(), res.global_miss_pct.mean());
         assert_eq!(res.runs.len(), 2);
+    }
+
+    #[test]
+    fn utilization_spread_tracks_speed_skew() {
+        let base = RunConfig::quick(9);
+        let balanced = run_once(&SystemConfig::ssp_baseline(SdaStrategy::eqf_ud()), &base).unwrap();
+        let mut skewed_cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        skewed_cfg.workload.node_speeds = Some(vec![0.6, 0.8, 1.0, 1.0, 1.2, 1.4]);
+        let skewed = run_once(&skewed_cfg, &base).unwrap();
+        assert!(
+            skewed.utilization_spread() > balanced.utilization_spread() + 0.1,
+            "skewed spread {} must exceed balanced {}",
+            skewed.utilization_spread(),
+            balanced.utilization_spread()
+        );
+        // Degenerate inputs stay well-defined.
+        let empty = RunResult {
+            metrics: crate::Metrics::new(),
+            node_utilization: vec![],
+            node_queue_length: vec![],
+            end_time: 0.0,
+            events: 0,
+        };
+        assert_eq!(empty.utilization_spread(), 0.0);
+        assert_eq!(empty.mean_utilization(), 0.0);
     }
 
     #[test]

@@ -69,6 +69,19 @@ pub enum ConfigError {
         /// Available nodes.
         nodes: usize,
     },
+    /// A per-node vector entry (`local_weights`, `node_speeds`, …)
+    /// outside its domain — reports *which* entry so the error is
+    /// actionable.
+    InvalidEntry {
+        /// Which vector parameter.
+        what: &'static str,
+        /// Index of the first offending entry.
+        index: usize,
+        /// Human-readable constraint.
+        constraint: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -83,6 +96,12 @@ impl fmt::Display for ConfigError {
                 f,
                 "parallel fan of {fan} subtasks needs {fan} distinct nodes but only {nodes} exist"
             ),
+            ConfigError::InvalidEntry {
+                what,
+                index,
+                constraint,
+                value,
+            } => write!(f, "{what}[{index}] must satisfy {constraint}, got {value}"),
         }
     }
 }
@@ -159,6 +178,17 @@ pub struct WorkloadConfig {
     /// `None`; otherwise must have one non-negative weight per node with
     /// a positive sum. The *total* local rate is preserved.
     pub local_weights: Option<Vec<f64>>,
+    /// Optional per-node **speed factors** (heterogeneous hardware).
+    /// `None` means every node runs at speed 1 (the paper's homogeneous
+    /// model); otherwise one strictly positive finite factor per node,
+    /// and every task served at node `i` takes `ex / node_speeds[i]` time
+    /// units. Execution-time *predictions* scale identically, so deadline
+    /// assignment sees the node-local service times. Offered work is
+    /// unchanged — speeds skew per-node utilization (a node at speed `s`
+    /// carries `1/s` times the time-load of a speed-1 node), which is
+    /// exactly the heterogeneity axis the network-aware experiments
+    /// sweep.
+    pub node_speeds: Option<Vec<f64>>,
 }
 
 impl WorkloadConfig {
@@ -178,6 +208,7 @@ impl WorkloadConfig {
             pex: PexModel::Perfect,
             service: ServiceVariability::Exponential,
             local_weights: None,
+            node_speeds: None,
         }
     }
 
@@ -312,18 +343,44 @@ impl WorkloadConfig {
                 "one weight per node",
                 w.len() as f64,
             )?;
-            check(
-                "local_weights values",
-                w.iter().all(|x| x.is_finite() && *x >= 0.0),
-                "≥ 0",
-                f64::NAN,
-            )?;
+            if let Some((i, &bad)) = w
+                .iter()
+                .enumerate()
+                .find(|(_, x)| !(x.is_finite() && **x >= 0.0))
+            {
+                return Err(ConfigError::InvalidEntry {
+                    what: "local_weights",
+                    index: i,
+                    constraint: "finite and ≥ 0",
+                    value: bad,
+                });
+            }
             check(
                 "local_weights sum",
                 w.iter().sum::<f64>() > 0.0,
                 "> 0",
                 w.iter().sum::<f64>(),
             )?;
+        }
+        if let Some(s) = &self.node_speeds {
+            check(
+                "node_speeds length",
+                s.len() == self.nodes,
+                "one speed per node",
+                s.len() as f64,
+            )?;
+            if let Some((i, &bad)) = s
+                .iter()
+                .enumerate()
+                .find(|(_, x)| !(x.is_finite() && **x > 0.0))
+            {
+                return Err(ConfigError::InvalidEntry {
+                    what: "node_speeds",
+                    index: i,
+                    constraint: "finite and > 0",
+                    value: bad,
+                });
+            }
         }
         Ok(())
     }
@@ -488,6 +545,57 @@ mod tests {
         c.local_weights = Some(vec![0.0; 6]);
         assert!(c.validate().is_err(), "zero sum");
         c.local_weights = Some(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_weight_error_names_the_entry() {
+        // Regression: this used to report `value: NaN` with no index,
+        // hiding which weight was wrong.
+        let mut c = WorkloadConfig::baseline();
+        c.local_weights = Some(vec![1.0, 2.0, -3.0, 1.0, 1.0, 1.0]);
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidEntry {
+                what: "local_weights",
+                index: 2,
+                constraint: "finite and ≥ 0",
+                value: -3.0,
+            }
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("local_weights[2]"), "{msg}");
+        assert!(msg.contains("-3"), "{msg}");
+
+        c.local_weights = Some(vec![1.0, f64::NAN, 1.0, 1.0, 1.0, 1.0]);
+        match c.validate().unwrap_err() {
+            ConfigError::InvalidEntry { index, value, .. } => {
+                assert_eq!(index, 1);
+                assert!(value.is_nan());
+            }
+            other => panic!("expected InvalidEntry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn speeds_validation() {
+        let mut c = WorkloadConfig::baseline();
+        c.node_speeds = Some(vec![1.0; 5]);
+        assert!(c.validate().is_err(), "wrong length");
+        c.node_speeds = Some(vec![1.0, 1.0, 0.0, 1.0, 1.0, 1.0]);
+        let err = c.validate().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::InvalidEntry {
+                what: "node_speeds",
+                index: 2,
+                constraint: "finite and > 0",
+                value: 0.0,
+            }
+        );
+        assert!(err.to_string().contains("node_speeds[2]"));
+        c.node_speeds = Some(vec![0.5, 0.75, 1.0, 1.0, 1.25, 1.5]);
         assert!(c.validate().is_ok());
     }
 

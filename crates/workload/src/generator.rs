@@ -73,6 +73,9 @@ pub struct TaskFactory {
     global_arrival_exp: Option<Exponential>,
     /// Fisher-Yates scratch for distinct-node draws (reused per stage).
     node_scratch: Vec<u32>,
+    /// Per-node speed factors (all 1.0 when the configuration is
+    /// homogeneous); service at node `i` takes `ex / speeds[i]`.
+    speeds: Vec<f64>,
 }
 
 impl TaskFactory {
@@ -112,6 +115,11 @@ impl TaskFactory {
             .map(|i| rng.stream_indexed("workload.local.arrival", i))
             .collect();
 
+        let speeds = cfg
+            .node_speeds
+            .clone()
+            .unwrap_or_else(|| vec![1.0; cfg.nodes]);
+
         Ok(TaskFactory {
             rates,
             local_ex,
@@ -130,8 +138,14 @@ impl TaskFactory {
             local_arrival_exp,
             global_arrival_exp,
             node_scratch: Vec::with_capacity(cfg.nodes),
+            speeds,
             cfg,
         })
+    }
+
+    /// Per-node speed factors in force (all 1.0 when homogeneous).
+    pub fn node_speeds(&self) -> &[f64] {
+        &self.speeds
     }
 
     /// The configuration in force.
@@ -165,8 +179,13 @@ impl TaskFactory {
     }
 
     /// Generates a local task arriving at `now` at `node`.
+    ///
+    /// The execution time is the sampled demand divided by the node's
+    /// speed factor (identity under the homogeneous baseline), so the
+    /// deadline identity `dl = ar + ex + slack` holds in wall-clock time
+    /// on heterogeneous hardware too.
     pub fn make_local(&mut self, node: NodeId, now: f64) -> LocalTask {
-        let ex = self.local_ex.sample_with(&mut self.local_service);
+        let ex = self.local_ex.sample_with(&mut self.local_service) / self.speeds[node.index()];
         let slack = self.slack.sample_with(&mut self.local_slack);
         LocalTask {
             node,
@@ -252,13 +271,18 @@ impl TaskFactory {
     }
 
     /// `m` bare serial stages, nodes drawn uniformly with replacement.
+    ///
+    /// Sampled demand and its prediction are both divided by the host
+    /// node's speed factor (identity when homogeneous), so deadline
+    /// assignment reasons in node-local service *time*.
     fn fill_serial(&mut self, m: usize, run: &mut FlatRun) {
         let k = self.cfg.nodes as u32;
         for _ in 0..m {
             let node = NodeId::new(self.node_pick.gen_range(0..k));
             let ex = self.subtask_ex.sample_with(&mut self.global_service);
             let pex = self.cfg.pex.predict(ex, &mut self.pex_noise);
-            run.push_subtask(node, ex, pex);
+            let speed = self.speeds[node.index()];
+            run.push_subtask(node, ex / speed, pex / speed);
             run.end_stage();
         }
     }
@@ -279,7 +303,8 @@ impl TaskFactory {
             let node = NodeId::new(self.node_scratch[i]);
             let ex = self.subtask_ex.sample_with(&mut self.global_service);
             let pex = self.cfg.pex.predict(ex, &mut self.pex_noise);
-            run.push_subtask(node, ex, pex);
+            let speed = self.speeds[node.index()];
+            run.push_subtask(node, ex / speed, pex / speed);
         }
         run.end_stage();
     }
@@ -515,6 +540,60 @@ mod tests {
         // Total rate preserved: Σ λ_i = k·λ̄ = 2.25.
         let total: f64 = f.node_rates.iter().sum();
         assert!((total - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_speeds_scale_service_times() {
+        let speeds = vec![0.5, 1.0, 2.0, 1.0, 1.0, 1.0];
+        let hetero = WorkloadConfig {
+            node_speeds: Some(speeds.clone()),
+            ..WorkloadConfig::baseline()
+        };
+        let mut base = factory(WorkloadConfig::baseline(), 40);
+        let mut het = factory(hetero, 40);
+        // Same seed → same demand draws; heterogeneous ex must equal the
+        // homogeneous draw divided by the host node's speed, bit-exactly.
+        for _ in 0..200 {
+            let a = base.make_global(0.0);
+            let b = het.make_global(0.0);
+            for (sa, sb) in a
+                .spec
+                .simple_subtasks()
+                .iter()
+                .zip(b.spec.simple_subtasks())
+            {
+                assert_eq!(sa.node, sb.node);
+                assert_eq!((sa.ex / speeds[sb.node.index()]).to_bits(), sb.ex.to_bits());
+                assert_eq!(
+                    (sa.pex / speeds[sb.node.index()]).to_bits(),
+                    sb.pex.to_bits()
+                );
+            }
+            // The deadline covers the *scaled* critical path plus slack.
+            let slack = b.deadline - b.spec.critical_path_ex();
+            assert!(slack >= 0.25 - 1e-9, "slack {slack}");
+        }
+        // Locals at the slow node take twice the homogeneous time.
+        let la = base.make_local(NodeId::new(0), 1.0);
+        let lb = het.make_local(NodeId::new(0), 1.0);
+        assert_eq!((la.attrs.ex / 0.5).to_bits(), lb.attrs.ex.to_bits());
+    }
+
+    #[test]
+    fn uniform_speeds_are_bit_identical_to_none() {
+        let uniform = WorkloadConfig {
+            node_speeds: Some(vec![1.0; 6]),
+            ..WorkloadConfig::baseline()
+        };
+        let mut a = factory(WorkloadConfig::baseline(), 41);
+        let mut b = factory(uniform, 41);
+        for _ in 0..100 {
+            assert_eq!(a.make_global(2.0), b.make_global(2.0));
+            assert_eq!(
+                a.make_local(NodeId::new(3), 2.0),
+                b.make_local(NodeId::new(3), 2.0)
+            );
+        }
     }
 
     #[test]

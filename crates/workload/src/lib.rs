@@ -20,6 +20,13 @@
 //!   property at 1.0).
 //! * **Prediction error** ([`PexModel`]): the paper's §4.3 extension where
 //!   `pex` deviates from `ex`.
+//! * **Heterogeneous nodes** (`WorkloadConfig::node_speeds`): optional
+//!   per-node speed factors; every task served at node `i` takes
+//!   `ex / node_speeds[i]` time units and predictions scale identically,
+//!   so deadline assignment reasons in node-local service time. `None`
+//!   (or all-1.0) reproduces the paper's homogeneous model bit-exactly.
+//!   `WorkloadConfig::local_weights` independently skews the *arrival*
+//!   side (§4.3's unbalanced local loads).
 //!
 //! The crate is deterministic given an [`RngFactory`](sda_sim::rng::RngFactory):
 //! every stochastic component draws from its own named stream.

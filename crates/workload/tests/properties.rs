@@ -40,6 +40,7 @@ fn valid_configs() -> impl Strategy<Value = WorkloadConfig> {
                     pex: sda_workload::PexModel::Perfect,
                     service: sda_workload::ServiceVariability::Exponential,
                     local_weights: None,
+                    node_speeds: None,
                 }
             },
         )

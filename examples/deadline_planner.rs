@@ -70,6 +70,8 @@ fn main() {
             global_deadline: deadline,
             pex_current: pex[1],
             pex_remaining_after: &pex[2..],
+            comm_current: 0.0,
+            comm_after: 0.0,
         });
         println!("  stage 1 finishes {label:>14} at t={finish1:>5.2} → dl(T2) = {dl2:.2}");
     }

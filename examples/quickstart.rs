@@ -25,6 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             global_deadline: 20.0,
             pex_current: pex[0],
             pex_remaining_after: &pex[1..],
+            comm_current: 0.0,
+            comm_after: 0.0,
         });
         println!("  {:<4} -> dl(T1) = {dl:>6.2}", strategy.short_name());
     }

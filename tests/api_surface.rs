@@ -94,6 +94,8 @@ fn ssp_formula_reachable_from_facade() {
         global_deadline: 10.0,
         pex_current: 1.0,
         pex_remaining_after: &[2.0],
+        comm_current: 0.0,
+        comm_after: 0.0,
     });
     assert_eq!(dl, 8.0);
 }

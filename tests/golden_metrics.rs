@@ -18,10 +18,15 @@
 
 use sda::core::SdaStrategy;
 use sda::sched::Policy;
-use sda::system::{run_once, OverloadPolicy, RunConfig, SystemConfig};
+use sda::system::{run_once, NetworkModel, OverloadPolicy, RunConfig, SystemConfig};
 
 /// The observable fingerprint of a run: every count exactly, every float
 /// by bit pattern.
+///
+/// `transit_*` pin the network model's hand-off accounting: exactly zero
+/// observations under `NetworkModel::Zero` (the delay-free path must not
+/// even sample), and an exact count + bit-exact mean under a delayed
+/// model.
 #[derive(Debug, PartialEq, Eq)]
 struct Fingerprint {
     local_completed: u64,
@@ -34,6 +39,8 @@ struct Fingerprint {
     global_resp_mean_bits: u64,
     util0_bits: u64,
     qlen0_bits: u64,
+    transit_count: u64,
+    transit_mean_bits: u64,
 }
 
 fn fingerprint(cfg: &SystemConfig, seed: u64) -> Fingerprint {
@@ -54,6 +61,8 @@ fn fingerprint(cfg: &SystemConfig, seed: u64) -> Fingerprint {
         global_resp_mean_bits: r.metrics.global.response().mean().to_bits(),
         util0_bits: r.node_utilization[0].to_bits(),
         qlen0_bits: r.node_queue_length[0].to_bits(),
+        transit_count: r.metrics.transit.count(),
+        transit_mean_bits: r.metrics.transit.mean().to_bits(),
     }
 }
 
@@ -88,6 +97,8 @@ fn golden_ssp_baseline_eqf() {
             global_resp_mean_bits: 4628422266042203604,
             util0_bits: 4606241678459040175,
             qlen0_bits: 4617625172412484963,
+            transit_count: 0,
+            transit_mean_bits: 0,
         },
     );
 }
@@ -114,6 +125,40 @@ fn golden_psp_baseline_preemptive() {
             global_resp_mean_bits: 4619236402020087755,
             util0_bits: 4605446474669936584,
             qlen0_bits: 4613988704058616731,
+            transit_count: 0,
+            transit_mean_bits: 0,
+        },
+    );
+}
+
+/// The network-aware configuration the heterogeneity PR adds: a speed
+/// ramp plus exponential hand-off delays on §6 pipelines. Captured when
+/// the feature landed; pins the delayed-hand-off event flow, the
+/// `system.network` RNG stream and the comm-aware deadline decomposition.
+#[test]
+fn golden_heterogeneous_delayed_pipelines() {
+    // Speeds keep every node below saturation (slowest: 0.7/0.8 ≈ 0.88).
+    let mut cfg = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+    cfg.workload.load = 0.7;
+    cfg.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    cfg.network = NetworkModel::Exponential { mean: 0.25 };
+    check(
+        "hetero_delayed_pipelines",
+        &cfg,
+        0xFEED,
+        Fingerprint {
+            local_completed: 18870,
+            local_missed: 5715,
+            global_completed: 1008,
+            global_missed: 331,
+            local_miss_pct_bits: 4629218016261362594,
+            global_miss_pct_bits: 4629818256659262643,
+            local_resp_mean_bits: 4616174296890870266,
+            global_resp_mean_bits: 4624163695727701075,
+            util0_bits: 4605983051061895086,
+            qlen0_bits: 4617236439721488370,
+            transit_count: 7065,
+            transit_mean_bits: 4598181136320490097,
         },
     );
 }
@@ -139,6 +184,8 @@ fn golden_abort_tardy_mlf() {
             global_resp_mean_bits: 4620863787516016903,
             util0_bits: 4604746611010296125,
             qlen0_bits: 4608317110707058125,
+            transit_count: 0,
+            transit_mean_bits: 0,
         },
     );
 }
