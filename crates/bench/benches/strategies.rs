@@ -24,6 +24,7 @@ fn bench_ssp_formulas(c: &mut Criterion) {
                         pex_remaining_after: black_box(&pex_rest),
                         comm_current: 0.0,
                         comm_after: 0.0,
+                        slack_scale: 1.0,
                     };
                     black_box(s.deadline(&input))
                 });
@@ -49,6 +50,7 @@ fn bench_psp_formulas(c: &mut Criterion) {
                     branch_count: black_box(8),
                     comm_current: 0.0,
                     comm_after: 0.0,
+                    slack_scale: 1.0,
                 };
                 black_box(s.deadline(&input))
             });

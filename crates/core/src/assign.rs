@@ -13,6 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::adapt::AdaptiveSlack;
 use crate::error::SpecError;
 use crate::ids::{NodeId, PriorityClass};
 use crate::psp::{ParallelStrategy, PspInput};
@@ -23,18 +24,48 @@ use crate::strategy::DeadlineAssigner;
 /// A complete SDA strategy: one rule for serial levels, one for parallel
 /// levels. The paper evaluates the four combinations UD-UD, UD-DIV1,
 /// EQF-UD and EQF-DIV1 in §6.
+///
+/// The optional [`adapt`](SdaStrategy::adapt) wrapper turns the strategy
+/// into `ADAPT(base)`: the simulator then feeds its windowed miss-ratio
+/// estimate through [`AdaptiveSlack::scale`] into the
+/// `slack_scale` input of every deadline computation (see
+/// [`SspInput`](crate::SspInput)), shrinking slack shares under observed
+/// overload. `None` (the default) is the paper's open-loop behavior,
+/// bit-exactly.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SdaStrategy {
     /// Strategy applied among the children of serial compositions.
     pub serial: SerialStrategy,
     /// Strategy applied among the children of parallel compositions.
     pub parallel: ParallelStrategy,
+    /// Feedback-adaptive slack scaling (`ADAPT(base)`); `None` = the
+    /// paper's open-loop strategies.
+    pub adapt: Option<AdaptiveSlack>,
 }
 
 impl SdaStrategy {
-    /// Combines a serial and a parallel strategy.
+    /// Combines a serial and a parallel strategy (open-loop, no
+    /// adaptation).
     pub fn new(serial: SerialStrategy, parallel: ParallelStrategy) -> SdaStrategy {
-        SdaStrategy { serial, parallel }
+        SdaStrategy {
+            serial,
+            parallel,
+            adapt: None,
+        }
+    }
+
+    /// Wraps `base` into `ADAPT(base)` with the given feedback
+    /// configuration.
+    pub fn adaptive(base: SdaStrategy, adapt: AdaptiveSlack) -> SdaStrategy {
+        SdaStrategy {
+            adapt: Some(adapt),
+            ..base
+        }
+    }
+
+    /// Whether this strategy closes the feedback loop.
+    pub fn is_adaptive(&self) -> bool {
+        self.adapt.is_some()
     }
 
     /// UD-UD: the do-nothing baseline of §6.
@@ -69,13 +100,19 @@ impl SdaStrategy {
         )
     }
 
-    /// Compact name like `EQF-DIV1`, matching the paper's §6 labels.
+    /// Compact name like `EQF-DIV1`, matching the paper's §6 labels;
+    /// adaptive strategies render as `ADAPT(EQF-DIV1)`.
     pub fn short_name(&self) -> String {
-        format!(
+        let base = format!(
             "{}-{}",
             self.serial.short_name(),
             self.parallel.short_name().replace('-', "")
-        )
+        );
+        if self.adapt.is_some() {
+            format!("ADAPT({base})")
+        } else {
+            base
+        }
     }
 }
 
@@ -375,6 +412,7 @@ impl TaskRun {
             pex_remaining_after: &pex_rest,
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         })
     }
 
@@ -420,6 +458,7 @@ impl TaskRun {
                     branch_count: n,
                     comm_current: 0.0,
                     comm_after: 0.0,
+                    slack_scale: 1.0,
                 });
                 for child in children {
                     self.activate(child, strategy, now, branch_dl, out);
@@ -664,6 +703,11 @@ mod tests {
         assert_eq!(SdaStrategy::ud_div1().short_name(), "UD-DIV1");
         assert_eq!(SdaStrategy::eqf_ud().short_name(), "EQF-UD");
         assert_eq!(SdaStrategy::eqf_div1().to_string(), "EQF-DIV1");
+        let adaptive =
+            SdaStrategy::adaptive(SdaStrategy::eqf_div1(), crate::AdaptiveSlack::default());
+        assert!(adaptive.is_adaptive());
+        assert_eq!(adaptive.short_name(), "ADAPT(EQF-DIV1)");
+        assert!(!SdaStrategy::eqf_div1().is_adaptive());
     }
 
     #[test]

@@ -70,7 +70,7 @@ use crate::strategy::DeadlineAssigner;
 /// assert!(!finished);
 /// assert!((subs[0].deadline - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FlatRun {
     /// All simple subtasks, in stage order.
     subtasks: Vec<SimpleSpec>,
@@ -99,6 +99,36 @@ pub struct FlatRun {
     /// fields of [`SspInput`]/[`PspInput`] so slack-dividing strategies
     /// reserve slack for transit.
     expected_hop_comm: f64,
+    /// Feedback-driven multiplier on the slack share of every stage
+    /// activation (1.0 = the paper's open-loop formulas). Stamped by the
+    /// system model from its windowed miss-ratio estimate when the
+    /// strategy is `ADAPT(base)`; feeds the `slack_scale` field of
+    /// [`SspInput`]/[`PspInput`].
+    slack_scale: f64,
+}
+
+impl Default for FlatRun {
+    /// An empty run — identical to a freshly [`reset`](FlatRun::reset)
+    /// one (in particular `slack_scale` starts at its neutral 1.0).
+    fn default() -> FlatRun {
+        FlatRun {
+            subtasks: Vec::new(),
+            stage_ends: Vec::new(),
+            stage_pex: Vec::new(),
+            done: Vec::new(),
+            arrival: 0.0,
+            deadline: 0.0,
+            serial_levels: true,
+            parallel_groups: false,
+            current_stage: 0,
+            remaining_in_stage: 0,
+            completed: 0,
+            started: false,
+            finished: false,
+            expected_hop_comm: 0.0,
+            slack_scale: 1.0,
+        }
+    }
 }
 
 impl FlatRun {
@@ -124,6 +154,7 @@ impl FlatRun {
         self.started = false;
         self.finished = false;
         self.expected_hop_comm = 0.0;
+        self.slack_scale = 1.0;
     }
 
     /// Appends one subtask to the stage currently being built.
@@ -181,6 +212,25 @@ impl FlatRun {
     /// The declared expected one-hop communication delay.
     pub fn expected_comm(&self) -> f64 {
         self.expected_hop_comm
+    }
+
+    /// Declares the feedback-driven slack-share multiplier in force for
+    /// the *next* stage activation (the system model re-stamps it before
+    /// every [`FlatRun::start`]/[`FlatRun::complete`] under an
+    /// `ADAPT(base)` strategy, so the loop reacts to the live miss-ratio
+    /// estimate). The default — and the value after [`FlatRun::reset`] —
+    /// is `1.0`, which reproduces the open-loop deadlines bit-exactly.
+    pub fn set_slack_scale(&mut self, scale: f64) {
+        debug_assert!(
+            scale.is_finite() && scale > 0.0,
+            "invalid slack scale {scale}"
+        );
+        self.slack_scale = scale;
+    }
+
+    /// The slack-share multiplier currently in force.
+    pub fn slack_scale(&self) -> f64 {
+        self.slack_scale
     }
 
     /// The task's arrival time.
@@ -338,6 +388,7 @@ impl FlatRun {
                 // hand-offs plus the result return still to pay.
                 comm_current: hop,
                 comm_after: hop * (self.stage_ends.len() - stage) as f64,
+                slack_scale: self.slack_scale,
             })
         } else {
             self.deadline
@@ -352,6 +403,7 @@ impl FlatRun {
                 // already reserves downstream transit; a top-level
                 // parallel task still owes its result return.
                 comm_after: if self.serial_levels { 0.0 } else { hop },
+                slack_scale: self.slack_scale,
             })
         } else {
             stage_dl
@@ -593,6 +645,46 @@ mod tests {
             "{}",
             more[0].deadline
         );
+    }
+
+    #[test]
+    fn slack_scale_tightens_stage_deadlines() {
+        // Two serial stages, pex 1 each, dl = 8 → slack 6. At scale 0.5
+        // EQS hands stage 1 a share of 0.5·(6/2) = 1.5: dl = 2.5.
+        let mut run = serial_chain(&[1.0, 1.0], 8.0);
+        run.set_slack_scale(0.5);
+        assert_eq!(run.slack_scale(), 0.5);
+        let strategy = SdaStrategy::new(
+            crate::SerialStrategy::EqualSlack,
+            crate::ParallelStrategy::UltimateDeadline,
+        );
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert!(
+            (subs[0].deadline - 2.5).abs() < 1e-12,
+            "{}",
+            subs[0].deadline
+        );
+        // Re-stamping before the next activation takes effect there:
+        // back at scale 1, the last stage gets the full remaining slack.
+        run.set_slack_scale(1.0);
+        let mut more = Vec::new();
+        let finished = run.complete(subs[0].subtask, &strategy, 2.0, &mut more);
+        assert!(!finished);
+        assert!(
+            (more[0].deadline - 8.0).abs() < 1e-12,
+            "{}",
+            more[0].deadline
+        );
+    }
+
+    #[test]
+    fn reset_restores_neutral_slack_scale() {
+        let mut run = serial_chain(&[1.0], 2.0);
+        run.set_slack_scale(0.25);
+        run.reset();
+        assert_eq!(run.slack_scale(), 1.0);
+        assert_eq!(FlatRun::new().slack_scale(), 1.0);
     }
 
     #[test]

@@ -16,7 +16,13 @@
 //! * the **parallel subtask problem** ([`ParallelStrategy`]):
 //!   Ultimate Deadline, DIV-x, Globals First;
 //! * the combined, recursive assigner for serial-parallel trees
-//!   ([`TaskRun`] driving an [`SdaStrategy`]).
+//!   ([`TaskRun`] driving an [`SdaStrategy`]);
+//! * beyond the paper, the **feedback-adaptive wrapper** `ADAPT(base)`
+//!   ([`AdaptiveSlack`]): a windowed miss-ratio signal, threaded through
+//!   [`SspInput::slack_scale`]/[`PspInput::slack_scale`], shrinks the
+//!   slack share the slack-dividing strategies hand each stage while the
+//!   system is observably overloaded — closing the loop the open-loop
+//!   strategies leave open under bursty, non-stationary arrivals.
 //!
 //! This crate is pure and deterministic: no clocks, no RNG, no I/O. The
 //! simulation crates (`sda-system`, `sda-workload`) drive it; it is equally
@@ -56,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adapt;
 mod assign;
 mod attr;
 mod error;
@@ -66,6 +73,7 @@ mod spec;
 mod ssp;
 mod strategy;
 
+pub use adapt::AdaptiveSlack;
 pub use assign::{Completion, SdaStrategy, Submission, SubtaskRef, TaskRun};
 pub use attr::TaskAttributes;
 pub use error::SpecError;

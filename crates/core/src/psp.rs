@@ -33,6 +33,15 @@ pub struct PspInput {
     /// reserved by the serial decomposition that produced the group's
     /// window.
     pub comm_after: f64,
+    /// Multiplier applied to the per-branch window share DIV-x carves
+    /// out. `1.0` is neutral (the paper's eq. (1) bit-exactly); the
+    /// feedback-adaptive `ADAPT(base)` wrapper drives it below 1 under
+    /// observed overload, pulling branch deadlines even earlier. Only a
+    /// *positive* window share is scaled — a group activated past its
+    /// window (negative share) keeps the open-loop deadline, since
+    /// damping a negative share would push the deadline later and demote
+    /// the group. UD and GF keep the group deadline and ignore it.
+    pub slack_scale: f64,
 }
 
 impl PspInput {
@@ -74,6 +83,7 @@ impl PspInput {
 ///     branch_count: 4,
 ///     comm_current: 0.0,
 ///     comm_after: 0.0,
+///     slack_scale: 1.0,
 /// };
 /// assert_eq!(ParallelStrategy::UltimateDeadline.deadline(&input), 22.0);
 /// // DIV-1: 10 + 12/4 = 13; DIV-2: 10 + 12/8 = 11.5
@@ -151,7 +161,10 @@ impl ParallelStrategy {
             ParallelStrategy::Div { x } => {
                 input.arrival_time
                     + input.comm_current
-                    + input.net_window() / (input.branch_count as f64 * x)
+                    + crate::ssp::scale_share(
+                        input.slack_scale,
+                        input.net_window() / (input.branch_count as f64 * x),
+                    )
             }
         }
     }
@@ -185,6 +198,7 @@ mod tests {
             branch_count: n,
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         }
     }
 
@@ -239,6 +253,7 @@ mod tests {
             branch_count: 4,
             comm_current: 1.0,
             comm_after: 1.0,
+            slack_scale: 1.0,
         };
         assert_eq!(i.window(), 20.0);
         assert_eq!(i.net_window(), 18.0);
@@ -256,6 +271,33 @@ mod tests {
         let div1 = ParallelStrategy::div(1.0).unwrap();
         let paper: f64 = 5.0 + 20.0 / 4.0;
         assert_eq!(div1.deadline(&i).to_bits(), paper.to_bits());
+    }
+
+    #[test]
+    fn slack_scale_shrinks_div_share_only() {
+        let mut i = input(5.0, 25.0, 4);
+        i.slack_scale = 0.5;
+        // DIV-1: 5 + 0.5·(20/4) = 7.5 instead of 10.
+        let div1 = ParallelStrategy::div(1.0).unwrap();
+        assert!((div1.deadline(&i) - 7.5).abs() < EPS);
+        // UD and GF ignore the scale.
+        assert_eq!(ParallelStrategy::UltimateDeadline.deadline(&i), 25.0);
+        assert_eq!(ParallelStrategy::GlobalsFirst.deadline(&i), 25.0);
+        // Scale 1 reproduces eq. (1) bit-exactly.
+        i.slack_scale = 1.0;
+        assert_eq!(div1.deadline(&i).to_bits(), (5.0 + 20.0 / 4.0f64).to_bits());
+        // A group activated past its window (negative share) is not
+        // damped — scaling would move the branch deadline later.
+        let mut late = input(30.0, 25.0, 4);
+        late.slack_scale = 0.25;
+        let mut late_base = late;
+        late_base.slack_scale = 1.0;
+        assert!(late.net_window() < 0.0);
+        assert_eq!(
+            div1.deadline(&late).to_bits(),
+            div1.deadline(&late_base).to_bits(),
+            "negative window shares must pass through unscaled"
+        );
     }
 
     #[test]

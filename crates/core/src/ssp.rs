@@ -41,6 +41,18 @@ pub struct SspInput<'a> {
     /// result return to the process manager. `0.0` in a delay-free
     /// network.
     pub comm_after: f64,
+    /// Multiplier applied to the slack *share* a slack-dividing strategy
+    /// (EQS, EQF, EQF-AS) hands the current subtask. `1.0` is neutral
+    /// and reproduces the paper's formulas bit-exactly; the
+    /// feedback-adaptive `ADAPT(base)` wrapper drives it below 1 under
+    /// observed overload, tightening early-stage deadlines so global
+    /// subtasks outrank local tasks while the system is behind. Only a
+    /// *positive* share is scaled: a task already behind schedule has a
+    /// negative share, which stays untouched — damping it would move the
+    /// deadline *later*, demoting exactly the tasks the loop means to
+    /// promote. UD and ED have no explicit slack share and ignore the
+    /// multiplier entirely.
+    pub slack_scale: f64,
 }
 
 impl SspInput<'_> {
@@ -79,6 +91,21 @@ impl SspInput<'_> {
     }
 }
 
+/// Applies a feedback slack multiplier to a slack share: positive shares
+/// shrink by `scale`, non-positive shares pass through unchanged (a
+/// behind-schedule share must stay as urgent as the open-loop formula
+/// made it — damping it would *demote* the task). At `scale = 1.0` this
+/// is the IEEE-754 identity on every input, so disabled feedback is
+/// bit-exact.
+#[inline]
+pub(crate) fn scale_share(scale: f64, share: f64) -> f64 {
+    if share > 0.0 {
+        scale * share
+    } else {
+        share
+    }
+}
+
 /// The four SSP strategies of paper §4 (definitions (1)–(4)).
 ///
 /// | Strategy | Needs `pex`? | Formula for `dl(Ti)` |
@@ -106,6 +133,7 @@ impl SspInput<'_> {
 ///     pex_remaining_after: &[3.0, 5.0],
 ///     comm_current: 0.0,
 ///     comm_after: 0.0,
+///     slack_scale: 1.0,
 /// };
 /// assert_eq!(SerialStrategy::UltimateDeadline.deadline(&input), 20.0);
 /// assert_eq!(SerialStrategy::EffectiveDeadline.deadline(&input), 12.0);
@@ -190,8 +218,9 @@ impl SerialStrategy {
     ///   slack left once all expected transit is reserved (see
     ///   [`SspInput::remaining_slack`]).
     ///
-    /// With both `comm` fields zero this reduces bit-exactly to the
-    /// paper's formulas.
+    /// With both `comm` fields zero and `slack_scale = 1` this reduces
+    /// bit-exactly to the paper's formulas (`1.0 · x` and `x ± 0.0` are
+    /// IEEE-754 identities).
     ///
     /// Degenerate case: if every remaining `pex` is zero, EQF's
     /// proportional share is undefined (0/0); it falls back to EQS's equal
@@ -206,7 +235,10 @@ impl SerialStrategy {
                 input.submit_time
                     + input.comm_current
                     + input.pex_current
-                    + input.remaining_slack() / input.remaining_count() as f64
+                    + scale_share(
+                        input.slack_scale,
+                        input.remaining_slack() / input.remaining_count() as f64,
+                    )
             }
             SerialStrategy::EqualFlexibility => {
                 let total_pex = input.pex_including();
@@ -217,7 +249,10 @@ impl SerialStrategy {
                 input.submit_time
                     + input.comm_current
                     + input.pex_current
-                    + input.remaining_slack() * (input.pex_current / total_pex)
+                    + scale_share(
+                        input.slack_scale,
+                        input.remaining_slack() * (input.pex_current / total_pex),
+                    )
             }
             SerialStrategy::EqualFlexibilityArtificial { artificial_stages } => {
                 let total_pex = input.pex_including();
@@ -231,7 +266,10 @@ impl SerialStrategy {
                 input.submit_time
                     + input.comm_current
                     + input.pex_current
-                    + input.remaining_slack() * (input.pex_current / inflated)
+                    + scale_share(
+                        input.slack_scale,
+                        input.remaining_slack() * (input.pex_current / inflated),
+                    )
             }
         }
     }
@@ -259,6 +297,7 @@ impl SerialStrategy {
                 pex_remaining_after: &pex[i + 1..],
                 comm_current: 0.0,
                 comm_after: 0.0,
+                slack_scale: 1.0,
             };
             let dl = self.deadline(&input);
             // The next stage is submitted when this one completes; in the
@@ -297,6 +336,7 @@ mod tests {
             pex_remaining_after: rest,
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         }
     }
 
@@ -499,6 +539,7 @@ mod tests {
             pex_remaining_after: &[3.0, 5.0],
             comm_current: 1.0,
             comm_after: 3.0,
+            slack_scale: 1.0,
         };
         assert_eq!(comm.comm_total(), 4.0);
         assert!((comm.remaining_slack() - 10.0).abs() < EPS);
@@ -541,6 +582,48 @@ mod tests {
                 expected.to_bits(),
                 "{s} with zero comm must reproduce the paper formula bit-exactly"
             );
+        }
+    }
+
+    #[test]
+    fn slack_scale_shrinks_only_the_slack_share() {
+        // pex [2, 3, 5], dl 20, slack 10. At scale 0.5 the EQS share
+        // halves (10/3 → 5/3) and EQF's 2.0 → 1.0; UD/ED are untouched.
+        let mut i = input(0.0, 20.0, 2.0, &[3.0, 5.0]);
+        i.slack_scale = 0.5;
+        assert_eq!(SerialStrategy::UltimateDeadline.deadline(&i), 20.0);
+        assert_eq!(SerialStrategy::EffectiveDeadline.deadline(&i), 12.0);
+        let eqs = SerialStrategy::EqualSlack.deadline(&i);
+        assert!((eqs - (2.0 + 5.0 / 3.0)).abs() < EPS, "{eqs}");
+        let eqf = SerialStrategy::EqualFlexibility.deadline(&i);
+        assert!((eqf - 3.0).abs() < EPS, "{eqf}");
+        // A behind-schedule stage (negative remaining slack) is NOT
+        // damped: scaling a negative share would move the deadline
+        // *later*, demoting the task the loop means to promote.
+        let mut late = input(18.0, 20.0, 2.0, &[3.0, 4.0]);
+        late.slack_scale = 0.25;
+        let mut late_base = late;
+        late_base.slack_scale = 1.0;
+        for s in [SerialStrategy::EqualSlack, SerialStrategy::EqualFlexibility] {
+            assert!(late.remaining_slack() < 0.0);
+            assert_eq!(
+                s.deadline(&late).to_bits(),
+                s.deadline(&late_base).to_bits(),
+                "{s}: negative shares must pass through unscaled"
+            );
+        }
+        // Scale 1 is the exact paper formula, bit for bit.
+        let mut one = i;
+        one.slack_scale = 1.0;
+        let base = input(0.0, 20.0, 2.0, &[3.0, 5.0]);
+        for s in [
+            SerialStrategy::EqualSlack,
+            SerialStrategy::EqualFlexibility,
+            SerialStrategy::EqualFlexibilityArtificial {
+                artificial_stages: 2,
+            },
+        ] {
+            assert_eq!(s.deadline(&one).to_bits(), s.deadline(&base).to_bits());
         }
     }
 

@@ -107,6 +107,7 @@ mod tests {
             pex_remaining_after: &[3.0, 5.0],
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         assert_eq!(
             s.serial_deadline(&ssp),
@@ -118,6 +119,7 @@ mod tests {
             branch_count: 3,
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         assert_eq!(s.parallel_deadline(&psp), 4.0);
         assert_eq!(s.priority_class(), PriorityClass::Normal);
@@ -145,6 +147,7 @@ mod tests {
             pex_remaining_after: &[],
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         assert_eq!(div.serial_deadline(&ssp), 11.0);
     }
@@ -161,6 +164,7 @@ mod tests {
             branch_count: 2,
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         for s in &strategies {
             assert!(s.parallel_deadline(&psp) <= 8.0);

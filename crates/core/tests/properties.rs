@@ -34,6 +34,7 @@ proptest! {
             pex_remaining_after: &pex[1..],
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         let dl = SerialStrategy::EqualSlack.deadline(&input);
         let share = dl - submit - pex[0];
@@ -57,6 +58,7 @@ proptest! {
             pex_remaining_after: &pex[1..],
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         let dl = SerialStrategy::EqualFlexibility.deadline(&input);
         let fl = (dl - submit - pex[0]) / pex[0];
@@ -82,6 +84,7 @@ proptest! {
             pex_remaining_after: &pex[1..],
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         let ud = SerialStrategy::UltimateDeadline.deadline(&input);
         let ed = SerialStrategy::EffectiveDeadline.deadline(&input);
@@ -131,6 +134,7 @@ proptest! {
             branch_count: n,
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         };
         let div = ParallelStrategy::div(x).unwrap();
         let dl = div.deadline(&input);

@@ -1,0 +1,21 @@
+//! Extension: time-varying workloads (MMPP bursts, phased overload
+//! transients) and the feedback-adaptive `ADAPT(EQF)` strategy — the
+//! non-stationary scenario axis the paper leaves open.
+
+use sda_experiments::{emit, ext::burst, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let bursty = burst::burstiness(&opts);
+    emit(
+        &bursty,
+        &opts,
+        &[Metric::MdGlobal, Metric::MdLocal, Metric::GlobalResponse],
+    );
+    let phased = burst::overload_phase(&opts);
+    emit(
+        &phased,
+        &opts,
+        &[Metric::MdGlobal, Metric::MdLocal, Metric::GlobalResponse],
+    );
+}

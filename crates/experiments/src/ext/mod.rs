@@ -8,6 +8,7 @@
 //! studies.
 
 pub mod abort_tardy;
+pub mod burst;
 pub mod divx;
 pub mod eqf_as;
 pub mod gf;

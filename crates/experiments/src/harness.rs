@@ -364,6 +364,21 @@ impl SweepData {
     }
 }
 
+/// Collapses a display string into a file-name slug: alphanumerics are
+/// lowercased, every run of anything else becomes one `_`, and edge
+/// underscores are trimmed.
+fn slugify(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
 /// Prints the tables for `metrics` and, when `--csv DIR` was given,
 /// writes one CSV file per metric into the directory (created if
 /// missing). File names are derived from the sweep title.
@@ -376,33 +391,13 @@ pub fn emit(data: &SweepData, opts: &ExperimentOpts, metrics: &[Metric]) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
-    let slug: String = data
-        .title
-        .chars()
-        .take_while(|&c| c != '—')
-        .collect::<String>()
-        .trim()
-        .chars()
-        .map(|c| {
-            if c.is_alphanumeric() {
-                c.to_ascii_lowercase()
-            } else {
-                '_'
-            }
-        })
-        .collect();
+    // Slug over the *whole* title: several sweeps in one binary share
+    // the prefix before the em-dash (e.g. "Ext — delay sensitivity" and
+    // "Ext — heterogeneous node speeds"), and a prefix-only slug made
+    // the second sweep overwrite the first's CSV files.
+    let slug: String = slugify(&data.title);
     for m in metrics {
-        let metric_slug: String = m
-            .name()
-            .chars()
-            .map(|c| {
-                if c.is_alphanumeric() {
-                    c.to_ascii_lowercase()
-                } else {
-                    '_'
-                }
-            })
-            .collect();
+        let metric_slug = slugify(m.name());
         let path = dir.join(format!("{slug}_{metric_slug}.csv"));
         if let Err(e) = std::fs::write(&path, data.csv(*m)) {
             eprintln!("warning: cannot write {}: {e}", path.display());
@@ -639,6 +634,19 @@ mod tests {
         assert!(body.starts_with("load,UD,UD_hw"));
         assert_eq!(body.lines().count(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slugs_distinguish_sweeps_sharing_a_prefix() {
+        // Regression: the slug used to stop at the first em-dash, so
+        // every "Ext — …" sweep in one binary overwrote the previous
+        // sweep's CSV files.
+        let a = slugify("Ext — burstiness (MMPP arrivals, pipelines)");
+        let b = slugify("Ext — overload transients (phased arrivals, pipelines)");
+        assert_ne!(a, b);
+        assert_eq!(a, "ext_burstiness_mmpp_arrivals_pipelines");
+        assert_eq!(slugify("MD_global (%)"), "md_global");
+        assert_eq!(slugify("  — "), "");
     }
 
     #[test]

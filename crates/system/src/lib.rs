@@ -17,7 +17,13 @@
 //!   serial forwarding, fan-in, result return — becomes a delayed
 //!   in-flight event, and deadline-assignment strategies reserve slack
 //!   for the expected transit;
-//! * per-node **local task** streams competing with global subtasks;
+//! * per-node **local task** streams competing with global subtasks —
+//!   stationary Poisson by default, or bursty/phased under a
+//!   time-varying `WorkloadConfig::arrivals` process;
+//! * a **feedback loop** for `ADAPT(base)` strategies: a windowed
+//!   miss-ratio EWMA ([`Feedback`], O(1) per completion) is stamped
+//!   into every stage activation as a slack-share multiplier, so
+//!   deadline assignment tightens itself under observed overload;
 //! * **metrics**: per-class missed-deadline ratios (the paper's primary
 //!   measure), response times, tardiness, subtask-level virtual-deadline
 //!   misses, hand-off transit times and node utilizations, with warm-up
@@ -57,7 +63,7 @@ mod runner;
 
 pub use batch::{run_batch_means, BatchedResult};
 pub use config::{NetworkModel, OverloadPolicy, SystemConfig};
-pub use metrics::{ClassMetrics, Metrics};
+pub use metrics::{ClassMetrics, Feedback, Metrics};
 pub use model::{Event, SystemModel, TraceEvent};
 pub use node::Node;
 pub use runner::{

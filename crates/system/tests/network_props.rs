@@ -1,0 +1,162 @@
+//! Property tests for [`NetworkModel`] — the PR-3 surface that shipped
+//! with example-based tests only.
+//!
+//! Pins: `Matrix` validation rejects wrong dimensions and poisoned
+//! entries with *indexed* errors; `expected_hop_delay` is non-negative,
+//! zero for `Zero`, and the mean over entries for `Matrix`; and
+//! `sample_delay` returns exactly the matrix entry for **every**
+//! (src, dst) pair, including the process-manager endpoint, without
+//! consuming randomness.
+
+use proptest::prelude::*;
+
+use sda_core::NodeId;
+use sda_system::NetworkModel;
+use sda_workload::ConfigError;
+
+/// A random valid delay matrix over `nodes + 1` endpoints.
+fn matrix(nodes: usize, rng_rows: &[f64]) -> Vec<Vec<f64>> {
+    let side = nodes + 1;
+    (0..side)
+        .map(|i| {
+            (0..side)
+                .map(|j| rng_rows[(i * side + j) % rng_rows.len()].abs())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A square matrix of finite non-negative entries over `nodes + 1`
+    /// endpoints validates; its expected hop delay is the entry mean and
+    /// is non-negative.
+    #[test]
+    fn valid_matrices_validate_and_average(
+        nodes in 1usize..8,
+        entries in prop::collection::vec(0.0f64..5.0, 81),
+    ) {
+        let delays = matrix(nodes, &entries);
+        let model = NetworkModel::Matrix { delays: delays.clone() };
+        prop_assert!(model.validate(nodes).is_ok());
+        let expected = model.expected_hop_delay();
+        prop_assert!(expected >= 0.0);
+        let side = nodes + 1;
+        let mean = delays.iter().flatten().sum::<f64>() / (side * side) as f64;
+        prop_assert!((expected - mean).abs() < 1e-12);
+    }
+
+    /// Wrong dimensions — too few/many rows, or one short row — are
+    /// rejected for every node count.
+    #[test]
+    fn wrong_dimensions_are_rejected(
+        nodes in 1usize..8,
+        off_by in 1usize..3,
+        entries in prop::collection::vec(0.0f64..5.0, 81),
+    ) {
+        // Wrong side length (nodes + 1 ± off_by).
+        let too_small = matrix(nodes.saturating_sub(off_by), &entries);
+        let model = NetworkModel::Matrix { delays: too_small };
+        prop_assert!(model.validate(nodes).is_err());
+        let too_big = matrix(nodes + off_by, &entries);
+        prop_assert!(NetworkModel::Matrix { delays: too_big }.validate(nodes).is_err());
+        // Ragged: one row one entry short.
+        let mut ragged = matrix(nodes, &entries);
+        let victim = off_by % ragged.len();
+        ragged[victim].pop();
+        prop_assert!(NetworkModel::Matrix { delays: ragged }.validate(nodes).is_err());
+    }
+
+    /// Poisoning any single entry (negative, NaN or infinite) produces
+    /// `ConfigError::InvalidEntry` carrying exactly that entry's flat
+    /// index.
+    #[test]
+    fn poisoned_entries_are_reported_with_their_index(
+        nodes in 1usize..7,
+        row in 0usize..7,
+        col in 0usize..7,
+        poison_sel in 0usize..3,
+        entries in prop::collection::vec(0.0f64..5.0, 81),
+    ) {
+        let side = nodes + 1;
+        let (row, col) = (row % side, col % side);
+        let mut delays = matrix(nodes, &entries);
+        let poison = [-1.5, f64::NAN, f64::INFINITY][poison_sel];
+        delays[row][col] = poison;
+        let model = NetworkModel::Matrix { delays };
+        match model.validate(nodes) {
+            Err(ConfigError::InvalidEntry { what, index, value, .. }) => {
+                prop_assert_eq!(what, "network delay matrix");
+                prop_assert_eq!(index, row * side + col);
+                prop_assert!(value.is_nan() == poison.is_nan());
+                if !poison.is_nan() {
+                    prop_assert_eq!(value, poison);
+                }
+            }
+            other => prop_assert!(false, "expected InvalidEntry, got {:?}", other),
+        }
+    }
+
+    /// `sample_delay` returns exactly the matrix entry for every
+    /// (src, dst) pair — nodes and the process-manager endpoint alike —
+    /// and consumes no randomness doing it.
+    #[test]
+    fn matrix_sampling_matches_every_pair(
+        nodes in 1usize..7,
+        entries in prop::collection::vec(0.0f64..5.0, 81),
+        seed in any::<u64>(),
+    ) {
+        use sda_sim::rng::RngFactory;
+        let delays = matrix(nodes, &entries);
+        let model = NetworkModel::Matrix { delays: delays.clone() };
+        prop_assert!(model.validate(nodes).is_ok());
+        let mut rng = RngFactory::new(seed).stream("net-prop");
+        let endpoint = |i: usize| -> Option<NodeId> {
+            (i < nodes).then(|| NodeId::new(i as u32))
+        };
+        for (from, row) in delays.iter().enumerate() {
+            for (to, &want) in row.iter().enumerate() {
+                let got = model.sample_delay(endpoint(from), endpoint(to), &mut rng);
+                prop_assert_eq!(got.to_bits(), want.to_bits(), "pair ({}, {})", from, to);
+                prop_assert!(got >= 0.0);
+            }
+        }
+        // Determinism doubles as a no-randomness check: a fresh stream
+        // yields the same values, so the matrix path drew nothing.
+        let mut rng2 = RngFactory::new(seed.wrapping_add(1)).stream("net-prop-b");
+        for (from, row) in delays.iter().enumerate() {
+            for (to, &want) in row.iter().enumerate() {
+                prop_assert_eq!(
+                    model.sample_delay(endpoint(from), endpoint(to), &mut rng2).to_bits(),
+                    want.to_bits()
+                );
+            }
+        }
+    }
+
+    /// The non-matrix models: `Zero` is exactly free, `Constant` is its
+    /// delay, `Exponential` averages its mean — all non-negative.
+    #[test]
+    fn scalar_models_expectations(delay in 0.0f64..4.0, seed in any::<u64>()) {
+        use sda_sim::rng::RngFactory;
+        prop_assert_eq!(NetworkModel::Zero.expected_hop_delay(), 0.0);
+        let mut rng = RngFactory::new(seed).stream("net-scalar");
+        prop_assert_eq!(
+            NetworkModel::Zero.sample_delay(None, Some(NodeId::new(0)), &mut rng),
+            0.0
+        );
+        let c = NetworkModel::Constant { delay };
+        prop_assert!(c.validate(3).is_ok());
+        prop_assert_eq!(c.expected_hop_delay().to_bits(), delay.to_bits());
+        prop_assert_eq!(
+            c.sample_delay(Some(NodeId::new(1)), None, &mut rng).to_bits(),
+            delay.to_bits()
+        );
+        prop_assume!(delay > 0.01);
+        let e = NetworkModel::Exponential { mean: delay };
+        prop_assert!(e.validate(3).is_ok());
+        prop_assert_eq!(e.expected_hop_delay().to_bits(), delay.to_bits());
+        prop_assert!(e.sample_delay(None, None, &mut rng) >= 0.0);
+    }
+}

@@ -4,6 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::arrivals::ArrivalProcess;
 use crate::pex::PexModel;
 use crate::service::ServiceVariability;
 use crate::shape::GlobalShape;
@@ -189,6 +190,14 @@ pub struct WorkloadConfig {
     /// exactly the heterogeneity axis the network-aware experiments
     /// sweep.
     pub node_speeds: Option<Vec<f64>>,
+    /// The arrival-process family every task stream draws from
+    /// (default [`ArrivalProcess::Poisson`], the paper's stationary
+    /// model — bit-identical to the pre-existing sampling path). The
+    /// non-stationary variants keep the configured mean rate, so `load`
+    /// remains the *time-average* load while instantaneous load varies:
+    /// MMPP bursts and phased overload transients are exactly the
+    /// regimes the feedback-adaptive strategies react to.
+    pub arrivals: ArrivalProcess,
 }
 
 impl WorkloadConfig {
@@ -209,6 +218,7 @@ impl WorkloadConfig {
             service: ServiceVariability::Exponential,
             local_weights: None,
             node_speeds: None,
+            arrivals: ArrivalProcess::Poisson,
         }
     }
 
@@ -362,6 +372,7 @@ impl WorkloadConfig {
                 w.iter().sum::<f64>(),
             )?;
         }
+        self.arrivals.validate()?;
         if let Some(s) = &self.node_speeds {
             check(
                 "node_speeds length",
@@ -596,6 +607,113 @@ mod tests {
         );
         assert!(err.to_string().contains("node_speeds[2]"));
         c.node_speeds = Some(vec![0.5, 0.75, 1.0, 1.0, 1.25, 1.5]);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn degenerate_arrival_processes_are_rejected_with_indices() {
+        use crate::arrivals::{ArrivalProcess, PhaseSegment};
+        // Empty phased script.
+        let mut c = WorkloadConfig::baseline();
+        c.arrivals = ArrivalProcess::Phased { segments: vec![] };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::OutOfRange { what, .. }) if what.contains("phased")
+        ));
+        // Zero-duration segment reports its index.
+        c.arrivals = ArrivalProcess::Phased {
+            segments: vec![PhaseSegment::new(10.0, 1.0), PhaseSegment::new(0.0, 2.0)],
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "arrival_process.phased duration",
+                index: 1,
+                constraint: "finite and > 0",
+                value: 0.0,
+            })
+        );
+        // Negative rate factor reports its index.
+        c.arrivals = ArrivalProcess::Phased {
+            segments: vec![PhaseSegment::new(10.0, -0.5)],
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "arrival_process.phased rate_factor",
+                index: 0,
+                constraint: "finite and ≥ 0",
+                value: -0.5,
+            })
+        );
+        // All-silent script: the cycle mean must be positive.
+        c.arrivals = ArrivalProcess::Phased {
+            segments: vec![PhaseSegment::new(10.0, 0.0)],
+        };
+        assert!(c.validate().is_err());
+        // MMPP parameter errors carry the documented entry index
+        // (0 = burst_ratio, 1 = dwell_quiet, 2 = dwell_burst).
+        for (index, arrivals) in [
+            (
+                0,
+                ArrivalProcess::Mmpp2 {
+                    burst_ratio: 0.0,
+                    dwell_quiet: 10.0,
+                    dwell_burst: 10.0,
+                },
+            ),
+            (
+                1,
+                ArrivalProcess::Mmpp2 {
+                    burst_ratio: 2.0,
+                    dwell_quiet: -1.0,
+                    dwell_burst: 10.0,
+                },
+            ),
+            (
+                2,
+                ArrivalProcess::Mmpp2 {
+                    burst_ratio: 2.0,
+                    dwell_quiet: 10.0,
+                    dwell_burst: f64::NAN,
+                },
+            ),
+        ] {
+            c.arrivals = arrivals;
+            match c.validate().unwrap_err() {
+                ConfigError::InvalidEntry {
+                    what, index: got, ..
+                } => {
+                    assert_eq!(what, "arrival_process.mmpp2");
+                    assert_eq!(got, index);
+                }
+                other => panic!("expected InvalidEntry, got {other:?}"),
+            }
+        }
+        // The error display names the entry.
+        c.arrivals = ArrivalProcess::Mmpp2 {
+            burst_ratio: 2.0,
+            dwell_quiet: 0.0,
+            dwell_burst: 10.0,
+        };
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("arrival_process.mmpp2[1]"), "{msg}");
+    }
+
+    #[test]
+    fn valid_arrival_processes_pass_validation() {
+        use crate::arrivals::{ArrivalProcess, PhaseSegment};
+        let mut c = WorkloadConfig::baseline();
+        assert!(c.arrivals.is_poisson());
+        c.arrivals = ArrivalProcess::Mmpp2 {
+            burst_ratio: 4.0,
+            dwell_quiet: 300.0,
+            dwell_burst: 100.0,
+        };
+        assert!(c.validate().is_ok());
+        c.arrivals = ArrivalProcess::Phased {
+            segments: vec![PhaseSegment::new(400.0, 1.0), PhaseSegment::new(100.0, 2.0)],
+        };
         assert!(c.validate().is_ok());
     }
 

@@ -4,9 +4,10 @@
 use rand::Rng;
 
 use sda_core::{FlatRun, NodeId, TaskAttributes, TaskSpec};
-use sda_sim::dist::{Exponential, Sampler, Uniform};
+use sda_sim::dist::{Sampler, Uniform};
 use sda_sim::rng::{RngFactory, Stream};
 
+use crate::arrivals::ArrivalSampler;
 use crate::config::{ConfigError, DerivedRates, WorkloadConfig};
 use crate::shape::{harmonic, GlobalShape};
 
@@ -43,7 +44,9 @@ impl GlobalTask {
 /// streams. See the [crate docs](crate) for the model and an example.
 ///
 /// All samplers are closed [`Sampler`] enums (no `Box<dyn Dist>`), the
-/// per-stream interarrival exponentials are precomputed, and
+/// per-stream interarrival samplers (Poisson, MMPP or phased — see
+/// [`ArrivalProcess`](crate::ArrivalProcess)) are prebuilt with their
+/// state inline, and
 /// [`TaskFactory::make_global_flat`] fills a recycled
 /// [`FlatRun`] — so steady-state task generation performs zero heap
 /// allocations and no virtual dispatch.
@@ -67,10 +70,13 @@ pub struct TaskFactory {
     shape_draw: Stream,
     /// Per-node local arrival rates (sums to `k · λ_local_per_node`).
     node_rates: Vec<f64>,
-    /// Interarrival samplers derived from `node_rates` (`None` at rate 0).
-    local_arrival_exp: Vec<Option<Exponential>>,
+    /// Interarrival samplers derived from `node_rates` under the
+    /// configured [`ArrivalProcess`](crate::ArrivalProcess) (`None` at
+    /// rate 0). Each stream owns its own state (MMPP phase, cycle
+    /// position), so streams modulate independently.
+    local_arrival_gen: Vec<Option<ArrivalSampler>>,
     /// Interarrival sampler of the global stream (`None` at rate 0).
-    global_arrival_exp: Option<Exponential>,
+    global_arrival_gen: Option<ArrivalSampler>,
     /// Fisher-Yates scratch for distinct-node draws (reused per stage).
     node_scratch: Vec<u32>,
     /// Per-node speed factors (all 1.0 when the configuration is
@@ -104,12 +110,11 @@ impl TaskFactory {
                 w.iter().map(|wi| total_local_rate * wi / sum).collect()
             }
         };
-        let local_arrival_exp = node_rates
+        let local_arrival_gen = node_rates
             .iter()
-            .map(|&rate| (rate > 0.0).then(|| Exponential::with_rate(rate).expect("positive rate")))
+            .map(|&rate| ArrivalSampler::new(&cfg.arrivals, rate))
             .collect();
-        let global_arrival_exp = (rates.lambda_global > 0.0)
-            .then(|| Exponential::with_rate(rates.lambda_global).expect("positive rate"));
+        let global_arrival_gen = ArrivalSampler::new(&cfg.arrivals, rates.lambda_global);
 
         let local_arrivals = (0..cfg.nodes)
             .map(|i| rng.stream_indexed("workload.local.arrival", i))
@@ -135,8 +140,8 @@ impl TaskFactory {
             pex_noise: rng.stream("workload.pex"),
             shape_draw: rng.stream("workload.shape"),
             node_rates,
-            local_arrival_exp,
-            global_arrival_exp,
+            local_arrival_gen,
+            global_arrival_gen,
             node_scratch: Vec::with_capacity(cfg.nodes),
             speeds,
             cfg,
@@ -164,18 +169,20 @@ impl TaskFactory {
         &self.node_rates
     }
 
-    /// Draws the next interarrival gap of `node`'s local Poisson stream;
-    /// `None` if that node generates no local tasks (rate 0).
+    /// Draws the next interarrival gap of `node`'s local arrival stream
+    /// (Poisson under the baseline; MMPP or phased under a time-varying
+    /// [`ArrivalProcess`](crate::ArrivalProcess)); `None` if that node
+    /// generates no local tasks (rate 0).
     pub fn next_local_interarrival(&mut self, node: NodeId) -> Option<f64> {
-        let exp = self.local_arrival_exp[node.index()].as_ref()?;
-        Some(exp.sample_with(&mut self.local_arrivals[node.index()]))
+        let gen = self.local_arrival_gen[node.index()].as_mut()?;
+        Some(gen.sample_with(&mut self.local_arrivals[node.index()]))
     }
 
-    /// Draws the next interarrival gap of the global Poisson stream;
+    /// Draws the next interarrival gap of the global arrival stream;
     /// `None` if no global tasks are generated (`frac_local = 1`).
     pub fn next_global_interarrival(&mut self) -> Option<f64> {
-        let exp = self.global_arrival_exp.as_ref()?;
-        Some(exp.sample_with(&mut self.global_arrivals))
+        let gen = self.global_arrival_gen.as_mut()?;
+        Some(gen.sample_with(&mut self.global_arrivals))
     }
 
     /// Generates a local task arriving at `now` at `node`.
@@ -594,6 +601,55 @@ mod tests {
                 b.make_local(NodeId::new(3), 2.0)
             );
         }
+    }
+
+    #[test]
+    fn poisson_arrival_process_is_bit_identical_to_baseline() {
+        use crate::arrivals::ArrivalProcess;
+        // The `arrivals` field defaulting to Poisson must not perturb a
+        // single draw relative to the pre-`ArrivalProcess` sampler.
+        let explicit = WorkloadConfig {
+            arrivals: ArrivalProcess::Poisson,
+            ..WorkloadConfig::baseline()
+        };
+        let mut a = factory(WorkloadConfig::baseline(), 50);
+        let mut b = factory(explicit, 50);
+        for _ in 0..500 {
+            assert_eq!(
+                a.next_global_interarrival().unwrap().to_bits(),
+                b.next_global_interarrival().unwrap().to_bits()
+            );
+            assert_eq!(
+                a.next_local_interarrival(NodeId::new(1)).unwrap().to_bits(),
+                b.next_local_interarrival(NodeId::new(1)).unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn mmpp_streams_keep_the_configured_mean_rate() {
+        use crate::arrivals::ArrivalProcess;
+        let cfg = WorkloadConfig {
+            arrivals: ArrivalProcess::Mmpp2 {
+                burst_ratio: 5.0,
+                dwell_quiet: 150.0,
+                dwell_burst: 50.0,
+            },
+            ..WorkloadConfig::baseline()
+        };
+        let mut f = factory(cfg, 51);
+        let n = 100_000;
+        let total: f64 = (0..n)
+            .map(|_| f.next_local_interarrival(NodeId::new(0)).unwrap())
+            .sum();
+        let rate = n as f64 / total;
+        // λ_local = 0.375 per node, preserved in the long run.
+        assert!((rate - 0.375).abs() / 0.375 < 0.05, "rate {rate}");
+        // The global stream modulates independently but keeps its mean
+        // too.
+        let total: f64 = (0..n).map(|_| f.next_global_interarrival().unwrap()).sum();
+        let rate = n as f64 / total;
+        assert!((rate - 0.1875).abs() / 0.1875 < 0.05, "global rate {rate}");
     }
 
     #[test]

@@ -27,6 +27,11 @@
 //!   (or all-1.0) reproduces the paper's homogeneous model bit-exactly.
 //!   `WorkloadConfig::local_weights` independently skews the *arrival*
 //!   side (§4.3's unbalanced local loads).
+//! * **Time-varying arrivals** ([`ArrivalProcess`]): the paper's
+//!   stationary Poisson streams (default, bit-identical to the original
+//!   sampler), a 2-state Markov-modulated Poisson process for bursts, or
+//!   a cyclic phased-rate script for diurnal patterns and overload
+//!   transients — all normalized to keep the configured mean `load`.
 //!
 //! The crate is deterministic given an [`RngFactory`](sda_sim::rng::RngFactory):
 //! every stochastic component draws from its own named stream.
@@ -50,12 +55,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod config;
 mod generator;
 mod pex;
 mod service;
 mod shape;
 
+pub use arrivals::{ArrivalProcess, ArrivalSampler, PhaseSegment};
 pub use config::{ConfigError, DerivedRates, SlackRange, WorkloadConfig};
 pub use generator::{GlobalTask, LocalTask, TaskFactory};
 pub use pex::PexModel;

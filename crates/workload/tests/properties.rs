@@ -41,6 +41,7 @@ fn valid_configs() -> impl Strategy<Value = WorkloadConfig> {
                     service: sda_workload::ServiceVariability::Exponential,
                     local_weights: None,
                     node_speeds: None,
+                    arrivals: sda_workload::ArrivalProcess::Poisson,
                 }
             },
         )

@@ -72,6 +72,7 @@ fn main() {
             pex_remaining_after: &pex[2..],
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         });
         println!("  stage 1 finishes {label:>14} at t={finish1:>5.2} → dl(T2) = {dl2:.2}");
     }

@@ -27,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             pex_remaining_after: &pex[1..],
             comm_current: 0.0,
             comm_after: 0.0,
+            slack_scale: 1.0,
         });
         println!("  {:<4} -> dl(T1) = {dl:>6.2}", strategy.short_name());
     }

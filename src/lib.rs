@@ -37,6 +37,7 @@
 //!     pex_remaining_after: &[4.0, 1.0, 3.0],
 //!     comm_current: 0.0,
 //!     comm_after: 0.0,
+//!     slack_scale: 1.0,
 //! });
 //! // Total pex = 10, total slack = 10, so stage 1 (pex 2) gets flexibility
 //! // 1.0: dl = 0 + 2 + 10·(2/10) = 4.

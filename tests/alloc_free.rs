@@ -48,16 +48,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
-use sda::core::SdaStrategy;
+use sda::core::{AdaptiveSlack, SdaStrategy};
 use sda::sim::{Engine, SimTime};
 use sda::system::{Event, SystemConfig, SystemModel};
+use sda::workload::ArrivalProcess;
 
-/// Runs one ρ = 0.9 EDF simulation and returns
-/// `(allocations, events)` over the post-settling measurement window.
-fn measure(preemptive: bool) -> (u64, u64) {
-    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
-    cfg.workload.load = 0.9;
-    cfg.preemptive = preemptive;
+/// Runs one simulation and returns `(allocations, events)` over the
+/// post-settling measurement window `[settle_until, horizon]`.
+fn measure_window(cfg: SystemConfig, settle_until: f64, horizon: f64) -> (u64, u64) {
     let rng = sda::sim::rng::RngFactory::new(0xA110C);
     let model = SystemModel::new(cfg, &rng).expect("valid config");
     let mut engine = Engine::new(model);
@@ -67,15 +65,23 @@ fn measure(preemptive: bool) -> (u64, u64) {
 
     // Warm-up + settling: statistics reset at t = 500 (which itself
     // allocates fresh quantile estimators once), then capacities grow to
-    // their working set until t = 3000.
-    engine.run_until(SimTime::from(3_000.0));
+    // their working set until `settle_until`.
+    engine.run_until(SimTime::from(settle_until));
 
     let events_before = engine.context().events_handled();
     let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
-    engine.run_until(SimTime::from(12_000.0));
+    engine.run_until(SimTime::from(horizon));
     let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
     let events = engine.context().events_handled() - events_before;
     (allocs, events)
+}
+
+/// The original ρ = 0.9 EDF scenario.
+fn measure(preemptive: bool) -> (u64, u64) {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    cfg.workload.load = 0.9;
+    cfg.preemptive = preemptive;
+    measure_window(cfg, 3_000.0, 12_000.0)
 }
 
 #[test]
@@ -94,4 +100,45 @@ fn steady_state_is_allocation_free_per_event() {
              per-event allocation"
         );
     }
+}
+
+#[test]
+fn mmpp_adaptive_steady_state_is_allocation_free_per_event() {
+    // The time-varying-workload surface: MMPP-modulated arrivals, the
+    // feedback EWMA updating on every completion, and ADAPT(EQF-DIV1)
+    // re-stamping the slack scale at every stage activation. The MMPP
+    // phase machine and the feedback loop are plain scalar state, so
+    // steady state must stay allocation-free. Burst phases also grow the
+    // queues well past the stationary working set, exercising slab
+    // re-use under a bigger high-water mark.
+    let mut cfg = SystemConfig::combined_baseline(SdaStrategy::adaptive(
+        SdaStrategy::eqf_div1(),
+        AdaptiveSlack::default(),
+    ));
+    cfg.workload.load = 0.8;
+    cfg.workload.arrivals = ArrivalProcess::Mmpp2 {
+        burst_ratio: 4.0,
+        dwell_quiet: 300.0,
+        dwell_burst: 100.0,
+    };
+    let (allocs, events) = measure_window(cfg, 12_000.0, 24_000.0);
+    assert!(
+        events > 50_000,
+        "measurement window too small: {events} events"
+    );
+    // Unlike the stationary scenarios, a bursty stream keeps (rarely)
+    // breaking its own high-water marks: an extreme burst opens new
+    // task-slab slots whose pooled `FlatRun`s grow from empty, and
+    // deepens queue slabs — each record costs a handful of allocations
+    // and is then retained forever. That is still amortized-zero per
+    // event; assert a strict rate bound instead of the stationary
+    // absolute cap. (A genuine regression to per-task allocation would
+    // be ~1 allocation per ~4 events here, two orders of magnitude over
+    // this budget; observed healthy value: ~1 per ~400 events.)
+    assert!(
+        allocs * 250 <= events,
+        "MMPP + ADAPT(EQF) steady state allocated {allocs} times over \
+         {events} events — the time-varying path regressed toward \
+         per-event allocation"
+    );
 }

@@ -96,6 +96,7 @@ fn ssp_formula_reachable_from_facade() {
         pex_remaining_after: &[2.0],
         comm_current: 0.0,
         comm_after: 0.0,
+        slack_scale: 1.0,
     });
     assert_eq!(dl, 8.0);
 }

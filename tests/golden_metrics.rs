@@ -16,9 +16,10 @@
 //! and say so in the PR — a diff here means observable simulation behavior
 //! changed, which is exactly what the file exists to catch.
 
-use sda::core::SdaStrategy;
+use sda::core::{AdaptiveSlack, SdaStrategy};
 use sda::sched::Policy;
 use sda::system::{run_once, NetworkModel, OverloadPolicy, RunConfig, SystemConfig};
+use sda::workload::ArrivalProcess;
 
 /// The observable fingerprint of a run: every count exactly, every float
 /// by bit pattern.
@@ -160,6 +161,72 @@ fn golden_heterogeneous_delayed_pipelines() {
             transit_count: 7065,
             transit_mean_bits: 4598181136320490097,
         },
+    );
+}
+
+/// The full non-stationary configuration of the time-varying-workload
+/// PR: MMPP-modulated arrivals + heterogeneous node speeds +
+/// exponential hand-off delays + the feedback-adaptive `ADAPT(EQF-DIV1)`
+/// strategy, on §6 pipelines. Captured when the feature landed; pins the
+/// MMPP sampler's draw sequence, the feedback EWMA's pressure path and
+/// the slack-scale stamping, on top of the PR-3 network machinery.
+#[test]
+fn golden_mmpp_hetero_adaptive() {
+    let mut cfg = SystemConfig::combined_baseline(SdaStrategy::adaptive(
+        SdaStrategy::eqf_div1(),
+        AdaptiveSlack::default(),
+    ));
+    cfg.workload.load = 0.7;
+    cfg.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    cfg.workload.arrivals = ArrivalProcess::Mmpp2 {
+        burst_ratio: 4.0,
+        dwell_quiet: 300.0,
+        dwell_burst: 100.0,
+    };
+    cfg.network = NetworkModel::Exponential { mean: 0.25 };
+    check(
+        "mmpp_hetero_adaptive",
+        &cfg,
+        0xADA7,
+        Fingerprint {
+            local_completed: 19947,
+            local_missed: 14495,
+            global_completed: 1105,
+            global_missed: 1045,
+            local_miss_pct_bits: 4634813942513925283,
+            global_miss_pct_bits: 4636355198626069786,
+            local_resp_mean_bits: 4631949325521515562,
+            global_resp_mean_bits: 4639092996488478096,
+            util0_bits: 4605734792850458984,
+            qlen0_bits: 4631747297989469260,
+            transit_count: 7591,
+            transit_mean_bits: 4598224261738701661,
+        },
+    );
+}
+
+/// Explicitly-disabled new features — `arrivals: Poisson` spelled out
+/// and a `None` adapt wrapper — must reproduce the defaulted
+/// configuration's run bit-exactly: the new surface's neutral elements
+/// really are neutral. Asserted as run-equivalence (two live runs, same
+/// seed) rather than against a second copy of the pinned constants, so
+/// the invariant survives future fingerprint re-captures; the defaulted
+/// side itself is pinned by `golden_ssp_baseline_eqf`.
+#[test]
+fn golden_poisson_no_adapt_reproduces_the_defaulted_run() {
+    let mut defaulted = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    defaulted.workload.load = 0.9;
+
+    let mut explicit = defaulted.clone();
+    explicit.workload.arrivals = ArrivalProcess::Poisson;
+    explicit.strategy.adapt = None;
+    assert!(explicit.workload.arrivals.is_poisson());
+    assert!(!explicit.strategy.is_adaptive());
+
+    assert_eq!(
+        fingerprint(&defaulted, 0xD00D),
+        fingerprint(&explicit, 0xD00D),
+        "explicit Poisson + disabled adaptation must be bit-identical to the defaults"
     );
 }
 
