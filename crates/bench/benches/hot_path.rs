@@ -39,6 +39,23 @@ fn arrival_heavy_config() -> SystemConfig {
     cfg
 }
 
+/// The DAG-path stressor: the same arrival-heavy regime (ρ = 0.95, 75%
+/// global load) with random layered DAGs instead of pipelines, so wave
+/// activation, CSR fan-in countdown and the per-task reverse-topological
+/// critical-path pass sit on the measured path.
+fn dag_heavy_config() -> SystemConfig {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_div1());
+    cfg.workload.load = 0.95;
+    cfg.workload.frac_local = 0.25;
+    cfg.workload.slack = SlackRange::PSP_BASELINE;
+    cfg.workload.shape = GlobalShape::Dag {
+        depth: 4,
+        max_width: 3,
+        edge_density: 0.4,
+    };
+    cfg
+}
+
 fn run(cfg: &SystemConfig) -> u64 {
     let run_cfg = RunConfig {
         warmup: 200.0,
@@ -73,6 +90,13 @@ fn bench_hot_path(c: &mut Criterion) {
     group.throughput(Throughput::Elements(events_arrivals));
     group.bench_function("pipelines_rho095_events_per_sec", |b| {
         b.iter(|| black_box(run(&cfg_arrivals)));
+    });
+
+    let cfg_dag = dag_heavy_config();
+    let events_dag = run(&cfg_dag);
+    group.throughput(Throughput::Elements(events_dag));
+    group.bench_function("dag_rho095_events_per_sec", |b| {
+        b.iter(|| black_box(run(&cfg_dag)));
     });
 
     group.finish();

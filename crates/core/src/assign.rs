@@ -122,10 +122,23 @@ impl std::fmt::Display for SdaStrategy {
     }
 }
 
-/// Opaque reference to a simple subtask inside a [`TaskRun`] or
-/// [`FlatRun`](crate::FlatRun).
+/// Opaque reference to a simple subtask inside a [`TaskRun`],
+/// [`FlatRun`](crate::FlatRun) or [`DagRun`](crate::DagRun).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SubtaskRef(pub(crate) usize);
+
+impl SubtaskRef {
+    /// The runtime's internal index for this subtask. For
+    /// [`FlatRun`](crate::FlatRun) this is the position in
+    /// [`subtasks()`](crate::FlatRun::subtasks); for
+    /// [`DagRun`](crate::DagRun) it is the node index returned by
+    /// [`push_node`](crate::DagRun::push_node). Useful for external
+    /// bookkeeping (tracing, property tests); pass the ref itself back
+    /// to `complete`.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
 
 /// A simple subtask ready for submission to its node, with its assigned
 /// virtual deadline.

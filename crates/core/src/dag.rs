@@ -1,0 +1,938 @@
+//! Arena-friendly runtime for DAG-structured global tasks.
+//!
+//! The paper's global tasks are serial-parallel *trees*; real distributed
+//! workloads are precedence **DAGs** — fork-join trees, diamonds, layered
+//! pipelines with cross-stage edges. [`DagRun`] generalizes
+//! [`FlatRun`](crate::FlatRun) to an arbitrary directed acyclic precedence
+//! graph while keeping the same zero-alloc-after-warmup pooling
+//! discipline: one flat node array, CSR-style predecessor/successor edge
+//! lists, per-node in-degree countdown for fan-in, and reusable scratch
+//! buffers for wave activation.
+//!
+//! # The critical-path deadline rule
+//!
+//! Deadline decomposition works per **wave**: the set of nodes released
+//! together by one completion (or by task start). A wave's window is
+//! computed by the serial (SSP) strategy *as if the task were the serial
+//! chain along the wave's remaining critical path* — the current entry is
+//! the wave's critical node (the member maximizing `pex + remaining
+//! critical-path pex`), and `pex_remaining_after` is the sequence of node
+//! `pex` values along the maximal-`pex` path that follows it. Waves wider
+//! than one node then divide the window among their members with the
+//! parallel (PSP) strategy, exactly like a parallel stage.
+//!
+//! For a *stage-structured* DAG — consecutive layers fully connected,
+//! i.e. the precedence closure of a [`FlatRun`] pipeline — every wave is
+//! a stage, the critical node is the stage's `pex` maximum, and the
+//! critical-path tail visits each later stage's maximum: the inputs fed
+//! to the strategy are **bit-identical** to `FlatRun`'s, so UD, ED, EQS,
+//! EQF, EQF-AS, DIV-x, GF and `ADAPT(…)` all produce bit-exact deadlines
+//! (pinned by `tests/dag_props.rs`). Two boundary conventions make the
+//! embedding exact:
+//!
+//! * a width-1 wave is a serial hand-off: the PSP rule is *not* applied
+//!   (matching a bare `FlatRun` stage, not a 1-branch parallel group);
+//! * a task that is a single antichain (no edges, more than one node) is
+//!   the paper's flat parallel task: its window is the global deadline
+//!   and the PSP rule reserves the result-return hop.
+//!
+//! The critical-path tails are static — successors never change — so
+//! they are computed once per task in a single reverse-topological pass
+//! at [`DagRun::finalize`].
+
+use crate::assign::{Submission, SubtaskRef};
+use crate::ids::NodeId;
+use crate::psp::PspInput;
+use crate::spec::SimpleSpec;
+use crate::ssp::SspInput;
+use crate::strategy::DeadlineAssigner;
+
+/// Sentinel for "no successor on the critical path" (sink nodes).
+const NO_NODE: u32 = u32::MAX;
+
+/// Runtime state of one in-flight DAG-structured global task, stored
+/// flat (CSR edge lists) for recycling.
+///
+/// # Life cycle
+///
+/// 1. [`DagRun::reset`], then [`DagRun::push_node`] for every subtask and
+///    [`DagRun::push_edge`] for every precedence edge, then
+///    [`DagRun::finalize`] (builds the CSR lists, checks acyclicity and
+///    computes the critical-path tails) and [`DagRun::set_timing`];
+/// 2. [`DagRun::start`] once at arrival — appends the source wave to the
+///    output buffer;
+/// 3. [`DagRun::complete`] per finished subtask — counts down successor
+///    in-degrees, appends any newly released wave, returns `true` when
+///    the whole task just finished.
+///
+/// Like [`FlatRun`](crate::FlatRun), a `DagRun` is designed to live in a
+/// pool: `reset` clears the task without releasing capacity, so after
+/// warm-up a recycled run performs **zero heap allocations** per task
+/// lifecycle.
+///
+/// # Examples
+///
+/// A diamond `A → {B ∥ C} → D` under EQS:
+///
+/// ```
+/// use sda_core::{DagRun, NodeId, SdaStrategy, SerialStrategy, ParallelStrategy};
+///
+/// let mut run = DagRun::new();
+/// run.reset();
+/// let a = run.push_node(NodeId::new(0), 1.0, 1.0);
+/// let b = run.push_node(NodeId::new(1), 2.0, 2.0);
+/// let c = run.push_node(NodeId::new(2), 1.0, 1.0);
+/// let d = run.push_node(NodeId::new(3), 1.0, 1.0);
+/// run.push_edge(a, b);
+/// run.push_edge(a, c);
+/// run.push_edge(b, d);
+/// run.push_edge(c, d);
+/// run.finalize();
+/// run.set_timing(0.0, 8.0);
+/// // Critical path A→B→D: pex 1 + 2 + 1 = 4.
+/// assert_eq!(run.critical_path_pex(), 4.0);
+/// assert_eq!(run.depth(), 3);
+///
+/// let strategy = SdaStrategy::new(
+///     SerialStrategy::EqualSlack,
+///     ParallelStrategy::UltimateDeadline,
+/// );
+/// let mut subs = Vec::new();
+/// run.start(&strategy, 0.0, &mut subs);
+/// // Source wave {A}: slack 8 − 4 = 4 over 3 critical-path levels →
+/// // dl(A) = 0 + 1 + 4/3.
+/// assert_eq!(subs.len(), 1);
+/// assert!((subs[0].deadline - (1.0 + 4.0 / 3.0)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DagRun {
+    /// All simple subtasks, in insertion order.
+    nodes: Vec<SimpleSpec>,
+    /// Staged edges `(from, to)` as pushed; compiled by `finalize`.
+    edges: Vec<(u32, u32)>,
+    /// CSR successor offsets (`succ_off[i]..succ_off[i + 1]` indexes
+    /// `succ`), length `n + 1`.
+    succ_off: Vec<u32>,
+    /// CSR successor targets, stable in edge-push order per source.
+    succ: Vec<u32>,
+    /// CSR predecessor offsets, length `n + 1`.
+    pred_off: Vec<u32>,
+    /// CSR predecessor sources.
+    pred: Vec<u32>,
+    /// Static in-degree per node.
+    in_degree: Vec<u32>,
+    /// Runtime fan-in countdown; a node activates when it reaches 0.
+    indeg_left: Vec<u32>,
+    /// Per-node completion flags (guards double completion).
+    done: Vec<bool>,
+    /// Successor on the maximal remaining-`pex` path (`NO_NODE` at
+    /// sinks) — static, from the reverse-topological pass.
+    cp_next: Vec<u32>,
+    /// `Σ pex` along the `cp_next` chain, excluding the node itself.
+    cp_pex_after: Vec<f64>,
+    /// Longest-path `ex` after the node (for [`DagRun::critical_path_ex`]).
+    cp_ex_after: Vec<f64>,
+    /// Longest-path node count after the node (for [`DagRun::depth`]).
+    cp_count_after: Vec<u32>,
+    /// Topological order scratch (Kahn), kept for reuse.
+    topo: Vec<u32>,
+    /// CSR scatter cursors, reused across `finalize` calls.
+    cursor: Vec<u32>,
+    /// Critical-path tail slice assembled per wave activation.
+    tail_buf: Vec<f64>,
+    /// Nodes released by the current completion (the wave).
+    wave_buf: Vec<u32>,
+    arrival: f64,
+    deadline: f64,
+    completed: u32,
+    started: bool,
+    finished: bool,
+    finalized: bool,
+    /// Expected one-hop communication delay (see
+    /// [`FlatRun::set_expected_comm`](crate::FlatRun::set_expected_comm)).
+    expected_hop_comm: f64,
+    /// Feedback-driven slack-share multiplier (see
+    /// [`FlatRun::set_slack_scale`](crate::FlatRun::set_slack_scale)).
+    slack_scale: f64,
+}
+
+impl Default for DagRun {
+    /// An empty run — identical to a freshly [`reset`](DagRun::reset)
+    /// one (in particular `slack_scale` starts at its neutral 1.0).
+    fn default() -> DagRun {
+        DagRun {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            succ_off: Vec::new(),
+            succ: Vec::new(),
+            pred_off: Vec::new(),
+            pred: Vec::new(),
+            in_degree: Vec::new(),
+            indeg_left: Vec::new(),
+            done: Vec::new(),
+            cp_next: Vec::new(),
+            cp_pex_after: Vec::new(),
+            cp_ex_after: Vec::new(),
+            cp_count_after: Vec::new(),
+            topo: Vec::new(),
+            cursor: Vec::new(),
+            tail_buf: Vec::new(),
+            wave_buf: Vec::new(),
+            arrival: 0.0,
+            deadline: 0.0,
+            completed: 0,
+            started: false,
+            finished: false,
+            finalized: false,
+            expected_hop_comm: 0.0,
+            slack_scale: 1.0,
+        }
+    }
+}
+
+impl DagRun {
+    /// An empty run with no storage committed.
+    pub fn new() -> DagRun {
+        DagRun::default()
+    }
+
+    /// Clears the run for refilling, retaining all capacity — the pool
+    /// recycling entry point.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.edges.clear();
+        self.succ_off.clear();
+        self.succ.clear();
+        self.pred_off.clear();
+        self.pred.clear();
+        self.in_degree.clear();
+        self.indeg_left.clear();
+        self.done.clear();
+        self.cp_next.clear();
+        self.cp_pex_after.clear();
+        self.cp_ex_after.clear();
+        self.cp_count_after.clear();
+        self.topo.clear();
+        self.cursor.clear();
+        self.tail_buf.clear();
+        self.wave_buf.clear();
+        self.arrival = 0.0;
+        self.deadline = 0.0;
+        self.completed = 0;
+        self.started = false;
+        self.finished = false;
+        self.finalized = false;
+        self.expected_hop_comm = 0.0;
+        self.slack_scale = 1.0;
+    }
+
+    /// Appends one subtask, returning its index for [`DagRun::push_edge`].
+    pub fn push_node(&mut self, node: NodeId, ex: f64, pex: f64) -> u32 {
+        debug_assert!(ex.is_finite() && ex >= 0.0, "invalid ex {ex}");
+        debug_assert!(pex.is_finite() && pex >= 0.0, "invalid pex {pex}");
+        assert!(!self.finalized, "DagRun::push_node after finalize");
+        let idx = u32::try_from(self.nodes.len()).expect("more than u32::MAX subtasks in one task");
+        self.nodes.push(SimpleSpec { node, ex, pex });
+        self.done.push(false);
+        idx
+    }
+
+    /// Stages a precedence edge `from → to`; `to` may not start until
+    /// `from` has completed. Duplicate edges are tolerated (the fan-in
+    /// countdown counts edges, and a completed predecessor releases all
+    /// of its parallel edges at once).
+    pub fn push_edge(&mut self, from: u32, to: u32) {
+        assert!(!self.finalized, "DagRun::push_edge after finalize");
+        self.edges.push((from, to));
+    }
+
+    /// Compiles the staged structure: builds the CSR successor and
+    /// predecessor lists (stable in push order), verifies the graph is
+    /// acyclic with in-range endpoints, and computes the remaining
+    /// critical-path (`pex`, `ex` and node-count) tails in one
+    /// reverse-topological pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty node set, an edge endpoint out of range, a
+    /// self-loop, or a cycle.
+    pub fn finalize(&mut self) {
+        assert!(!self.finalized, "DagRun::finalize called twice");
+        let n = self.nodes.len();
+        assert!(n > 0, "DagRun::finalize on an empty task");
+
+        // CSR successors (stable counting sort by source) + in-degrees.
+        self.succ_off.clear();
+        self.succ_off.resize(n + 1, 0);
+        self.pred_off.clear();
+        self.pred_off.resize(n + 1, 0);
+        for &(from, to) in &self.edges {
+            assert!(
+                (from as usize) < n && (to as usize) < n,
+                "edge {from}→{to} references a node out of range (n = {n})"
+            );
+            assert_ne!(from, to, "self-loop on node {from}");
+            self.succ_off[from as usize + 1] += 1;
+            self.pred_off[to as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.succ_off[i + 1] += self.succ_off[i];
+            self.pred_off[i + 1] += self.pred_off[i];
+        }
+        self.succ.clear();
+        self.succ.resize(self.edges.len(), 0);
+        self.pred.clear();
+        self.pred.resize(self.edges.len(), 0);
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.succ_off[..n]);
+        for &(from, to) in &self.edges {
+            let c = &mut self.cursor[from as usize];
+            self.succ[*c as usize] = to;
+            *c += 1;
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.pred_off[..n]);
+        for &(from, to) in &self.edges {
+            let c = &mut self.cursor[to as usize];
+            self.pred[*c as usize] = from;
+            *c += 1;
+        }
+        self.in_degree.clear();
+        self.in_degree
+            .extend((0..n).map(|i| self.pred_off[i + 1] - self.pred_off[i]));
+
+        // Kahn topological order; a shortfall means a cycle.
+        self.indeg_left.clear();
+        self.indeg_left.extend_from_slice(&self.in_degree);
+        self.topo.clear();
+        self.topo
+            .extend((0..n as u32).filter(|&i| self.in_degree[i as usize] == 0));
+        let mut head = 0;
+        while head < self.topo.len() {
+            let u = self.topo[head] as usize;
+            head += 1;
+            for k in self.succ_off[u] as usize..self.succ_off[u + 1] as usize {
+                let s = self.succ[k] as usize;
+                self.indeg_left[s] -= 1;
+                if self.indeg_left[s] == 0 {
+                    self.topo.push(s as u32);
+                }
+            }
+        }
+        assert_eq!(self.topo.len(), n, "DagRun: the edge set contains a cycle");
+        // Restore the runtime fan-in countdown consumed by the check.
+        self.indeg_left.copy_from_slice(&self.in_degree);
+
+        // Reverse-topological critical-path tails. For every node, the
+        // successor maximizing `pex + tail` (first of equals wins, so the
+        // choice is deterministic) defines the remaining critical path.
+        self.cp_next.clear();
+        self.cp_next.resize(n, NO_NODE);
+        self.cp_pex_after.clear();
+        self.cp_pex_after.resize(n, 0.0);
+        self.cp_ex_after.clear();
+        self.cp_ex_after.resize(n, 0.0);
+        self.cp_count_after.clear();
+        self.cp_count_after.resize(n, 0);
+        for pos in (0..n).rev() {
+            let u = self.topo[pos] as usize;
+            let mut best = NO_NODE;
+            let mut best_pex = f64::NEG_INFINITY;
+            let mut best_ex = 0.0f64;
+            let mut best_count = 0u32;
+            for k in self.succ_off[u] as usize..self.succ_off[u + 1] as usize {
+                let s = self.succ[k] as usize;
+                let via = self.nodes[s].pex + self.cp_pex_after[s];
+                if best == NO_NODE || via > best_pex {
+                    best = s as u32;
+                    best_pex = via;
+                }
+                best_ex = best_ex.max(self.nodes[s].ex + self.cp_ex_after[s]);
+                best_count = best_count.max(1 + self.cp_count_after[s]);
+            }
+            if best != NO_NODE {
+                self.cp_next[u] = best;
+                self.cp_pex_after[u] = best_pex;
+                self.cp_ex_after[u] = best_ex;
+                self.cp_count_after[u] = best_count;
+            }
+        }
+        self.finalized = true;
+    }
+
+    /// Sets arrival time and end-to-end deadline.
+    pub fn set_timing(&mut self, arrival: f64, deadline: f64) {
+        self.arrival = arrival;
+        self.deadline = deadline;
+    }
+
+    /// Declares the expected one-hop communication delay; deadline
+    /// decomposition reserves slack for the remaining critical-path
+    /// hand-offs plus the result return, exactly like
+    /// [`FlatRun::set_expected_comm`](crate::FlatRun::set_expected_comm).
+    /// Reset (and default) is `0.0`.
+    pub fn set_expected_comm(&mut self, per_hop: f64) {
+        debug_assert!(
+            per_hop.is_finite() && per_hop >= 0.0,
+            "invalid expected hop delay {per_hop}"
+        );
+        self.expected_hop_comm = per_hop;
+    }
+
+    /// The declared expected one-hop communication delay.
+    pub fn expected_comm(&self) -> f64 {
+        self.expected_hop_comm
+    }
+
+    /// Declares the feedback-driven slack-share multiplier in force for
+    /// the *next* wave activation (see
+    /// [`FlatRun::set_slack_scale`](crate::FlatRun::set_slack_scale)).
+    /// The default — and the value after [`DagRun::reset`] — is `1.0`.
+    pub fn set_slack_scale(&mut self, scale: f64) {
+        debug_assert!(
+            scale.is_finite() && scale > 0.0,
+            "invalid slack scale {scale}"
+        );
+        self.slack_scale = scale;
+    }
+
+    /// The slack-share multiplier currently in force.
+    pub fn slack_scale(&self) -> f64 {
+        self.slack_scale
+    }
+
+    /// The task's arrival time.
+    pub fn arrival(&self) -> f64 {
+        self.arrival
+    }
+
+    /// The end-to-end deadline.
+    pub fn global_deadline(&self) -> f64 {
+        self.deadline
+    }
+
+    /// Whether every subtask has completed.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// `(completed, total)` simple-subtask counts.
+    pub fn progress(&self) -> (usize, usize) {
+        (self.completed as usize, self.nodes.len())
+    }
+
+    /// Number of simple subtasks.
+    pub fn simple_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of precedence edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All subtasks, in insertion order.
+    pub fn subtasks(&self) -> &[SimpleSpec] {
+        &self.nodes
+    }
+
+    /// The direct successors of node `i` (requires [`DagRun::finalize`]).
+    pub fn successors(&self, i: u32) -> &[u32] {
+        debug_assert!(self.finalized, "successors before finalize");
+        &self.succ[self.succ_off[i as usize] as usize..self.succ_off[i as usize + 1] as usize]
+    }
+
+    /// The direct predecessors of node `i` (requires
+    /// [`DagRun::finalize`]).
+    pub fn predecessors(&self, i: u32) -> &[u32] {
+        debug_assert!(self.finalized, "predecessors before finalize");
+        &self.pred[self.pred_off[i as usize] as usize..self.pred_off[i as usize + 1] as usize]
+    }
+
+    /// Whether node `i` has completed.
+    pub fn is_done(&self, i: u32) -> bool {
+        self.done[i as usize]
+    }
+
+    /// The structural depth: the number of nodes on the longest
+    /// precedence path (1 for a single antichain). Requires
+    /// [`DagRun::finalize`].
+    pub fn depth(&self) -> usize {
+        debug_assert!(self.finalized, "depth before finalize");
+        self.cp_count_after
+            .iter()
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Real execution time along the critical (longest-`ex`) path.
+    /// Requires [`DagRun::finalize`].
+    pub fn critical_path_ex(&self) -> f64 {
+        debug_assert!(self.finalized, "critical_path_ex before finalize");
+        self.nodes
+            .iter()
+            .zip(&self.cp_ex_after)
+            .map(|(s, &after)| s.ex + after)
+            .fold(0.0, f64::max)
+    }
+
+    /// Predicted execution time along the critical (longest-`pex`) path.
+    /// Requires [`DagRun::finalize`].
+    pub fn critical_path_pex(&self) -> f64 {
+        debug_assert!(self.finalized, "critical_path_pex before finalize");
+        self.nodes
+            .iter()
+            .zip(&self.cp_pex_after)
+            .map(|(s, &after)| s.pex + after)
+            .fold(0.0, f64::max)
+    }
+
+    /// Activates the task at `now`, appending the source wave (every
+    /// node with no predecessors) to `out` (which is *not* cleared
+    /// first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice or before [`DagRun::finalize`].
+    pub fn start<A: DeadlineAssigner + ?Sized>(
+        &mut self,
+        strategy: &A,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) {
+        assert!(self.finalized, "DagRun::start before finalize");
+        assert!(!self.started, "DagRun::start called twice");
+        self.started = true;
+        self.wave_buf.clear();
+        self.wave_buf
+            .extend((0..self.nodes.len() as u32).filter(|&i| self.in_degree[i as usize] == 0));
+        debug_assert!(!self.wave_buf.is_empty(), "acyclic graph has a source");
+        self.activate_wave(strategy, now, out);
+    }
+
+    /// Reports that `subtask` finished at `now`: counts down successor
+    /// in-degrees and appends the released wave (if any) to `out`.
+    /// Returns `true` when the whole task just finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run never started, on double completion, or for a
+    /// subtask that was never released.
+    pub fn complete<A: DeadlineAssigner + ?Sized>(
+        &mut self,
+        subtask: SubtaskRef,
+        strategy: &A,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) -> bool {
+        assert!(self.started, "DagRun::complete before start");
+        let idx = subtask.0;
+        assert!(
+            idx < self.nodes.len() && !self.done[idx] && self.indeg_left[idx] == 0,
+            "completion for a subtask that is not active: {subtask:?}"
+        );
+        self.done[idx] = true;
+        self.completed += 1;
+        self.wave_buf.clear();
+        for k in self.succ_off[idx] as usize..self.succ_off[idx + 1] as usize {
+            let s = self.succ[k] as usize;
+            self.indeg_left[s] -= 1;
+            if self.indeg_left[s] == 0 {
+                self.wave_buf.push(s as u32);
+            }
+        }
+        if self.completed as usize == self.nodes.len() {
+            debug_assert!(self.wave_buf.is_empty());
+            self.finished = true;
+            return true;
+        }
+        if !self.wave_buf.is_empty() {
+            self.activate_wave(strategy, now, out);
+        }
+        false
+    }
+
+    /// Activates the wave currently in `wave_buf` at `now`: computes the
+    /// wave window with the SSP rule over the wave's remaining critical
+    /// path, divides it with the PSP rule when the wave is wider than
+    /// one node, and appends one submission per member.
+    fn activate_wave<A: DeadlineAssigner + ?Sized>(
+        &mut self,
+        strategy: &A,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) {
+        let width = self.wave_buf.len();
+        let hop = self.expected_hop_comm;
+        // A task that is one big antichain is the paper's flat parallel
+        // task: serial levels do not apply, and the result return is the
+        // only hand-off left after the fan-out.
+        let root_parallel = self.edges.is_empty() && width > 1;
+        let window = if root_parallel {
+            self.deadline
+        } else {
+            // The wave's critical member: maximal pex + remaining
+            // critical-path pex (first of equals wins).
+            let mut critical = self.wave_buf[0] as usize;
+            let mut critical_via = self.nodes[critical].pex + self.cp_pex_after[critical];
+            for &i in &self.wave_buf[1..] {
+                let via = self.nodes[i as usize].pex + self.cp_pex_after[i as usize];
+                if via > critical_via {
+                    critical = i as usize;
+                    critical_via = via;
+                }
+            }
+            // The path view: the tail is the per-node pex sequence along
+            // the maximal-pex path after the critical member.
+            self.tail_buf.clear();
+            let mut cur = self.cp_next[critical];
+            while cur != NO_NODE {
+                self.tail_buf.push(self.nodes[cur as usize].pex);
+                cur = self.cp_next[cur as usize];
+            }
+            strategy.serial_deadline(&SspInput {
+                submit_time: now,
+                global_deadline: self.deadline,
+                pex_current: self.nodes[critical].pex,
+                pex_remaining_after: &self.tail_buf,
+                // One hop is in flight to this wave; after it completes
+                // there are `tail` hand-offs along the critical path plus
+                // the result return still to pay.
+                comm_current: hop,
+                comm_after: hop * (self.tail_buf.len() + 1) as f64,
+                slack_scale: self.slack_scale,
+            })
+        };
+        let branch_dl = if width > 1 {
+            strategy.parallel_deadline(&PspInput {
+                arrival_time: now,
+                global_deadline: window,
+                branch_count: width,
+                comm_current: hop,
+                // Inside a deeper DAG the window already reserves
+                // downstream transit; a pure antichain task still owes
+                // its result return.
+                comm_after: if root_parallel { hop } else { 0.0 },
+                slack_scale: self.slack_scale,
+            })
+        } else {
+            window
+        };
+        let priority = strategy.priority_class();
+        for &i in &self.wave_buf {
+            let s = self.nodes[i as usize];
+            out.push(Submission {
+                subtask: SubtaskRef(i as usize),
+                node: s.node,
+                ex: s.ex,
+                pex: s.pex,
+                deadline: branch_dl,
+                priority,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::SdaStrategy;
+    use crate::psp::ParallelStrategy;
+    use crate::ssp::SerialStrategy;
+
+    const EPS: f64 = 1e-12;
+
+    fn chain(pex: &[f64], deadline: f64) -> DagRun {
+        let mut run = DagRun::new();
+        run.reset();
+        let mut prev = None;
+        for (i, &p) in pex.iter().enumerate() {
+            let id = run.push_node(NodeId::new(i as u32), p, p);
+            if let Some(prev) = prev {
+                run.push_edge(prev, id);
+            }
+            prev = Some(id);
+        }
+        run.finalize();
+        run.set_timing(0.0, deadline);
+        run
+    }
+
+    fn drive_all(run: &mut DagRun, strategy: &SdaStrategy, mut now: f64, dt: f64) -> Vec<f64> {
+        let mut subs = Vec::new();
+        run.start(strategy, now, &mut subs);
+        let mut deadlines = Vec::new();
+        while let Some(sub) = subs.first().copied() {
+            subs.remove(0);
+            deadlines.push(sub.deadline);
+            now += dt;
+            run.complete(sub.subtask, strategy, now, &mut subs);
+        }
+        assert!(run.is_finished());
+        deadlines
+    }
+
+    #[test]
+    fn serial_chain_matches_paper_formulas() {
+        // pex [2, 3, 5], dl 20 → slack 10; EQF stage 1: 0 + 2 + 10·0.2.
+        let mut run = chain(&[2.0, 3.0, 5.0], 20.0);
+        assert_eq!(run.critical_path_pex(), 10.0);
+        assert_eq!(run.critical_path_ex(), 10.0);
+        assert_eq!(run.depth(), 3);
+        let mut subs = Vec::new();
+        run.start(&SdaStrategy::eqf_ud(), 0.0, &mut subs);
+        assert_eq!(subs.len(), 1);
+        assert!((subs[0].deadline - 4.0).abs() < EPS, "{}", subs[0].deadline);
+    }
+
+    #[test]
+    fn diamond_fan_in_waits_for_both_branches() {
+        let mut run = DagRun::new();
+        run.reset();
+        let a = run.push_node(NodeId::new(0), 1.0, 1.0);
+        let b = run.push_node(NodeId::new(1), 2.0, 2.0);
+        let c = run.push_node(NodeId::new(2), 1.0, 1.0);
+        let d = run.push_node(NodeId::new(3), 1.0, 1.0);
+        run.push_edge(a, b);
+        run.push_edge(a, c);
+        run.push_edge(b, d);
+        run.push_edge(c, d);
+        run.finalize();
+        run.set_timing(0.0, 10.0);
+        assert_eq!(run.depth(), 3);
+        assert_eq!(run.edge_count(), 4);
+        assert_eq!(run.successors(a), &[b, c]);
+        assert_eq!(run.predecessors(d), &[b, c]);
+
+        let strategy = SdaStrategy::eqf_div1();
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert_eq!(subs.len(), 1, "only the source is ready");
+        let mut wave = Vec::new();
+        assert!(!run.complete(subs[0].subtask, &strategy, 1.0, &mut wave));
+        assert_eq!(wave.len(), 2, "fork releases both branches");
+        // Finish B; D must stay blocked on C.
+        let mut next = Vec::new();
+        assert!(!run.complete(wave[0].subtask, &strategy, 2.0, &mut next));
+        assert!(next.is_empty(), "fan-in fired before all predecessors");
+        assert!(!run.complete(wave[1].subtask, &strategy, 3.0, &mut next));
+        assert_eq!(next.len(), 1, "last branch releases the join");
+        assert!(run.complete(next[0].subtask, &strategy, 4.0, &mut next));
+        assert!(run.is_finished());
+        assert_eq!(run.progress(), (4, 4));
+    }
+
+    #[test]
+    fn antichain_task_is_a_flat_parallel_fan() {
+        // Three nodes, no edges: the window is the global deadline and
+        // DIV-1 divides it — dl = 2 + (14 − 2)/3 = 6.
+        let mut run = DagRun::new();
+        run.reset();
+        for i in 0..3 {
+            run.push_node(NodeId::new(i), 1.0, 1.0);
+        }
+        run.finalize();
+        run.set_timing(2.0, 14.0);
+        assert_eq!(run.depth(), 1);
+        let mut subs = Vec::new();
+        run.start(&SdaStrategy::ud_div1(), 2.0, &mut subs);
+        assert_eq!(subs.len(), 3);
+        for s in &subs {
+            assert!((s.deadline - 6.0).abs() < EPS, "{}", s.deadline);
+        }
+    }
+
+    #[test]
+    fn cross_layer_edge_extends_the_critical_path_view() {
+        // A → B → D plus a long edge A → D: the chain A,B,D is critical.
+        let mut run = DagRun::new();
+        run.reset();
+        let a = run.push_node(NodeId::new(0), 1.0, 1.0);
+        let b = run.push_node(NodeId::new(1), 3.0, 3.0);
+        let d = run.push_node(NodeId::new(2), 1.0, 1.0);
+        run.push_edge(a, b);
+        run.push_edge(a, d);
+        run.push_edge(b, d);
+        run.finalize();
+        run.set_timing(0.0, 10.0);
+        assert_eq!(run.critical_path_pex(), 5.0);
+        assert_eq!(run.depth(), 3);
+        // EQS at the source: slack = 10 − 5 = 5 over 3 levels.
+        let strategy = SdaStrategy::new(
+            SerialStrategy::EqualSlack,
+            ParallelStrategy::UltimateDeadline,
+        );
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert!((subs[0].deadline - (1.0 + 5.0 / 3.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn expected_comm_reserves_slack_per_wave() {
+        // Two-node chain, pex 1 each, dl 8, hop 0.5 — must match the
+        // FlatRun doc example bit for bit (dl(T1) = 3.75).
+        let mut run = chain(&[1.0, 1.0], 8.0);
+        run.set_expected_comm(0.5);
+        assert_eq!(run.expected_comm(), 0.5);
+        let strategy = SdaStrategy::new(
+            SerialStrategy::EqualSlack,
+            ParallelStrategy::UltimateDeadline,
+        );
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert!(
+            (subs[0].deadline - 3.75).abs() < EPS,
+            "{}",
+            subs[0].deadline
+        );
+        let mut more = Vec::new();
+        assert!(!run.complete(subs[0].subtask, &strategy, 2.0, &mut more));
+        assert!((more[0].deadline - 7.5).abs() < EPS, "{}", more[0].deadline);
+    }
+
+    #[test]
+    fn slack_scale_tightens_wave_deadlines() {
+        let mut run = chain(&[1.0, 1.0], 8.0);
+        run.set_slack_scale(0.5);
+        assert_eq!(run.slack_scale(), 0.5);
+        let strategy = SdaStrategy::new(
+            SerialStrategy::EqualSlack,
+            ParallelStrategy::UltimateDeadline,
+        );
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert!((subs[0].deadline - 2.5).abs() < EPS, "{}", subs[0].deadline);
+    }
+
+    #[test]
+    fn reset_recycles_without_state_leak() {
+        let mut run = chain(&[1.0, 1.0], 4.0);
+        let strategy = SdaStrategy::eqf_ud();
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        run.reset();
+        assert_eq!(run.simple_count(), 0);
+        assert_eq!(run.edge_count(), 0);
+        assert!(!run.is_finished());
+        assert_eq!(run.slack_scale(), 1.0);
+        assert_eq!(run.expected_comm(), 0.0);
+        // Refill and run to completion: the recycled run behaves freshly.
+        run.push_node(NodeId::new(0), 1.0, 1.0);
+        run.finalize();
+        run.set_timing(2.0, 5.0);
+        subs.clear();
+        run.start(&strategy, 2.0, &mut subs);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].deadline, 5.0);
+        let mut more = Vec::new();
+        assert!(run.complete(subs[0].subtask, &strategy, 3.0, &mut more));
+        assert!(run.is_finished());
+    }
+
+    #[test]
+    fn duplicate_edges_release_once() {
+        let mut run = DagRun::new();
+        run.reset();
+        let a = run.push_node(NodeId::new(0), 1.0, 1.0);
+        let b = run.push_node(NodeId::new(1), 1.0, 1.0);
+        run.push_edge(a, b);
+        run.push_edge(a, b);
+        run.finalize();
+        run.set_timing(0.0, 6.0);
+        let strategy = SdaStrategy::ud_ud();
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert_eq!(subs.len(), 1);
+        let mut more = Vec::new();
+        assert!(!run.complete(subs[0].subtask, &strategy, 1.0, &mut more));
+        assert_eq!(more.len(), 1, "B released exactly once");
+        assert!(run.complete(more[0].subtask, &strategy, 2.0, &mut more));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_is_rejected() {
+        let mut run = DagRun::new();
+        run.reset();
+        let a = run.push_node(NodeId::new(0), 1.0, 1.0);
+        let b = run.push_node(NodeId::new(1), 1.0, 1.0);
+        run.push_edge(a, b);
+        run.push_edge(b, a);
+        run.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_endpoint_is_rejected() {
+        let mut run = DagRun::new();
+        run.reset();
+        run.push_node(NodeId::new(0), 1.0, 1.0);
+        run.push_edge(0, 7);
+        run.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_is_rejected() {
+        let mut run = DagRun::new();
+        run.reset();
+        run.push_node(NodeId::new(0), 1.0, 1.0);
+        run.push_edge(0, 0);
+        run.finalize();
+    }
+
+    #[test]
+    #[should_panic(expected = "start called twice")]
+    fn double_start_panics() {
+        let mut run = chain(&[1.0], 2.0);
+        let mut out = Vec::new();
+        run.start(&SdaStrategy::ud_ud(), 0.0, &mut out);
+        run.start(&SdaStrategy::ud_ud(), 0.0, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn double_complete_panics() {
+        let mut run = DagRun::new();
+        run.reset();
+        run.push_node(NodeId::new(0), 1.0, 1.0);
+        run.push_node(NodeId::new(1), 1.0, 1.0);
+        run.finalize();
+        run.set_timing(0.0, 4.0);
+        let strategy = SdaStrategy::ud_ud();
+        let mut out = Vec::new();
+        run.start(&strategy, 0.0, &mut out);
+        let mut more = Vec::new();
+        run.complete(out[0].subtask, &strategy, 1.0, &mut more);
+        run.complete(out[0].subtask, &strategy, 2.0, &mut more);
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn completing_a_blocked_node_panics() {
+        let mut run = chain(&[1.0, 1.0], 4.0);
+        let strategy = SdaStrategy::ud_ud();
+        let mut out = Vec::new();
+        run.start(&strategy, 0.0, &mut out);
+        // Node 1 is still blocked on node 0.
+        run.complete(SubtaskRef(1), &strategy, 1.0, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "before finalize")]
+    fn start_before_finalize_panics() {
+        let mut run = DagRun::new();
+        run.reset();
+        run.push_node(NodeId::new(0), 1.0, 1.0);
+        let mut out = Vec::new();
+        run.start(&SdaStrategy::ud_ud(), 0.0, &mut out);
+    }
+
+    #[test]
+    fn ud_assigns_global_deadline_everywhere() {
+        let mut run = chain(&[1.0, 2.0, 1.0], 9.0);
+        let deadlines = drive_all(&mut run, &SdaStrategy::ud_ud(), 0.0, 0.5);
+        assert_eq!(deadlines, vec![9.0, 9.0, 9.0]);
+    }
+}

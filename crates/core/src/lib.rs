@@ -17,6 +17,10 @@
 //!   Ultimate Deadline, DIV-x, Globals First;
 //! * the combined, recursive assigner for serial-parallel trees
 //!   ([`TaskRun`] driving an [`SdaStrategy`]);
+//! * beyond the paper, first-class **precedence DAGs** ([`DagRun`]):
+//!   arbitrary fork–join structures with per-wave critical-path
+//!   deadline decomposition that reduces bit-exactly to the
+//!   stage-structured rules on layered tasks;
 //! * beyond the paper, the **feedback-adaptive wrapper** `ADAPT(base)`
 //!   ([`AdaptiveSlack`]): a windowed miss-ratio signal, threaded through
 //!   [`SspInput::slack_scale`]/[`PspInput::slack_scale`], shrinks the
@@ -65,6 +69,7 @@
 mod adapt;
 mod assign;
 mod attr;
+mod dag;
 mod error;
 mod flat;
 mod ids;
@@ -76,6 +81,7 @@ mod strategy;
 pub use adapt::AdaptiveSlack;
 pub use assign::{Completion, SdaStrategy, Submission, SubtaskRef, TaskRun};
 pub use attr::TaskAttributes;
+pub use dag::DagRun;
 pub use error::SpecError;
 pub use flat::FlatRun;
 pub use ids::{NodeId, PriorityClass, TaskClass, TaskId};

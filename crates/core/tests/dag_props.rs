@@ -1,0 +1,441 @@
+//! The equivalence/property suite pinning [`DagRun`]'s critical-path
+//! deadline decomposition.
+//!
+//! Two families of seeded, fully deterministic properties:
+//!
+//! 1. **Stage-structured equivalence** — a random stage-structured task
+//!    round-tripped through a `DagRun` (consecutive layers fully
+//!    connected) must produce *bit-identical* submissions and deadlines
+//!    to the [`FlatRun`] hot path, for every strategy family
+//!    {UD, ED, EQS, EQF, EQF-AS} × {UD, DIV-1, GF}, across serial,
+//!    fan-out and top-level-parallel shapes, with and without expected
+//!    communication and feedback slack scaling.
+//! 2. **DAG invariants** — random layered DAGs (cross-layer edges
+//!    included) driven deadline-faithfully satisfy: every node submitted
+//!    exactly once, fan-in fires only after all predecessors completed,
+//!    virtual deadlines are nondecreasing along every precedence edge
+//!    (hence along every topological path), and no assigned deadline
+//!    exceeds the global deadline.
+//!
+//!    The monotonicity clause holds for every strategy whose deadline is
+//!    anchored at the submission time (UD, EQS, EQF, EQF-AS, DIV-x, GF):
+//!    a successor is submitted when its last predecessor completes, so
+//!    its deadline can only move forward. ED is the one exception — its
+//!    deadline (`dl(T) − Σ remaining pex`) ignores the submission time,
+//!    and in a DAG a wide early wave can carry a *later* ED deadline
+//!    than a deeper wave whose critical tail is longer (in a serial
+//!    chain the suffix sums shrink monotonically, so the paper's setting
+//!    never exposes this). The test therefore asserts monotonicity for
+//!    all non-ED strategies and only the global-deadline bound for ED.
+
+use sda_core::{
+    DagRun, FlatRun, NodeId, ParallelStrategy, SdaStrategy, SerialStrategy, Submission,
+};
+
+/// A tiny xorshift64* generator so the properties are seeded and
+/// reproducible without pulling RNG crates into `sda-core`'s dev-deps.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> XorShift {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `lo..=hi`.
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+fn strategies() -> Vec<SdaStrategy> {
+    let serials = [
+        SerialStrategy::UltimateDeadline,
+        SerialStrategy::EffectiveDeadline,
+        SerialStrategy::EqualSlack,
+        SerialStrategy::EqualFlexibility,
+        SerialStrategy::EqualFlexibilityArtificial {
+            artificial_stages: 2,
+        },
+    ];
+    let parallels = [
+        ParallelStrategy::UltimateDeadline,
+        ParallelStrategy::Div { x: 1.0 },
+        ParallelStrategy::GlobalsFirst,
+    ];
+    let mut out = Vec::new();
+    for s in serials {
+        for p in parallels {
+            out.push(SdaStrategy::new(s, p));
+        }
+    }
+    out
+}
+
+/// One random stage-structured task: per-stage member `(node, ex, pex)`.
+struct StagedSpec {
+    stages: Vec<Vec<(NodeId, f64, f64)>>,
+    arrival: f64,
+    deadline: f64,
+    hop: f64,
+    scale: f64,
+}
+
+impl StagedSpec {
+    /// `widths`: candidates for each stage's member count.
+    fn random(rng: &mut XorShift, widths: &[usize], behind_schedule: bool) -> StagedSpec {
+        let stage_count = rng.range(1, 5);
+        let mut stages = Vec::new();
+        let mut total_pex = 0.0;
+        for _ in 0..stage_count {
+            let width = widths[rng.range(0, widths.len() - 1)];
+            let members: Vec<(NodeId, f64, f64)> = (0..width)
+                .map(|_| {
+                    let node = NodeId::new(rng.range(0, 5) as u32);
+                    let ex = 0.1 + 4.0 * rng.f64();
+                    // Imperfect predictions exercise the pex path.
+                    let pex = ex * (0.6 + 0.8 * rng.f64());
+                    (node, ex, pex)
+                })
+                .collect();
+            total_pex += members.iter().map(|&(_, _, pex)| pex).fold(0.0, f64::max);
+            stages.push(members);
+        }
+        let arrival = 10.0 * rng.f64();
+        // Behind-schedule tasks exercise the negative-slack branches.
+        let slack = if behind_schedule {
+            -2.0 * rng.f64()
+        } else {
+            total_pex * (0.2 + 2.0 * rng.f64())
+        };
+        StagedSpec {
+            stages,
+            arrival,
+            deadline: arrival + total_pex + slack,
+            hop: if rng.f64() < 0.5 {
+                0.3 * rng.f64()
+            } else {
+                0.0
+            },
+            scale: if rng.f64() < 0.5 {
+                0.3 + 0.7 * rng.f64()
+            } else {
+                1.0
+            },
+        }
+    }
+
+    fn fill_flat(&self, run: &mut FlatRun, serial_levels: bool, parallel_groups: bool) {
+        run.reset();
+        for stage in &self.stages {
+            for &(node, ex, pex) in stage {
+                run.push_subtask(node, ex, pex);
+            }
+            run.end_stage();
+        }
+        run.set_structure(serial_levels, parallel_groups);
+        run.set_timing(self.arrival, self.deadline);
+        run.set_expected_comm(self.hop);
+        run.set_slack_scale(self.scale);
+    }
+
+    /// The DAG embedding: consecutive stages fully connected.
+    fn fill_dag(&self, run: &mut DagRun) {
+        run.reset();
+        let mut prev: Vec<u32> = Vec::new();
+        for stage in &self.stages {
+            let ids: Vec<u32> = stage
+                .iter()
+                .map(|&(node, ex, pex)| run.push_node(node, ex, pex))
+                .collect();
+            for &from in &prev {
+                for &to in &ids {
+                    run.push_edge(from, to);
+                }
+            }
+            prev = ids;
+        }
+        run.finalize();
+        run.set_timing(self.arrival, self.deadline);
+        run.set_expected_comm(self.hop);
+        run.set_slack_scale(self.scale);
+    }
+}
+
+fn assert_submissions_bit_equal(flat: &[Submission], dag: &[Submission], what: &str) {
+    assert_eq!(flat.len(), dag.len(), "{what}: wave width diverged");
+    for (f, d) in flat.iter().zip(dag) {
+        assert_eq!(f.node, d.node, "{what}");
+        assert_eq!(f.ex.to_bits(), d.ex.to_bits(), "{what}");
+        assert_eq!(f.pex.to_bits(), d.pex.to_bits(), "{what}");
+        assert_eq!(
+            f.deadline.to_bits(),
+            d.deadline.to_bits(),
+            "{what}: deadline diverged ({} vs {})",
+            f.deadline,
+            d.deadline
+        );
+        assert_eq!(f.priority, d.priority, "{what}");
+    }
+}
+
+/// Drives the flat and DAG runtimes in lock-step with the same FIFO
+/// completion schedule and asserts bit-identical submissions throughout.
+fn assert_flat_dag_equivalent(spec: &StagedSpec, strategy: &SdaStrategy, dt: f64, what: &str) {
+    let serial_levels = spec.stages.len() > 1 || spec.stages[0].len() == 1;
+    let parallel_groups = spec.stages.iter().any(|s| s.len() > 1);
+    let mut flat = FlatRun::new();
+    spec.fill_flat(&mut flat, serial_levels, parallel_groups);
+    let mut dag = DagRun::new();
+    spec.fill_dag(&mut dag);
+
+    let mut now = spec.arrival;
+    let mut flat_subs = Vec::new();
+    let mut dag_subs = Vec::new();
+    flat.start(strategy, now, &mut flat_subs);
+    dag.start(strategy, now, &mut dag_subs);
+    assert_submissions_bit_equal(&flat_subs, &dag_subs, what);
+    loop {
+        if flat_subs.is_empty() {
+            break;
+        }
+        let (f, d) = (flat_subs.remove(0), dag_subs.remove(0));
+        now += dt;
+        let mut flat_more = Vec::new();
+        let mut dag_more = Vec::new();
+        let flat_done = flat.complete(f.subtask, strategy, now, &mut flat_more);
+        let dag_done = dag.complete(d.subtask, strategy, now, &mut dag_more);
+        assert_eq!(flat_done, dag_done, "{what}: completion status diverged");
+        assert_submissions_bit_equal(&flat_more, &dag_more, what);
+        flat_subs.extend(flat_more);
+        dag_subs.extend(dag_more);
+    }
+    assert!(flat.is_finished() && dag.is_finished(), "{what}");
+    // The two runtimes accumulate the critical path in opposite
+    // directions (FlatRun folds stage maxima forward, DagRun's
+    // reverse-topological pass sums backward), so the totals agree as
+    // reals but not necessarily bit for bit.
+    let (a, b) = (flat.critical_path_ex(), dag.critical_path_ex());
+    assert!(
+        (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+        "{what}: critical-path ex diverged ({a} vs {b})"
+    );
+}
+
+#[test]
+fn stage_structured_serial_chains_match_flat_run_bit_exactly() {
+    let mut rng = XorShift::new(0xDA6_0001);
+    for strategy in strategies() {
+        for case in 0..40 {
+            let spec = StagedSpec::random(&mut rng, &[1], case % 5 == 4);
+            let dt = 0.1 + 1.5 * rng.f64();
+            assert_flat_dag_equivalent(
+                &spec,
+                &strategy,
+                dt,
+                &format!("serial case {case} under {strategy}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn stage_structured_fan_outs_match_flat_run_bit_exactly() {
+    let mut rng = XorShift::new(0xDA6_0002);
+    for strategy in strategies() {
+        for case in 0..40 {
+            // Widths ≥ 2 so every stage is a genuine parallel group (a
+            // width-1 stage inside a parallel-group pipeline would take
+            // FlatRun's 1-branch PSP path, which DagRun deliberately
+            // treats as a serial hand-off — see the DagRun docs).
+            let spec = StagedSpec::random(&mut rng, &[2, 3, 4], case % 5 == 4);
+            let dt = 0.1 + 1.5 * rng.f64();
+            assert_flat_dag_equivalent(
+                &spec,
+                &strategy,
+                dt,
+                &format!("fan-out case {case} under {strategy}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn top_level_parallel_fans_match_flat_run_bit_exactly() {
+    let mut rng = XorShift::new(0xDA6_0003);
+    for strategy in strategies() {
+        for case in 0..30 {
+            let mut spec = StagedSpec::random(&mut rng, &[2, 3, 4, 5], false);
+            spec.stages.truncate(1);
+            let dt = 0.1 + 1.5 * rng.f64();
+            // A single parallel stage: FlatRun with serial_levels = false
+            // vs the DAG antichain convention.
+            let mut flat = FlatRun::new();
+            spec.fill_flat(&mut flat, false, true);
+            let mut dag = DagRun::new();
+            spec.fill_dag(&mut dag);
+            let mut now = spec.arrival;
+            let mut flat_subs = Vec::new();
+            let mut dag_subs = Vec::new();
+            flat.start(&strategy, now, &mut flat_subs);
+            dag.start(&strategy, now, &mut dag_subs);
+            let what = format!("parallel case {case} under {strategy}");
+            assert_submissions_bit_equal(&flat_subs, &dag_subs, &what);
+            for (f, d) in flat_subs.iter().zip(&dag_subs) {
+                now += dt;
+                let mut sink = Vec::new();
+                let a = flat.complete(f.subtask, &strategy, now, &mut sink);
+                let b = dag.complete(d.subtask, &strategy, now, &mut sink);
+                assert_eq!(a, b, "{what}");
+                assert!(sink.is_empty(), "{what}");
+            }
+            assert!(flat.is_finished() && dag.is_finished(), "{what}");
+        }
+    }
+}
+
+/// A random layered DAG with guaranteed connectivity and optional
+/// cross-layer edges, built directly on a [`DagRun`].
+fn random_layered_dag(rng: &mut XorShift, run: &mut DagRun) {
+    run.reset();
+    let depth = rng.range(2, 6);
+    let mut layers: Vec<Vec<u32>> = Vec::new();
+    for _ in 0..depth {
+        let width = rng.range(1, 4);
+        let ids: Vec<u32> = (0..width)
+            .map(|_| {
+                let ex = 0.1 + 2.0 * rng.f64();
+                run.push_node(NodeId::new(rng.range(0, 5) as u32), ex, ex)
+            })
+            .collect();
+        layers.push(ids);
+    }
+    // Connectivity: every node has a predecessor in the previous layer,
+    // every non-final node a successor in the next.
+    for l in 1..depth {
+        for &v in &layers[l] {
+            let u = layers[l - 1][rng.range(0, layers[l - 1].len() - 1)];
+            run.push_edge(u, v);
+        }
+        for &u in &layers[l - 1] {
+            let v = layers[l][rng.range(0, layers[l].len() - 1)];
+            run.push_edge(u, v);
+        }
+    }
+    // Cross-layer (skip) edges.
+    for i in 0..depth {
+        for j in i + 2..depth {
+            for &u in &layers[i] {
+                for &v in &layers[j] {
+                    if rng.f64() < 0.15 {
+                        run.push_edge(u, v);
+                    }
+                }
+            }
+        }
+    }
+    run.finalize();
+    let cp = run.critical_path_pex();
+    let arrival = 5.0 * rng.f64();
+    run.set_timing(arrival, arrival + cp * (1.5 + rng.f64()));
+}
+
+#[test]
+fn random_dags_satisfy_lifecycle_and_deadline_invariants() {
+    const EPS: f64 = 1e-9;
+    let mut rng = XorShift::new(0xDA6_0004);
+    let mut run = DagRun::new();
+    for strategy in strategies() {
+        for case in 0..25 {
+            random_layered_dag(&mut rng, &mut run);
+            let n = run.simple_count();
+            let what = format!("dag case {case} under {strategy}");
+
+            let mut submitted_at = vec![None::<f64>; n];
+            let mut deadline_of = vec![f64::NAN; n];
+            let mut record = |subs: &[Submission], run: &DagRun, what: &str| {
+                for s in subs {
+                    let i = s.subtask.index();
+                    assert!(
+                        submitted_at[i].is_none(),
+                        "{what}: node {i} submitted twice"
+                    );
+                    submitted_at[i] = Some(s.deadline);
+                    deadline_of[i] = s.deadline;
+                    // Fan-in fires only after all predecessors completed.
+                    for &p in run.predecessors(i as u32) {
+                        assert!(
+                            run.is_done(p),
+                            "{what}: node {i} submitted before predecessor {p}"
+                        );
+                    }
+                }
+            };
+
+            let mut pending: Vec<Submission> = Vec::new();
+            let mut wave = Vec::new();
+            run.start(&strategy, run.arrival(), &mut wave);
+            record(&wave, &run, &what);
+            pending.append(&mut wave);
+            let mut now = run.arrival();
+            let mut finished = false;
+            while let Some(pos) = pending
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.deadline.total_cmp(&b.deadline))
+                .map(|(i, _)| i)
+            {
+                let sub = pending.remove(pos);
+                // Deadline-faithful drive: each subtask completes exactly
+                // at its assigned virtual deadline (never earlier than
+                // the current clock).
+                now = now.max(sub.deadline);
+                finished = run.complete(sub.subtask, &strategy, now, &mut wave);
+                record(&wave, &run, &what);
+                pending.append(&mut wave);
+            }
+            assert!(finished && run.is_finished(), "{what}: task not finished");
+
+            // Every node submitted exactly once.
+            assert!(
+                submitted_at.iter().all(Option::is_some),
+                "{what}: some node never submitted"
+            );
+            let global = run.global_deadline();
+            for i in 0..n {
+                // No assigned deadline past the end-to-end deadline.
+                assert!(
+                    deadline_of[i] <= global + EPS * global.abs().max(1.0),
+                    "{what}: node {i} deadline {} exceeds global {global}",
+                    deadline_of[i]
+                );
+                // Nondecreasing along every precedence edge (and hence
+                // along every topological path) — see the module docs
+                // for why ED is exempt.
+                if strategy.serial != SerialStrategy::EffectiveDeadline {
+                    for &s in run.successors(i as u32) {
+                        assert!(
+                            deadline_of[s as usize] >= deadline_of[i] - EPS,
+                            "{what}: edge {i}→{s} decreasing deadlines ({} → {})",
+                            deadline_of[i],
+                            deadline_of[s as usize]
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

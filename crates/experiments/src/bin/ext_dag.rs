@@ -1,0 +1,21 @@
+//! Extension: DAG-structured global tasks — `MD` vs edge density and vs
+//! DAG depth under critical-path deadline decomposition (the precedence
+//! axis the paper's serial-parallel trees leave open).
+
+use sda_experiments::{emit, ext::dag, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let density = dag::edge_density(&opts);
+    emit(
+        &density,
+        &opts,
+        &[Metric::MdGlobal, Metric::MdLocal, Metric::GlobalResponse],
+    );
+    let depth = dag::depth(&opts);
+    emit(
+        &depth,
+        &opts,
+        &[Metric::MdGlobal, Metric::MdLocal, Metric::GlobalResponse],
+    );
+}

@@ -26,6 +26,8 @@
 //! | beyond the paper — service-time variability | [`ext::service_cv`] | `ext_service_cv` |
 //! | beyond the paper — preemptive EDF servers | [`ext::preemption`] | `ext_preemption` |
 //! | beyond the paper — node speeds & message delays | [`ext::network`] | `ext_network` |
+//! | beyond the paper — time-varying workloads & ADAPT | [`ext::burst`] | `ext_burst` |
+//! | beyond the paper — DAG-structured tasks | [`ext::dag`] | `ext_dag` |
 //!
 //! Binaries accept `--full` (paper-scale runs: 2 × 10⁶ time units),
 //! `--quick` (CI-scale), `--smoke` (single-rep end-to-end exercise),

@@ -318,12 +318,36 @@ impl WorkloadConfig {
                 value: f64::NAN,
             });
         }
+        // Shape parameters are multi-field; report the first offending
+        // field as an indexed entry (field order = declaration order) so
+        // the error names exactly which knob is degenerate. A zero stage
+        // count, width or depth used to slip through some construction
+        // paths as a later divide-by-zero or an empty-task panic deep in
+        // the generator.
+        fn entry(
+            what: &'static str,
+            index: usize,
+            ok: bool,
+            constraint: &'static str,
+            value: f64,
+        ) -> Result<(), ConfigError> {
+            if ok {
+                Ok(())
+            } else {
+                Err(ConfigError::InvalidEntry {
+                    what,
+                    index,
+                    constraint,
+                    value,
+                })
+            }
+        }
         match self.shape {
             GlobalShape::Serial { m } => {
-                check("shape m", m >= 1, "≥ 1", m as f64)?;
+                entry("shape.serial", 0, m >= 1, "≥ 1", m as f64)?;
             }
             GlobalShape::Parallel { m } => {
-                check("shape m", m >= 1, "≥ 1", m as f64)?;
+                entry("shape.parallel", 0, m >= 1, "≥ 1", m as f64)?;
                 if m > self.nodes {
                     return Err(ConfigError::FanWiderThanNodes {
                         fan: m,
@@ -332,15 +356,54 @@ impl WorkloadConfig {
                 }
             }
             GlobalShape::SerialRandomM { min_m, max_m } => {
-                check("min_m", min_m >= 1, "≥ 1", min_m as f64)?;
-                check("max_m", max_m >= min_m, "≥ min_m", max_m as f64)?;
+                entry("shape.serial_random_m", 0, min_m >= 1, "≥ 1", min_m as f64)?;
+                entry(
+                    "shape.serial_random_m",
+                    1,
+                    max_m >= min_m,
+                    "≥ min_m",
+                    max_m as f64,
+                )?;
             }
             GlobalShape::SerialParallel { stages, branches } => {
-                check("stages", stages >= 1, "≥ 1", stages as f64)?;
-                check("branches", branches >= 1, "≥ 1", branches as f64)?;
+                entry(
+                    "shape.serial_parallel",
+                    0,
+                    stages >= 1,
+                    "≥ 1",
+                    stages as f64,
+                )?;
+                entry(
+                    "shape.serial_parallel",
+                    1,
+                    branches >= 1,
+                    "≥ 1",
+                    branches as f64,
+                )?;
                 if branches > self.nodes {
                     return Err(ConfigError::FanWiderThanNodes {
                         fan: branches,
+                        nodes: self.nodes,
+                    });
+                }
+            }
+            GlobalShape::Dag {
+                depth,
+                max_width,
+                edge_density,
+            } => {
+                entry("shape.dag", 0, depth >= 1, "≥ 1", depth as f64)?;
+                entry("shape.dag", 1, max_width >= 1, "≥ 1", max_width as f64)?;
+                entry(
+                    "shape.dag",
+                    2,
+                    edge_density.is_finite() && (0.0..=1.0).contains(&edge_density),
+                    "finite and in [0, 1]",
+                    edge_density,
+                )?;
+                if max_width > self.nodes {
+                    return Err(ConfigError::FanWiderThanNodes {
+                        fan: max_width,
                         nodes: self.nodes,
                     });
                 }
@@ -432,6 +495,11 @@ impl WorkloadConfig {
     /// * Serial-parallel pipelines: `rel_flex · E[critical path]/E[local
     ///   ex]`, the natural generalization (deadline generation is also
     ///   critical-path-based).
+    /// * Layered DAGs: `rel_flex · E[depth]/E[local ex]` in expectation —
+    ///   per task the factor uses the task's *own* structural depth (see
+    ///   [`TaskFactory::make_global_dag`](crate::TaskFactory::make_global_dag)),
+    ///   mirroring how heterogeneous-`m` serial tasks scale by their own
+    ///   stage count.
     pub fn global_slack_factor(&self) -> f64 {
         match self.shape {
             GlobalShape::Serial { .. } | GlobalShape::SerialRandomM { .. } => {
@@ -442,6 +510,9 @@ impl WorkloadConfig {
             GlobalShape::SerialParallel { .. } => {
                 self.rel_flex * self.shape.expected_critical_path_factor() * self.mean_subtask_ex
                     / self.mean_local_ex
+            }
+            GlobalShape::Dag { depth, .. } => {
+                self.rel_flex * depth as f64 * self.mean_subtask_ex / self.mean_local_ex
             }
         }
     }
@@ -546,6 +617,156 @@ mod tests {
             c.validate(),
             Err(ConfigError::FanWiderThanNodes { fan: 10, nodes: 6 })
         );
+    }
+
+    #[test]
+    fn degenerate_shape_parameters_are_rejected_with_indices() {
+        // Regression: zero stage counts/widths used to surface as a
+        // divide-by-zero or an empty-task panic deep in the generator
+        // instead of an indexed ConfigError at validation time.
+        let mut c = WorkloadConfig::baseline();
+        c.shape = GlobalShape::Serial { m: 0 };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.serial",
+                index: 0,
+                constraint: "≥ 1",
+                value: 0.0,
+            })
+        );
+        c.shape = GlobalShape::Parallel { m: 0 };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.parallel",
+                index: 0,
+                ..
+            })
+        ));
+        c.shape = GlobalShape::SerialRandomM { min_m: 0, max_m: 4 };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.serial_random_m",
+                index: 0,
+                ..
+            })
+        ));
+        c.shape = GlobalShape::SerialRandomM { min_m: 3, max_m: 2 };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.serial_random_m",
+                index: 1,
+                ..
+            })
+        ));
+        c.shape = GlobalShape::SerialParallel {
+            stages: 0,
+            branches: 2,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.serial_parallel",
+                index: 0,
+                ..
+            })
+        ));
+        c.shape = GlobalShape::SerialParallel {
+            stages: 2,
+            branches: 0,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.serial_parallel",
+                index: 1,
+                ..
+            })
+        ));
+        // The display names the field position.
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("shape.serial_parallel[1]"), "{msg}");
+    }
+
+    #[test]
+    fn dag_shape_validation() {
+        let mut c = WorkloadConfig::baseline();
+        c.shape = GlobalShape::Dag {
+            depth: 4,
+            max_width: 3,
+            edge_density: 0.5,
+        };
+        assert!(c.validate().is_ok());
+        // Degenerate knobs, each reported with its field index
+        // (0 = depth, 1 = max_width, 2 = edge_density).
+        c.shape = GlobalShape::Dag {
+            depth: 0,
+            max_width: 3,
+            edge_density: 0.5,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.dag",
+                index: 0,
+                ..
+            })
+        ));
+        c.shape = GlobalShape::Dag {
+            depth: 4,
+            max_width: 0,
+            edge_density: 0.5,
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::InvalidEntry {
+                what: "shape.dag",
+                index: 1,
+                ..
+            })
+        ));
+        for bad in [-0.1, 1.1, f64::NAN, f64::INFINITY] {
+            c.shape = GlobalShape::Dag {
+                depth: 4,
+                max_width: 3,
+                edge_density: bad,
+            };
+            assert!(matches!(
+                c.validate(),
+                Err(ConfigError::InvalidEntry {
+                    what: "shape.dag",
+                    index: 2,
+                    ..
+                })
+            ));
+        }
+        // Layers place their subtasks on distinct nodes, so the width is
+        // capped by the node count like any parallel fan.
+        c.shape = GlobalShape::Dag {
+            depth: 2,
+            max_width: 7,
+            edge_density: 0.5,
+        };
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::FanWiderThanNodes { fan: 7, nodes: 6 })
+        );
+    }
+
+    #[test]
+    fn dag_slack_factor_scales_with_depth() {
+        let mut c = WorkloadConfig::baseline();
+        c.shape = GlobalShape::Dag {
+            depth: 5,
+            max_width: 3,
+            edge_density: 0.3,
+        };
+        assert_eq!(c.global_slack_factor(), 5.0);
+        c.rel_flex = 2.0;
+        assert_eq!(c.global_slack_factor(), 10.0);
     }
 
     #[test]

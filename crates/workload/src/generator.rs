@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use sda_core::{FlatRun, NodeId, TaskAttributes, TaskSpec};
+use sda_core::{DagRun, FlatRun, NodeId, TaskAttributes, TaskSpec};
 use sda_sim::dist::{Sampler, Uniform};
 use sda_sim::rng::{RngFactory, Stream};
 
@@ -79,6 +79,16 @@ pub struct TaskFactory {
     global_arrival_gen: Option<ArrivalSampler>,
     /// Fisher-Yates scratch for distinct-node draws (reused per stage).
     node_scratch: Vec<u32>,
+    /// DAG-generation scratch: start index of each layer (reused per
+    /// task).
+    layer_starts: Vec<u32>,
+    /// DAG-generation scratch: the mandatory predecessor chosen for each
+    /// node (`u32::MAX` for layer 0), for O(1) duplicate-edge checks.
+    chosen_pred: Vec<u32>,
+    /// DAG-generation scratch: the mandatory successor chosen for each
+    /// node (`u32::MAX` at the last layer or when the node already had
+    /// one).
+    chosen_succ: Vec<u32>,
     /// Per-node speed factors (all 1.0 when the configuration is
     /// homogeneous); service at node `i` takes `ex / speeds[i]`.
     speeds: Vec<f64>,
@@ -143,6 +153,9 @@ impl TaskFactory {
             local_arrival_gen,
             global_arrival_gen,
             node_scratch: Vec::with_capacity(cfg.nodes),
+            layer_starts: Vec::new(),
+            chosen_pred: Vec::new(),
+            chosen_succ: Vec::new(),
             speeds,
             cfg,
         })
@@ -216,6 +229,11 @@ impl TaskFactory {
     /// [`TaskFactory::make_global_flat`] (the single sampling path, so
     /// the two agree draw-for-draw); the simulation hot path uses the
     /// flat variant with a pooled [`FlatRun`] directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`GlobalShape::Dag`] — a general DAG has no nested
+    /// [`TaskSpec`] form; use [`TaskFactory::make_global_dag`].
     pub fn make_global(&mut self, now: f64) -> GlobalTask {
         let mut run = FlatRun::new();
         self.make_global_flat(now, &mut run);
@@ -252,11 +270,134 @@ impl TaskFactory {
                 }
                 run.set_structure(true, true);
             }
+            GlobalShape::Dag { .. } => {
+                panic!("DAG-shaped workloads use TaskFactory::make_global_dag, not a FlatRun")
+            }
         }
         let u = self.slack.sample_with(&mut self.global_slack);
         let factor = self.flat_slack_factor(run.simple_count());
         let deadline = now + run.critical_path_ex() + u * factor;
         run.set_timing(now, deadline);
+    }
+
+    /// Fills a recycled [`DagRun`] with a freshly sampled DAG-structured
+    /// global task arriving at `now` — random layered structure with
+    /// cross-layer edges (see [`GlobalShape::Dag`] for the model),
+    /// per-subtask `ex`/`pex`, distinct-node placement within each
+    /// layer, and the end-to-end deadline. Performs no heap allocation
+    /// once the run's capacity has warmed up.
+    ///
+    /// The deadline follows the same identity as the tree shapes, with
+    /// the critical path playing the role of the serial chain:
+    /// `dl = ar + cp_ex + u · rel_flex · depth · E[ex_sub]/E[ex_loc]`,
+    /// where `cp_ex` is the task's zero-queueing end-to-end time (its
+    /// longest-`ex` path), `depth` is the task's own structural depth
+    /// (so deeper tasks get slack proportional to their own critical
+    /// path, exactly like heterogeneous-`m` serial tasks), and `u` is
+    /// the same base slack draw the locals use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured shape is not [`GlobalShape::Dag`].
+    pub fn make_global_dag(&mut self, now: f64, run: &mut DagRun) {
+        let GlobalShape::Dag {
+            depth,
+            max_width,
+            edge_density,
+        } = self.cfg.shape
+        else {
+            panic!("make_global_dag requires GlobalShape::Dag")
+        };
+        run.reset();
+        // Layers of subtasks, distinct nodes within each layer.
+        self.layer_starts.clear();
+        for _ in 0..depth {
+            let width = self.shape_draw.gen_range(1..=max_width);
+            self.layer_starts.push(run.simple_count() as u32);
+            self.fill_dag_layer(width, run);
+        }
+        self.layer_starts.push(run.simple_count() as u32);
+        let n = run.simple_count();
+
+        // Connectivity skeleton: every node gets one predecessor in the
+        // previous layer; every node that would otherwise be a dead end
+        // gets one successor in the next. The chosen edges are recorded
+        // for O(1) duplicate suppression below.
+        self.chosen_pred.clear();
+        self.chosen_pred.resize(n, u32::MAX);
+        self.chosen_succ.clear();
+        self.chosen_succ.resize(n, u32::MAX);
+        for l in 1..depth {
+            let (prev_lo, prev_hi) = (self.layer_starts[l - 1], self.layer_starts[l]);
+            let (lo, hi) = (self.layer_starts[l], self.layer_starts[l + 1]);
+            for v in lo..hi {
+                let u = self.shape_draw.gen_range(prev_lo..prev_hi);
+                run.push_edge(u, v);
+                self.chosen_pred[v as usize] = u;
+            }
+            for u in prev_lo..prev_hi {
+                // Skip nodes some mandatory-predecessor edge already
+                // departs from.
+                if (lo..hi).any(|v| self.chosen_pred[v as usize] == u) {
+                    continue;
+                }
+                let v = self.shape_draw.gen_range(lo..hi);
+                run.push_edge(u, v);
+                self.chosen_succ[u as usize] = v;
+            }
+        }
+
+        // Optional extra forward edges: probability `edge_density` per
+        // consecutive-layer pair, halving per layer skipped.
+        if edge_density > 0.0 {
+            for i in 0..depth {
+                for j in i + 1..depth {
+                    let p = edge_density / f64::powi(2.0, (j - i - 1) as i32);
+                    for u in self.layer_starts[i]..self.layer_starts[i + 1] {
+                        for v in self.layer_starts[j]..self.layer_starts[j + 1] {
+                            let mandatory = j == i + 1
+                                && (self.chosen_pred[v as usize] == u
+                                    || self.chosen_succ[u as usize] == v);
+                            // One draw per candidate pair, mandatory or
+                            // not, so the stream position depends only
+                            // on the sampled layer widths.
+                            let hit = self.shape_draw.gen::<f64>() < p;
+                            if hit && !mandatory {
+                                run.push_edge(u, v);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        run.finalize();
+
+        let u = self.slack.sample_with(&mut self.global_slack);
+        let factor = self.cfg.rel_flex * run.depth() as f64 * self.cfg.mean_subtask_ex
+            / self.cfg.mean_local_ex;
+        let deadline = now + run.critical_path_ex() + u * factor;
+        run.set_timing(now, deadline);
+    }
+
+    /// One DAG layer of `width` subtasks at `width` distinct nodes
+    /// (same distinct-node discipline as parallel stages, so siblings
+    /// never queue behind each other at a single server).
+    fn fill_dag_layer(&mut self, width: usize, run: &mut DagRun) {
+        let k = self.cfg.nodes;
+        debug_assert!(width <= k, "validated by ConfigError::FanWiderThanNodes");
+        self.node_scratch.clear();
+        self.node_scratch.extend(0..k as u32);
+        for i in 0..width {
+            let j = self.node_pick.gen_range(i..k);
+            self.node_scratch.swap(i, j);
+        }
+        for i in 0..width {
+            let node = NodeId::new(self.node_scratch[i]);
+            let ex = self.subtask_ex.sample_with(&mut self.global_service);
+            let pex = self.cfg.pex.predict(ex, &mut self.pex_noise);
+            let speed = self.speeds[node.index()];
+            run.push_node(node, ex / speed, pex / speed);
+        }
     }
 
     /// Per-task slack scaling (see [`WorkloadConfig::global_slack_factor`]
@@ -273,6 +414,9 @@ impl TaskFactory {
             GlobalShape::SerialParallel { stages, branches } => {
                 self.cfg.rel_flex * stages as f64 * harmonic(branches) * self.cfg.mean_subtask_ex
                     / self.cfg.mean_local_ex
+            }
+            GlobalShape::Dag { .. } => {
+                unreachable!("DAG tasks are filled by make_global_dag, which scales by depth")
             }
         }
     }
@@ -333,6 +477,12 @@ impl TaskFactory {
                     .map(|s| TaskSpec::Parallel(leaves(run.stage(s))))
                     .collect(),
             ),
+            // A general DAG has no serial-parallel tree form; callers
+            // reach this only through make_global, which panics earlier
+            // in make_global_flat with an actionable message.
+            GlobalShape::Dag { .. } => {
+                unreachable!("DAG tasks cannot be expressed as a nested TaskSpec")
+            }
         }
     }
 }
@@ -698,6 +848,177 @@ mod tests {
         let mut f = factory(WorkloadConfig::baseline(), 24);
         let g = f.make_global(1.0);
         assert!((g.slack() - (g.deadline - 1.0 - g.spec.critical_path_ex())).abs() < 1e-12);
+    }
+
+    fn dag_config() -> WorkloadConfig {
+        WorkloadConfig {
+            shape: GlobalShape::Dag {
+                depth: 4,
+                max_width: 3,
+                edge_density: 0.4,
+            },
+            slack: crate::config::SlackRange::PSP_BASELINE,
+            ..WorkloadConfig::baseline()
+        }
+    }
+
+    #[test]
+    fn dag_tasks_are_deterministic_connected_and_in_bounds() {
+        use sda_core::DagRun;
+        let mut a = factory(dag_config(), 60);
+        let mut b = factory(dag_config(), 60);
+        let mut run = DagRun::new();
+        let mut run_b = DagRun::new();
+        for step in 0..300 {
+            let now = step as f64 * 0.25;
+            a.make_global_dag(now, &mut run);
+            b.make_global_dag(now, &mut run_b);
+            // Same seed → bit-identical structure, demands and deadline.
+            assert_eq!(run.simple_count(), run_b.simple_count());
+            assert_eq!(run.edge_count(), run_b.edge_count());
+            assert_eq!(
+                run.global_deadline().to_bits(),
+                run_b.global_deadline().to_bits()
+            );
+            // Structure bounds: depth 4 layers of width ≤ 3.
+            let n = run.simple_count();
+            assert!((4..=12).contains(&n), "{n} subtasks");
+            // The skeleton gives every layer-l node a predecessor in
+            // layer l − 1 and there are no intra-layer edges, so the
+            // longest path visits exactly one node per layer.
+            assert_eq!(run.depth(), 4, "depth {}", run.depth());
+            // Weakly connected: only layer-0 nodes are sources, and no
+            // node is a dead end unless it is in the last layer; with
+            // the skeleton edges every non-source has a predecessor and
+            // every non-sink a successor.
+            let sources = (0..n as u32)
+                .filter(|&i| run.predecessors(i).is_empty())
+                .count();
+            assert!(sources >= 1);
+            for i in 0..n as u32 {
+                assert!(
+                    !run.predecessors(i).is_empty() || !run.successors(i).is_empty() || n == 1,
+                    "node {i} is isolated"
+                );
+            }
+            // Deadline identity: slack ≥ u_min · factor with factor =
+            // rel_flex · depth (≥ 2 layers on every path) ≥ 1.25·2.
+            let slack = run.global_deadline() - now - run.critical_path_ex();
+            assert!(slack >= 1.25 * run.depth() as f64 - 1e-9, "slack {slack}");
+        }
+    }
+
+    #[test]
+    fn dag_layers_use_distinct_nodes() {
+        use sda_core::DagRun;
+        use std::collections::HashSet;
+        let mut f = factory(dag_config(), 61);
+        let mut run = DagRun::new();
+        for _ in 0..100 {
+            f.make_global_dag(0.0, &mut run);
+            // Within a layer (an antichain sharing the same predecessor
+            // set structure), nodes are distinct: check that no two
+            // subtasks with identical predecessor lists share a node.
+            // Cheap proxy: sources form layer 0.
+            let sources: Vec<_> = (0..run.simple_count() as u32)
+                .filter(|&i| run.predecessors(i).is_empty())
+                .collect();
+            let nodes: HashSet<_> = sources
+                .iter()
+                .map(|&i| run.subtasks()[i as usize].node)
+                .collect();
+            assert_eq!(nodes.len(), sources.len(), "layer-0 nodes collide");
+        }
+    }
+
+    #[test]
+    fn dag_edge_density_zero_and_one_bracket_the_edge_count() {
+        use sda_core::DagRun;
+        let sparse = WorkloadConfig {
+            shape: GlobalShape::Dag {
+                depth: 4,
+                max_width: 3,
+                edge_density: 0.0,
+            },
+            ..dag_config()
+        };
+        let dense = WorkloadConfig {
+            shape: GlobalShape::Dag {
+                depth: 4,
+                max_width: 3,
+                edge_density: 1.0,
+            },
+            ..dag_config()
+        };
+        let mut fs = factory(sparse, 62);
+        let mut fd = factory(dense, 62);
+        let mut run = DagRun::new();
+        let (mut total_sparse, mut total_dense) = (0usize, 0usize);
+        for _ in 0..200 {
+            fs.make_global_dag(0.0, &mut run);
+            // Density 0: only the connectivity skeleton, at most one
+            // mandatory predecessor per node plus one rescue successor
+            // per dead end.
+            assert!(run.edge_count() < 2 * run.simple_count());
+            total_sparse += run.edge_count();
+            fd.make_global_dag(0.0, &mut run);
+            total_dense += run.edge_count();
+        }
+        assert!(
+            total_dense > 2 * total_sparse,
+            "density 1 ({total_dense}) must far exceed density 0 ({total_sparse})"
+        );
+    }
+
+    #[test]
+    fn dag_density_one_consecutive_layers_are_fully_connected() {
+        use sda_core::DagRun;
+        let dense = WorkloadConfig {
+            shape: GlobalShape::Dag {
+                depth: 3,
+                max_width: 3,
+                edge_density: 1.0,
+            },
+            ..dag_config()
+        };
+        let mut f = factory(dense, 63);
+        let mut run = DagRun::new();
+        for _ in 0..50 {
+            f.make_global_dag(0.0, &mut run);
+            // Every source reaches every node of the next layer: nodes
+            // whose predecessors are exactly the source set.
+            let n = run.simple_count() as u32;
+            let sources: Vec<u32> = (0..n).filter(|&i| run.predecessors(i).is_empty()).collect();
+            for &s in &sources {
+                for t in 0..n {
+                    if run.predecessors(t).iter().all(|p| sources.contains(p))
+                        && !run.predecessors(t).is_empty()
+                    {
+                        assert!(
+                            run.successors(s).contains(&t),
+                            "density 1: source {s} missing edge to layer-1 node {t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "make_global_dag")]
+    fn flat_fill_rejects_dag_shapes() {
+        let mut f = factory(dag_config(), 64);
+        let mut run = FlatRun::new();
+        f.make_global_flat(0.0, &mut run);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires GlobalShape::Dag")]
+    fn dag_fill_rejects_tree_shapes() {
+        use sda_core::DagRun;
+        let mut f = factory(WorkloadConfig::baseline(), 65);
+        let mut run = DagRun::new();
+        f.make_global_dag(0.0, &mut run);
     }
 
     #[test]

@@ -27,6 +27,12 @@
 //!   (or all-1.0) reproduces the paper's homogeneous model bit-exactly.
 //!   `WorkloadConfig::local_weights` independently skews the *arrival*
 //!   side (§4.3's unbalanced local loads).
+//! * **DAG-structured tasks** ([`GlobalShape::Dag`]): random layered
+//!   precedence DAGs with width/depth/edge-density knobs — weakly
+//!   connected and acyclic by construction, cross-layer edges included —
+//!   filled into a pooled [`DagRun`](sda_core::DagRun) by
+//!   [`TaskFactory::make_global_dag`], with deadlines scaled by each
+//!   task's own critical-path depth.
 //! * **Time-varying arrivals** ([`ArrivalProcess`]): the paper's
 //!   stationary Poisson streams (default, bit-identical to the original
 //!   sampler), a 2-state Markov-modulated Poisson process for bursts, or

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// parallel fans (§5, PSP) and serial-parallel compositions (§6). The
 /// heterogeneous-`m` variant is the §4.3 extension where tasks differ in
 /// their number of stages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum GlobalShape {
     /// `T = [T1 T2 … Tm]` — `m` simple subtasks in series, nodes drawn
     /// uniformly at random (with replacement).
@@ -40,6 +40,28 @@ pub enum GlobalShape {
         /// Parallel branches per stage.
         branches: usize,
     },
+    /// A random layered precedence **DAG** — the generalization beyond
+    /// the paper's serial-parallel trees (fork-join trees, diamonds,
+    /// layered pipelines with cross-stage edges). Each task draws
+    /// `depth` layers of `U[1, max_width]` subtasks (distinct nodes
+    /// within a layer); every node is connected to the adjacent layers
+    /// (the DAG is weakly connected and acyclic by construction), and
+    /// optional extra forward edges appear with probability
+    /// `edge_density / 2^(gap − 1)` per candidate pair, where `gap` is
+    /// the number of layers skipped forward — so `edge_density` directly
+    /// sets the density between consecutive layers, and cross-stage
+    /// edges thin out geometrically with distance. At `edge_density = 1`
+    /// consecutive layers are fully connected (the stage-structured DAG
+    /// that reproduces [`FlatRun`](sda_core::FlatRun) deadlines
+    /// bit-exactly).
+    Dag {
+        /// Number of layers (≥ 1).
+        depth: usize,
+        /// Largest layer width (≥ 1, at most the node count).
+        max_width: usize,
+        /// Optional-edge probability in `[0, 1]` (see above).
+        edge_density: f64,
+    },
 }
 
 impl GlobalShape {
@@ -49,6 +71,10 @@ impl GlobalShape {
             GlobalShape::Serial { m } | GlobalShape::Parallel { m } => m as f64,
             GlobalShape::SerialRandomM { min_m, max_m } => (min_m + max_m) as f64 / 2.0,
             GlobalShape::SerialParallel { stages, branches } => (stages * branches) as f64,
+            // Layer widths are uniform on [1, max_width].
+            GlobalShape::Dag {
+                depth, max_width, ..
+            } => depth as f64 * (1 + max_width) as f64 / 2.0,
         }
     }
 
@@ -64,6 +90,17 @@ impl GlobalShape {
             GlobalShape::SerialRandomM { min_m, max_m } => (min_m + max_m) as f64 / 2.0,
             GlobalShape::Parallel { m } => harmonic(m),
             GlobalShape::SerialParallel { stages, branches } => stages as f64 * harmonic(branches),
+            // One node per layer lies on every source-to-sink path; the
+            // expected per-layer maximum over a U[1, max_width]-wide
+            // antichain of unit-mean exponentials is E[H_W]. Cross-layer
+            // edges only re-route the path, they cannot lengthen it
+            // beyond one node per layer.
+            GlobalShape::Dag {
+                depth, max_width, ..
+            } => {
+                let mean_h = (1..=max_width).map(harmonic).sum::<f64>() / max_width as f64;
+                depth as f64 * mean_h
+            }
         }
     }
 
@@ -71,7 +108,9 @@ impl GlobalShape {
     pub fn has_parallelism(&self) -> bool {
         matches!(
             self,
-            GlobalShape::Parallel { .. } | GlobalShape::SerialParallel { .. }
+            GlobalShape::Parallel { .. }
+                | GlobalShape::SerialParallel { .. }
+                | GlobalShape::Dag { .. }
         )
     }
 
@@ -83,6 +122,7 @@ impl GlobalShape {
             GlobalShape::Serial { .. } | GlobalShape::SerialRandomM { .. } => 1,
             GlobalShape::Parallel { m } => m,
             GlobalShape::SerialParallel { branches, .. } => branches,
+            GlobalShape::Dag { max_width, .. } => max_width,
         }
     }
 
@@ -95,6 +135,11 @@ impl GlobalShape {
             GlobalShape::SerialParallel { stages, branches } => {
                 format!("pipe-{stages}x{branches}")
             }
+            GlobalShape::Dag {
+                depth,
+                max_width,
+                edge_density,
+            } => format!("dag-{depth}x{max_width}-e{edge_density}"),
         }
     }
 }
@@ -178,5 +223,22 @@ mod tests {
         );
         assert!(GlobalShape::Parallel { m: 2 }.has_parallelism());
         assert!(!GlobalShape::Serial { m: 2 }.has_parallelism());
+    }
+
+    #[test]
+    fn dag_shape_expectations() {
+        let dag = GlobalShape::Dag {
+            depth: 4,
+            max_width: 3,
+            edge_density: 0.5,
+        };
+        // E[width] = (1 + 3)/2 = 2 per layer, 4 layers.
+        assert_eq!(dag.expected_subtasks(), 8.0);
+        // E[H_W] over W ∈ {1, 2, 3} = (1 + 1.5 + 11/6)/3, times depth.
+        let mean_h = (harmonic(1) + harmonic(2) + harmonic(3)) / 3.0;
+        assert!((dag.expected_critical_path_factor() - 4.0 * mean_h).abs() < 1e-12);
+        assert!(dag.has_parallelism());
+        assert_eq!(dag.max_fan_width(), 3);
+        assert_eq!(dag.label(), "dag-4x3-e0.5");
     }
 }

@@ -84,6 +84,10 @@ proptest! {
                 GlobalShape::SerialParallel { stages, branches } => {
                     prop_assert_eq!(count, stages * branches)
                 }
+                // valid_configs() only generates tree shapes; DAG tasks
+                // go through make_global_dag (covered in the generator's
+                // unit tests), not make_global.
+                GlobalShape::Dag { .. } => unreachable!(),
             }
             for s in g.spec.simple_subtasks() {
                 prop_assert!(s.node.index() < nodes);

@@ -51,7 +51,7 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 use sda::core::{AdaptiveSlack, SdaStrategy};
 use sda::sim::{Engine, SimTime};
 use sda::system::{Event, SystemConfig, SystemModel};
-use sda::workload::ArrivalProcess;
+use sda::workload::{ArrivalProcess, GlobalShape, SlackRange};
 
 /// Runs one simulation and returns `(allocations, events)` over the
 /// post-settling measurement window `[settle_until, horizon]`.
@@ -100,6 +100,42 @@ fn steady_state_is_allocation_free_per_event() {
              per-event allocation"
         );
     }
+}
+
+#[test]
+fn dag_workload_steady_state_is_allocation_free_per_event() {
+    // The DAG-structured task path: every arrival fills a pooled
+    // `DagRun` (random layered structure, CSR edge lists, reverse-topo
+    // critical-path pass), every completion counts down fan-in
+    // in-degrees and may release a multi-node wave. All of it runs on
+    // recycled storage — node/edge/CSR/scratch vectors retain capacity
+    // across tasks, and the per-task structure is bounded (depth 4,
+    // width ≤ 3), so the stationary absolute cap applies.
+    //
+    // The settling period is longer than the flat scenarios': a fresh
+    // task-slab slot's `DagRun` grows ~17 vectors from empty (vs ~6 for
+    // a `FlatRun`), so each in-flight high-water-mark record costs ~3×
+    // the one-time allocations, and the random-walk population needs
+    // more time before new records become rare enough for the absolute
+    // cap.
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_div1());
+    cfg.workload.shape = GlobalShape::Dag {
+        depth: 4,
+        max_width: 3,
+        edge_density: 0.4,
+    };
+    cfg.workload.slack = SlackRange::PSP_BASELINE;
+    cfg.workload.load = 0.85;
+    let (allocs, events) = measure_window(cfg, 20_000.0, 29_000.0);
+    assert!(
+        events > 50_000,
+        "measurement window too small: {events} events"
+    );
+    assert!(
+        allocs <= 64,
+        "DAG steady state allocated {allocs} times over {events} events — \
+         the DAG task lifecycle regressed to per-event allocation"
+    );
 }
 
 #[test]

@@ -19,7 +19,7 @@
 use sda::core::{AdaptiveSlack, SdaStrategy};
 use sda::sched::Policy;
 use sda::system::{run_once, NetworkModel, OverloadPolicy, RunConfig, SystemConfig};
-use sda::workload::ArrivalProcess;
+use sda::workload::{ArrivalProcess, GlobalShape, SlackRange};
 
 /// The observable fingerprint of a run: every count exactly, every float
 /// by bit pattern.
@@ -227,6 +227,54 @@ fn golden_poisson_no_adapt_reproduces_the_defaulted_run() {
         fingerprint(&defaulted, 0xD00D),
         fingerprint(&explicit, 0xD00D),
         "explicit Poisson + disabled adaptation must be bit-identical to the defaults"
+    );
+}
+
+/// The DAG-structured configuration of the critical-path-decomposition
+/// PR: random layered DAGs (cross-layer edges included) on heterogeneous
+/// node speeds with exponential hand-off delays under the
+/// feedback-adaptive `ADAPT(EQF-DIV1)` strategy. Captured when the
+/// feature landed; pins the `workload.shape` DAG sampler's draw
+/// sequence, the wave-based critical-path deadline decomposition, and
+/// arbitrary-fan-in hand-off routing through the network machinery.
+///
+/// The five pre-existing fingerprints above pin the complementary
+/// invariant: introducing the DAG runtime (and routing every flat task
+/// through the `PooledRun` slab) left the stage-structured paths
+/// bit-identical.
+#[test]
+fn golden_dag_hetero_adaptive() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::adaptive(
+        SdaStrategy::eqf_div1(),
+        AdaptiveSlack::default(),
+    ));
+    cfg.workload.shape = GlobalShape::Dag {
+        depth: 4,
+        max_width: 3,
+        edge_density: 0.4,
+    };
+    cfg.workload.slack = SlackRange::PSP_BASELINE;
+    cfg.workload.load = 0.7;
+    cfg.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    cfg.network = NetworkModel::Exponential { mean: 0.25 };
+    check(
+        "dag_hetero_adaptive",
+        &cfg,
+        0x0DA6,
+        Fingerprint {
+            local_completed: 18984,
+            local_missed: 6029,
+            global_completed: 783,
+            global_missed: 376,
+            local_miss_pct_bits: 4629632390852106482,
+            global_miss_pct_bits: 4631955092612386151,
+            local_resp_mean_bits: 4616259696704585177,
+            global_resp_mean_bits: 4626236580963470647,
+            util0_bits: 4605877481407775263,
+            qlen0_bits: 4616548774821373815,
+            transit_count: 7054,
+            transit_mean_bits: 4598216150253414276,
+        },
     );
 }
 
