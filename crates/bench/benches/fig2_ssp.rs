@@ -16,6 +16,7 @@ fn reduced_opts() -> ExperimentOpts {
         duration: 2_000.0,
         seed: 0xF162,
         threads: 0,
+        shards: 1,
         csv_dir: None,
     }
 }
@@ -29,6 +30,7 @@ fn bench_fig2(c: &mut Criterion) {
         duration: 8_000.0,
         seed: 0xF162,
         threads: 0,
+        shards: 1,
         csv_dir: None,
     };
     let data = fig2::run(&print_opts);

@@ -14,6 +14,7 @@ fn bench_fig3(c: &mut Criterion) {
         duration: 8_000.0,
         seed: 0xF163,
         threads: 0,
+        shards: 1,
         csv_dir: None,
     };
     let data = fig3::run(&print_opts);
@@ -30,6 +31,7 @@ fn bench_fig3(c: &mut Criterion) {
             duration: 2_000.0,
             seed: 0xF163,
             threads: 0,
+            shards: 1,
             csv_dir: None,
         };
         b.iter(|| black_box(fig3::run(&opts)));

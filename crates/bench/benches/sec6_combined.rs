@@ -15,6 +15,7 @@ fn bench_sec6(c: &mut Criterion) {
         duration: 8_000.0,
         seed: 0x5EC6,
         threads: 0,
+        shards: 1,
         csv_dir: None,
     };
     let data = sec6::run(&print_opts);
@@ -31,6 +32,7 @@ fn bench_sec6(c: &mut Criterion) {
             duration: 2_000.0,
             seed: 0x5EC6,
             threads: 0,
+            shards: 1,
             csv_dir: None,
         };
         b.iter(|| black_box(sec6::run(&opts)));

@@ -138,8 +138,13 @@ pub struct DagRun {
     topo: Vec<u32>,
     /// CSR scatter cursors, reused across `finalize` calls.
     cursor: Vec<u32>,
-    /// Critical-path tail slice assembled per wave activation.
-    tail_buf: Vec<f64>,
+    /// Flattened per-node critical-path tails, built once by `finalize`:
+    /// `tails[tail_off[i]..tail_off[i + 1]]` is the per-node `pex`
+    /// sequence along the `cp_next` chain after node `i`. Wave activation
+    /// borrows the slice directly instead of re-walking the chain.
+    tails: Vec<f64>,
+    /// CSR offsets into `tails`, length `n + 1`.
+    tail_off: Vec<u32>,
     /// Nodes released by the current completion (the wave).
     wave_buf: Vec<u32>,
     arrival: f64,
@@ -176,7 +181,8 @@ impl Default for DagRun {
             cp_count_after: Vec::new(),
             topo: Vec::new(),
             cursor: Vec::new(),
-            tail_buf: Vec::new(),
+            tails: Vec::new(),
+            tail_off: Vec::new(),
             wave_buf: Vec::new(),
             arrival: 0.0,
             deadline: 0.0,
@@ -214,7 +220,8 @@ impl DagRun {
         self.cp_count_after.clear();
         self.topo.clear();
         self.cursor.clear();
-        self.tail_buf.clear();
+        self.tails.clear();
+        self.tail_off.clear();
         self.wave_buf.clear();
         self.arrival = 0.0;
         self.deadline = 0.0;
@@ -355,6 +362,42 @@ impl DagRun {
                 self.cp_pex_after[u] = best_pex;
                 self.cp_ex_after[u] = best_ex;
                 self.cp_count_after[u] = best_count;
+            }
+        }
+
+        // Flatten every node's critical-path tail once, so wave
+        // activation borrows a contiguous slice instead of chasing the
+        // `cp_next` chain (and re-reading `nodes[..].pex`) per wave.
+        // `cursor[u]` holds the chain length after `u`; a node's chain
+        // successor appears later in topological order, so the reverse
+        // pass sees it resolved first.
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        for pos in (0..n).rev() {
+            let u = self.topo[pos] as usize;
+            let nx = self.cp_next[u];
+            if nx != NO_NODE {
+                self.cursor[u] = 1 + self.cursor[nx as usize];
+            }
+        }
+        self.tail_off.clear();
+        self.tail_off.push(0);
+        for i in 0..n {
+            let prev = self.tail_off[i];
+            self.tail_off.push(prev + self.cursor[i]);
+        }
+        let total = self.tail_off[n] as usize;
+        self.tails.clear();
+        self.tails.resize(total, 0.0);
+        for pos in (0..n).rev() {
+            let u = self.topo[pos] as usize;
+            let nx = self.cp_next[u];
+            if nx != NO_NODE {
+                let off = self.tail_off[u] as usize;
+                self.tails[off] = self.nodes[nx as usize].pex;
+                let noff = self.tail_off[nx as usize] as usize;
+                let nlen = self.cursor[nx as usize] as usize;
+                self.tails.copy_within(noff..noff + nlen, off + 1);
             }
         }
         self.finalized = true;
@@ -584,23 +627,21 @@ impl DagRun {
                 }
             }
             // The path view: the tail is the per-node pex sequence along
-            // the maximal-pex path after the critical member.
-            self.tail_buf.clear();
-            let mut cur = self.cp_next[critical];
-            while cur != NO_NODE {
-                self.tail_buf.push(self.nodes[cur as usize].pex);
-                cur = self.cp_next[cur as usize];
-            }
+            // the maximal-pex path after the critical member, flattened
+            // once by `finalize` — borrow it, don't rebuild it.
+            let off = self.tail_off[critical] as usize;
+            let end = self.tail_off[critical + 1] as usize;
+            let tail = &self.tails[off..end];
             strategy.serial_deadline(&SspInput {
                 submit_time: now,
                 global_deadline: self.deadline,
                 pex_current: self.nodes[critical].pex,
-                pex_remaining_after: &self.tail_buf,
+                pex_remaining_after: tail,
                 // One hop is in flight to this wave; after it completes
                 // there are `tail` hand-offs along the critical path plus
                 // the result return still to pay.
                 comm_current: hop,
-                comm_after: hop * (self.tail_buf.len() + 1) as f64,
+                comm_after: hop * (tail.len() + 1) as f64,
                 slack_scale: self.slack_scale,
             })
         };

@@ -163,6 +163,7 @@ mod tests {
             duration: 12_000.0,
             seed,
             threads: 0,
+            shards: 1,
             csv_dir: None,
         }
     }

@@ -55,6 +55,7 @@ mod tests {
             duration: 8_000.0,
             seed: 80,
             threads: 0,
+            shards: 1,
             csv_dir: None,
         };
         let data = run(&opts);

@@ -120,6 +120,7 @@ mod tests {
             duration: 8_000.0,
             seed,
             threads: 0,
+            shards: 1,
             csv_dir: None,
         }
     }

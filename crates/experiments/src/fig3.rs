@@ -50,6 +50,7 @@ mod tests {
             duration: 8_000.0,
             seed: 31,
             threads: 0,
+            shards: 1,
             csv_dir: None,
         };
         let data = run(&opts);

@@ -6,7 +6,9 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-use sda_system::{run_replications_with_threads, RunConfig, SystemConfig};
+use sda_system::{
+    run_replications_sharded, run_replications_with_threads, RunConfig, SystemConfig,
+};
 
 /// Run-scale options shared by all experiments.
 ///
@@ -24,6 +26,10 @@ pub struct ExperimentOpts {
     pub seed: u64,
     /// Worker threads for data-point parallelism (0 = all cores).
     pub threads: usize,
+    /// Shards per run for the conservative-parallel engine (`--shards N`;
+    /// 1 = serial). Runs whose network has zero lookahead fall back to
+    /// the serial engine regardless, with identical results.
+    pub shards: usize,
     /// Directory to write per-metric CSV files into (`--csv DIR`).
     pub csv_dir: Option<std::path::PathBuf>,
 }
@@ -36,6 +42,7 @@ impl Default for ExperimentOpts {
             duration: 30_000.0,
             seed: 0x5DA_0001,
             threads: 0,
+            shards: 1,
             csv_dir: None,
         }
     }
@@ -85,7 +92,7 @@ impl ExperimentOpts {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--full|--quick|--smoke] [--reps N] [--duration T] [--warmup T] \
-                 [--seed S] [--threads N] [--csv DIR]"
+                 [--seed S] [--threads N] [--shards N] [--csv DIR]"
             );
             std::process::exit(2);
         })
@@ -145,6 +152,11 @@ impl ExperimentOpts {
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?;
                 }
+                "--shards" => {
+                    opts.shards = value_of("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?;
+                }
                 "--csv" => {
                     opts.csv_dir = Some(value_of("--csv")?.into());
                 }
@@ -153,6 +165,9 @@ impl ExperimentOpts {
         }
         if opts.reps == 0 {
             return Err("--reps must be ≥ 1".to_string());
+        }
+        if opts.shards == 0 {
+            return Err("--shards must be ≥ 1".to_string());
         }
         Ok(opts)
     }
@@ -463,9 +478,17 @@ pub fn run_sweep(
                 // The sweep already saturates the cores with one worker
                 // per point; run the replications serially inside each
                 // worker instead of nesting a second thread pool
-                // (results are thread-count-invariant either way).
-                let rep = run_replications_with_threads(&p.config, &run, opts.reps, 1)
-                    .expect("experiment configurations are valid");
+                // (results are thread-count-invariant either way). With
+                // `--shards N` the cores go *inside* each run instead:
+                // useful for few-point/long-horizon sweeps where data
+                // points are scarcer than cores. Results are identical
+                // either way (shard count is not a semantic knob).
+                let rep = if opts.shards > 1 {
+                    run_replications_sharded(&p.config, &run, opts.reps, opts.shards)
+                } else {
+                    run_replications_with_threads(&p.config, &run, opts.reps, 1)
+                }
+                .expect("experiment configurations are valid");
                 let cell = CellStats {
                     md_local: PointStat::from_reps(&rep.local_miss_pct),
                     md_global: PointStat::from_reps(&rep.global_miss_pct),
@@ -507,6 +530,7 @@ mod tests {
             duration: 1_500.0,
             seed: 9,
             threads: 2,
+            shards: 1,
             csv_dir: None,
         }
     }
@@ -528,6 +552,9 @@ mod tests {
         assert!(ExperimentOpts::parse(&["--bogus".into()]).is_err());
         assert!(ExperimentOpts::parse(&["--reps".into()]).is_err());
         assert!(ExperimentOpts::parse(&["--reps".into(), "0".into()]).is_err());
+        let sharded = ExperimentOpts::parse(&["--shards".into(), "4".into()]).unwrap();
+        assert_eq!(sharded.shards, 4);
+        assert!(ExperimentOpts::parse(&["--shards".into(), "0".into()]).is_err());
         let full = ExperimentOpts::parse(&["--full".into()]).unwrap();
         assert_eq!(full.duration, 1_000_000.0);
         let smoke = ExperimentOpts::parse(&["--smoke".into()]).unwrap();
@@ -647,6 +674,30 @@ mod tests {
         assert_eq!(a, "ext_burstiness_mmpp_arrivals_pipelines");
         assert_eq!(slugify("MD_global (%)"), "md_global");
         assert_eq!(slugify("  — "), "");
+    }
+
+    #[test]
+    fn sweep_is_invariant_across_shard_counts() {
+        // `--shards` must be a pure performance knob: the same sweep run
+        // through the sharded engine (positive-lookahead network, so the
+        // shards genuinely run concurrently) produces the same grid.
+        let build = |load: f64| {
+            let mut c = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+            c.workload.load = load;
+            c.network = sda_system::NetworkModel::Constant { delay: 1.0 };
+            c
+        };
+        let mk = |shards| {
+            let series = vec![SeriesSpec::new("EQF", build)];
+            let opts = ExperimentOpts {
+                shards,
+                ..tiny_opts()
+            };
+            run_sweep("shards", "load", &[0.3, 0.6], &series, &opts)
+        };
+        let serial = mk(1);
+        let sharded = mk(3);
+        assert_eq!(serial, sharded, "shard count must not affect results");
     }
 
     #[test]

@@ -31,8 +31,10 @@
 //!
 //! Binaries accept `--full` (paper-scale runs: 2 × 10⁶ time units),
 //! `--quick` (CI-scale), `--smoke` (single-rep end-to-end exercise),
-//! `--reps N`, `--duration T`, `--warmup T`, `--seed S`, `--threads N`;
-//! the default sits between quick and full.
+//! `--reps N`, `--duration T`, `--warmup T`, `--seed S`, `--threads N`,
+//! `--shards N` (split each run across N cores via the sharded
+//! conservative-parallel engine — results are identical for any shard
+//! count); the default sits between quick and full.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

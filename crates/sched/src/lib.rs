@@ -35,3 +35,23 @@ mod queue;
 
 pub use job::{Job, JobOrigin};
 pub use queue::{Policy, ReadyQueue};
+
+#[cfg(test)]
+mod thread_safety {
+    use super::*;
+
+    /// The sharded engine moves each node's scheduler state — its
+    /// [`ReadyQueue`] and the [`Job`]s inside — onto a shard worker
+    /// thread. Pin the `Send`/`Sync` auto-traits so a future field (an
+    /// `Rc`, a raw pointer, a thread-bound cache) can't silently make
+    /// node state unshippable and break the parallel engine at a
+    /// distance.
+    #[test]
+    fn scheduler_state_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Job>();
+        assert_send_sync::<JobOrigin>();
+        assert_send_sync::<Policy>();
+        assert_send_sync::<ReadyQueue>();
+    }
+}

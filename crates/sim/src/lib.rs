@@ -76,6 +76,7 @@ mod event;
 mod time;
 
 pub mod dist;
+pub mod mailbox;
 pub mod pq;
 pub mod rng;
 pub mod stats;

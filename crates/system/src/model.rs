@@ -20,7 +20,7 @@ use sda_core::{DagRun, DeadlineAssigner, FlatRun, NodeId, Submission, SubtaskRef
 use sda_sched::{Job, JobOrigin};
 use sda_sim::dist::Exponential;
 use sda_sim::rng::{RngFactory, Stream};
-use sda_sim::{Context, Simulation};
+use sda_sim::{Context, SimTime, Simulation};
 use sda_workload::{ConfigError, GlobalShape, TaskFactory};
 
 use crate::config::{NetworkModel, OverloadPolicy, SystemConfig};
@@ -235,6 +235,36 @@ fn global_task_id(gen: u32, slot: u32) -> TaskId {
     TaskId::new((u64::from(gen) << 32) | u64::from(slot))
 }
 
+/// Where the model's generated events go.
+///
+/// The serial engine's [`Context`] is one implementation (events land in
+/// the run's single future-event list); the sharded engine's manager
+/// sink is the other (hand-offs are routed to the cross-shard delivery
+/// calendar, manager-endpoint events to the manager's own queue). The
+/// process-manager logic — arrivals, precedence bookkeeping, deadline
+/// assignment, metrics — is written once against this trait, so the
+/// serial and sharded paths execute the *same* monomorphized model code
+/// and stay bit-for-bit comparable.
+pub(crate) trait EventSink {
+    /// The time of the event currently being handled.
+    fn now(&self) -> f64;
+    /// Schedules `event` to fire `delay ≥ 0` time units after
+    /// [`EventSink::now`].
+    fn schedule(&mut self, delay: f64, event: Event);
+}
+
+impl EventSink for Context<Event> {
+    #[inline]
+    fn now(&self) -> f64 {
+        Context::now(self).as_f64()
+    }
+
+    #[inline]
+    fn schedule(&mut self, delay: f64, event: Event) {
+        self.schedule_fast_in(delay, event);
+    }
+}
+
 /// The distributed system of paper §3.2 as a discrete-event model:
 /// `k` nodes with independent schedulers, per-node local arrivals, a
 /// global arrival stream feeding the process manager, and metrics.
@@ -368,10 +398,40 @@ impl SystemModel {
         self.in_flight
     }
 
-    fn fresh_local_id(&mut self) -> TaskId {
+    pub(crate) fn fresh_local_id(&mut self) -> TaskId {
         let id = TaskId::new(self.next_local_id);
         self.next_local_id += 1;
         id
+    }
+
+    /// Moves the node set out of the model — the sharded engine hands
+    /// ownership of each partition to its shard worker while the manager
+    /// keeps the (now node-less) model for arrivals, precedence
+    /// bookkeeping and metrics. Under a non-zero network every hand-off
+    /// is delayed, so no manager-side path ever touches `self.nodes`
+    /// while they are lent out.
+    pub(crate) fn take_nodes(&mut self) -> Vec<Node> {
+        std::mem::take(&mut self.nodes)
+    }
+
+    /// Returns the nodes lent out by [`SystemModel::take_nodes`] (for
+    /// end-of-run utilization collection).
+    pub(crate) fn put_nodes(&mut self, nodes: Vec<Node>) {
+        debug_assert!(self.nodes.is_empty(), "put_nodes over a live node set");
+        self.nodes = nodes;
+    }
+
+    /// The workload generator — the sharded engine's sequencer drives
+    /// local-arrival pre-generation through it directly.
+    pub(crate) fn factory_mut(&mut self) -> &mut TaskFactory {
+        &mut self.factory
+    }
+
+    /// Manager-side warm-up reset (the sharded counterpart of the
+    /// [`Event::EndWarmup`] handler's metrics half; node-stat resets
+    /// happen shard-side).
+    pub(crate) fn reset_metrics(&mut self) {
+        self.metrics.reset();
     }
 
     /// Claims a (possibly recycled) task slot; its pooled run keeps
@@ -420,7 +480,7 @@ impl SystemModel {
     /// Resolves a global [`TaskId`] to its live slab slot, `None` if the
     /// task has already finished or aborted (stale id).
     #[inline]
-    fn lookup_task(&self, id: TaskId) -> Option<usize> {
+    pub(crate) fn lookup_task(&self, id: TaskId) -> Option<usize> {
         let raw = id.raw();
         let slot = (raw & u64::from(u32::MAX)) as usize;
         let gen = (raw >> 32) as u32;
@@ -436,9 +496,9 @@ impl SystemModel {
         }
     }
 
-    fn schedule_next_global(&mut self, ctx: &mut Context<Event>) {
+    pub(crate) fn schedule_next_global<S: EventSink>(&mut self, sink: &mut S) {
         if let Some(gap) = self.factory.next_global_interarrival() {
-            ctx.schedule_fast_in(gap, Event::GlobalArrival);
+            sink.schedule(gap, Event::GlobalArrival);
         }
     }
 
@@ -464,8 +524,8 @@ impl SystemModel {
         }
     }
 
-    fn handle_global_arrival(&mut self, ctx: &mut Context<Event>) {
-        let now = ctx.now().as_f64();
+    pub(crate) fn handle_global_arrival<S: EventSink>(&mut self, sink: &mut S) {
+        let now = sink.now();
         let scale = self.adapt_scale();
         let slot = self.acquire_task_slot();
         match &mut self.tasks[slot as usize].run {
@@ -493,15 +553,15 @@ impl SystemModel {
             .start(&self.config.strategy, now, &mut self.sub_buf);
         entry.outstanding = self.sub_buf.len() as u32;
         // The initial fan-out travels process manager → node.
-        self.submit_buffered(ctx, id, None);
-        self.schedule_next_global(ctx);
-        self.dispatch_buffered(ctx);
+        self.submit_buffered(sink, id, None);
+        self.schedule_next_global(sink);
+        self.dispatch_buffered(sink);
     }
 
     /// Delivers one hand-off: enqueues the submission as a job of `task`
     /// at its node (used inline under free communication, and from
     /// [`Event::SubtaskArrive`] when the hand-off crossed the network).
-    fn deliver(&mut self, now: sda_sim::SimTime, task: TaskId, sub: Submission) {
+    fn deliver(&mut self, now: SimTime, task: TaskId, sub: Submission) {
         let t = now.as_f64();
         let job = Job::global(
             task,
@@ -543,7 +603,7 @@ impl SystemModel {
     /// zero-delay hand-offs are enqueued immediately, delayed ones are
     /// scheduled as [`Event::SubtaskArrive`]. Both buffers are left
     /// intact for [`SystemModel::dispatch_buffered`].
-    fn submit_buffered(&mut self, ctx: &mut Context<Event>, task: TaskId, from: Option<NodeId>) {
+    fn submit_buffered<S: EventSink>(&mut self, sink: &mut S, task: TaskId, from: Option<NodeId>) {
         let record = !self.config.network.is_zero();
         self.delay_buf.clear();
         for i in 0..self.sub_buf.len() {
@@ -554,9 +614,9 @@ impl SystemModel {
                 self.metrics.transit.add(delay);
             }
             if delay > 0.0 {
-                ctx.schedule_fast_in(delay, Event::SubtaskArrive { task, sub });
+                sink.schedule(delay, Event::SubtaskArrive { task, sub });
             } else {
-                self.deliver(ctx.now(), task, sub);
+                self.deliver(SimTime::new(sink.now()), task, sub);
             }
         }
     }
@@ -565,14 +625,36 @@ impl SystemModel {
     /// [`SystemModel::submit_buffered`], in submission order — the same
     /// order the collect-then-dispatch path used. Nodes whose hand-off
     /// is still in flight are dispatched when it arrives.
-    fn dispatch_buffered(&mut self, ctx: &mut Context<Event>) {
+    fn dispatch_buffered<S: EventSink>(&mut self, sink: &mut S) {
         for i in 0..self.sub_buf.len() {
             if self.delay_buf[i] > 0.0 {
                 continue;
             }
             let node = self.sub_buf[i].node;
-            self.dispatch(ctx, node);
+            self.dispatch(sink, node);
         }
+    }
+
+    /// Sharded-engine counterpart of the abort check in
+    /// [`SystemModel::handle_subtask_arrive`]: called when a calendared
+    /// hand-off of `task` is about to be forwarded to its shard. Returns
+    /// `true` — and settles the outstanding-job accounting — when the
+    /// task was aborted while the hand-off sat in the calendar, so the
+    /// caller must drop it instead of delivering.
+    pub(crate) fn handoff_aborted(&mut self, task: TaskId) -> bool {
+        let Some(slot) = self.lookup_task(task) else {
+            debug_assert!(false, "calendared hand-off for unknown task {task}");
+            return true;
+        };
+        let entry = &mut self.tasks[slot];
+        if !entry.aborted {
+            return false;
+        }
+        entry.outstanding -= 1;
+        if entry.outstanding == 0 {
+            self.release_task_slot(slot);
+        }
+        true
     }
 
     /// A hand-off scheduled by [`SystemModel::submit_buffered`] arrives
@@ -608,8 +690,8 @@ impl SystemModel {
         self.dispatch(ctx, node);
     }
 
-    fn on_job_done(&mut self, ctx: &mut Context<Event>, job: Job, node: NodeId) {
-        let now = ctx.now().as_f64();
+    pub(crate) fn on_job_done<S: EventSink>(&mut self, sink: &mut S, job: Job, node: NodeId) {
+        let now = sink.now();
         match job.origin {
             JobOrigin::Local { .. } => {
                 self.metrics
@@ -661,7 +743,7 @@ impl SystemModel {
                         d
                     };
                     if ret > 0.0 {
-                        ctx.schedule_fast_in(ret, Event::ResultReturn { task });
+                        sink.schedule(ret, Event::ResultReturn { task });
                     } else {
                         self.finish_task(task, slot, now);
                     }
@@ -670,8 +752,8 @@ impl SystemModel {
                     // Follow-up hand-offs travel from the node whose
                     // completion released them (serial forwarding; for a
                     // fan-in, the last-finishing branch's node).
-                    self.submit_buffered(ctx, task, Some(node));
-                    self.dispatch_buffered(ctx);
+                    self.submit_buffered(sink, task, Some(node));
+                    self.dispatch_buffered(sink);
                 }
             }
         }
@@ -679,7 +761,7 @@ impl SystemModel {
 
     /// Records a finished global task at `now` (its completion time at
     /// the process manager) and vacates its slot.
-    fn finish_task(&mut self, task: TaskId, slot: usize, now: f64) {
+    pub(crate) fn finish_task(&mut self, task: TaskId, slot: usize, now: f64) {
         let entry = &self.tasks[slot];
         let (arrival, deadline) = (entry.run.arrival(), entry.run.global_deadline());
         self.metrics.global.record(arrival, deadline, now);
@@ -694,7 +776,7 @@ impl SystemModel {
         }
     }
 
-    fn on_job_discarded(&mut self, now: f64, job: Job) {
+    pub(crate) fn on_job_discarded(&mut self, now: f64, job: Job) {
         match job.origin {
             JobOrigin::Local { .. } => {
                 self.metrics.local.record_aborted();
@@ -733,17 +815,18 @@ impl SystemModel {
     /// slab (only its slot index re-enters the heap) and its completion
     /// event is invalidated by the epoch check instead of being
     /// cancelled.
-    fn dispatch(&mut self, ctx: &mut Context<Event>, node: NodeId) {
+    fn dispatch<S: EventSink>(&mut self, sink: &mut S, node: NodeId) {
+        let now = sink.now();
+        let now_t = SimTime::new(now);
         if self.config.preemptive && self.nodes[node.index()].should_preempt() {
-            self.nodes[node.index()].preempt_requeue(ctx.now());
+            self.nodes[node.index()].preempt_requeue(now_t);
         }
         let started = match self.config.overload {
-            OverloadPolicy::NoAbort => self.nodes[node.index()].try_start(ctx.now()),
+            OverloadPolicy::NoAbort => self.nodes[node.index()].try_start(now_t),
             OverloadPolicy::AbortTardy => {
-                let now = ctx.now().as_f64();
                 self.discard_buf.clear();
                 let started = self.nodes[node.index()].try_start_with_admission(
-                    ctx.now(),
+                    now_t,
                     |j| !j.is_tardy(now),
                     &mut self.discard_buf,
                 );
@@ -756,7 +839,7 @@ impl SystemModel {
         };
         if let Some(job) = started {
             let epoch = self.nodes[node.index()].service_epoch();
-            ctx.schedule_fast_in(job.service, Event::ServiceComplete { node, epoch });
+            sink.schedule(job.service, Event::ServiceComplete { node, epoch });
         }
     }
 }

@@ -140,6 +140,36 @@ pub fn run_once(config: &SystemConfig, run: &RunConfig) -> Result<RunResult, Con
     })
 }
 
+/// Runs the model once on the sharded conservative-parallel engine
+/// (the `shard` module): the node set is partitioned into `shards`
+/// concurrent workers, with the network model's minimum hop delay as
+/// the conservative lookahead.
+///
+/// Falls back to the serial [`run_once`] — the same model code, so the
+/// result is identical — when parallelism cannot help:
+///
+/// * `shards <= 1`: nothing to run concurrently;
+/// * `config.network.min_hop_delay() == 0` (e.g.
+///   [`NetworkModel::Zero`](crate::NetworkModel::Zero), the
+///   [`Exponential`](crate::NetworkModel::Exponential) model, or a
+///   [`Matrix`](crate::NetworkModel::Matrix) with a zero entry): zero
+///   lookahead means a zero-width window, so the conservative protocol
+///   cannot advance any shard independently.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for invalid workload parameters.
+pub fn run_once_sharded(
+    config: &SystemConfig,
+    run: &RunConfig,
+    shards: usize,
+) -> Result<RunResult, ConfigError> {
+    if shards <= 1 || config.network.min_hop_delay() <= 0.0 {
+        return run_once(config, run);
+    }
+    crate::shard::run_sharded(config, run, shards)
+}
+
 /// Summary statistics across independent replications (different seeds,
 /// same configuration), as the paper's two-run-per-point methodology —
 /// generalized to any replication count.
@@ -260,6 +290,40 @@ pub fn run_replications_with_threads(
         runs = results.into_inner().expect("no poisoned lock");
     }
 
+    fold_runs(runs)
+}
+
+/// [`run_replications`] on the sharded engine: replications run
+/// back-to-back, each parallelized internally across `shards` (see
+/// [`run_once_sharded`] for the serial-fallback gate). Results are
+/// bit-identical to the serial replication harness whenever each
+/// individual run is.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] for invalid workload parameters.
+pub fn run_replications_sharded(
+    config: &SystemConfig,
+    base: &RunConfig,
+    replications: usize,
+    shards: usize,
+) -> Result<ReplicatedResult, ConfigError> {
+    let mut runs: Vec<Option<Result<RunResult, ConfigError>>> = Vec::with_capacity(replications);
+    for r in 0..replications {
+        let run_cfg = RunConfig {
+            seed: replication_seed(base.seed, r),
+            ..*base
+        };
+        runs.push(Some(run_once_sharded(config, &run_cfg, shards)));
+    }
+    fold_runs(runs)
+}
+
+/// Folds per-replication results in replication-index order, so the
+/// aggregate statistics are independent of completion order.
+fn fold_runs(
+    runs: Vec<Option<Result<RunResult, ConfigError>>>,
+) -> Result<ReplicatedResult, ConfigError> {
     let mut result = ReplicatedResult {
         local_miss_pct: Replications::new(),
         global_miss_pct: Replications::new(),
@@ -268,10 +332,8 @@ pub fn run_replications_with_threads(
         global_response: Replications::new(),
         utilization: Replications::new(),
         transit: Replications::new(),
-        runs: Vec::with_capacity(replications),
+        runs: Vec::with_capacity(runs.len()),
     };
-    // Fold in replication-index order so the aggregate statistics are
-    // independent of completion order.
     for run in runs {
         let run = run.expect("every replication computed")?;
         result.local_miss_pct.add(run.metrics.local.miss_percent());

@@ -50,7 +50,7 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 use sda::core::{AdaptiveSlack, SdaStrategy};
 use sda::sim::{Engine, SimTime};
-use sda::system::{Event, SystemConfig, SystemModel};
+use sda::system::{run_once_sharded, Event, NetworkModel, RunConfig, SystemConfig, SystemModel};
 use sda::workload::{ArrivalProcess, GlobalShape, SlackRange};
 
 /// Runs one simulation and returns `(allocations, events)` over the
@@ -135,6 +135,52 @@ fn dag_workload_steady_state_is_allocation_free_per_event() {
         allocs <= 64,
         "DAG steady state allocated {allocs} times over {events} events — \
          the DAG task lifecycle regressed to per-event allocation"
+    );
+}
+
+#[test]
+fn sharded_engine_steady_state_is_allocation_free_per_window() {
+    // The sharded conservative-parallel engine adds per-window machinery
+    // on top of the serial hot path: mailbox drains, record pushes, the
+    // manager's merge sort and the sequencer's k-way merge. All of it
+    // runs on pre-reserved storage (fixed-capacity mailboxes, reusable
+    // drain/record buffers, a retained-capacity sequencer heap), so the
+    // *steady-state* allocation rate must be amortized zero per window.
+    //
+    // The sharded entry point spawns its shard threads per run, so the
+    // one-time setup cannot be excluded by a settling horizon like the
+    // serial scenarios above. Instead, measure two runs that differ only
+    // in duration: the setup cost (model build, threads, mailboxes,
+    // working-set growth) is identical, so the short→long delta isolates
+    // the steady-state loop over the extra ~9 000 windows.
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    cfg.workload.load = 0.9;
+    cfg.network = NetworkModel::Constant { delay: 1.0 };
+    let measure = |duration: f64| {
+        let run = RunConfig {
+            warmup: 500.0,
+            duration,
+            seed: 0xA110C,
+        };
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        let result = run_once_sharded(&cfg, &run, 2).expect("valid config");
+        (ALLOCATIONS.load(Ordering::Relaxed) - before, result.events)
+    };
+    let (short_allocs, short_events) = measure(3_000.0);
+    let (long_allocs, long_events) = measure(12_000.0);
+    let events = long_events - short_events;
+    let allocs = long_allocs.saturating_sub(short_allocs);
+    assert!(
+        events > 50_000,
+        "measurement window too small: {events} extra events"
+    );
+    // ~9 000 extra windows: one allocation per window would already be
+    // ~6% of the extra events, well over this 2% budget. Healthy value:
+    // a handful of late capacity doublings.
+    assert!(
+        allocs * 50 <= events,
+        "sharded steady state allocated {allocs} times over {events} extra \
+         events — a per-window allocation crept into the engine"
     );
 }
 

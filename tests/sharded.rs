@@ -1,0 +1,236 @@
+//! Serial ↔ sharded engine equivalence.
+//!
+//! The sharded conservative-parallel engine must be *observably the same
+//! simulator* as the serial event loop:
+//!
+//! * with zero lookahead (`NetworkModel::Zero`, `Exponential`, or a
+//!   `Matrix` containing a zero entry) it falls back to the serial
+//!   engine, so every golden configuration reproduces its pinned
+//!   fingerprint trivially — asserted here as full-run equality;
+//! * with positive lookahead (`Constant`, all-positive `Matrix`) the
+//!   shards genuinely run concurrently, and the run must still be
+//!   bit-identical to the serial engine and invariant across shard
+//!   counts (the documented `(time, node, seq)` merge order).
+//!
+//! `OverloadPolicy::AbortTardy` is the one documented semantic
+//! divergence (hand-offs already forwarded to a shard when their task
+//! aborts are executed rather than dropped), so it is pinned as
+//! shard-count-invariant only, not serial-equal.
+
+use sda::core::{AdaptiveSlack, SdaStrategy};
+use sda::sched::Policy;
+use sda::system::{
+    run_once, run_once_sharded, NetworkModel, OverloadPolicy, RunConfig, SystemConfig,
+};
+use sda::workload::{ArrivalProcess, GlobalShape, SlackRange};
+
+fn run_cfg(seed: u64) -> RunConfig {
+    RunConfig {
+        warmup: 300.0,
+        duration: 3_000.0,
+        seed,
+    }
+}
+
+/// A delay matrix over `nodes + 1` endpoints with strictly positive,
+/// pair-dependent entries — positive lookahead with per-pair variety.
+fn positive_matrix(nodes: usize) -> NetworkModel {
+    let side = nodes + 1;
+    let delays = (0..side)
+        .map(|i| {
+            (0..side)
+                .map(|j| 0.5 + 0.1 * ((i + j) % side) as f64)
+                .collect()
+        })
+        .collect();
+    NetworkModel::Matrix { delays }
+}
+
+/// The six golden configurations (see `tests/golden_metrics.rs`) all use
+/// `Zero` or `Exponential` networks — zero lookahead — so the sharded
+/// entry point must take the serial fallback and reproduce the pinned
+/// fingerprints exactly. Asserted as full-run equality against the
+/// serial engine (whose fingerprints the golden tests pin bit-for-bit).
+#[test]
+fn sharded_reproduces_every_golden_config_through_the_fallback() {
+    let golden_run = RunConfig {
+        warmup: 500.0,
+        duration: 6_000.0,
+        seed: 0, // overridden per config below
+    };
+    let mut configs: Vec<(&str, SystemConfig, u64)> = Vec::new();
+
+    let mut ssp = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    ssp.workload.load = 0.9;
+    configs.push(("ssp_eqf_rho09", ssp, 0xD00D));
+
+    let mut psp = SystemConfig::psp_baseline(SdaStrategy::ud_div1());
+    psp.preemptive = true;
+    psp.workload.load = 0.8;
+    configs.push(("psp_preemptive", psp, 0xBEEF));
+
+    let mut hetero = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+    hetero.workload.load = 0.7;
+    hetero.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    hetero.network = NetworkModel::Exponential { mean: 0.25 };
+    configs.push(("hetero_delayed_pipelines", hetero.clone(), 0xFEED));
+
+    let mut mmpp = SystemConfig::combined_baseline(SdaStrategy::adaptive(
+        SdaStrategy::eqf_div1(),
+        AdaptiveSlack::default(),
+    ));
+    mmpp.workload.load = 0.7;
+    mmpp.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    mmpp.workload.arrivals = ArrivalProcess::Mmpp2 {
+        burst_ratio: 4.0,
+        dwell_quiet: 300.0,
+        dwell_burst: 100.0,
+    };
+    mmpp.network = NetworkModel::Exponential { mean: 0.25 };
+    configs.push(("mmpp_hetero_adaptive", mmpp, 0xADA7));
+
+    let mut dag = SystemConfig::ssp_baseline(SdaStrategy::adaptive(
+        SdaStrategy::eqf_div1(),
+        AdaptiveSlack::default(),
+    ));
+    dag.workload.shape = GlobalShape::Dag {
+        depth: 4,
+        max_width: 3,
+        edge_density: 0.4,
+    };
+    dag.workload.slack = SlackRange::PSP_BASELINE;
+    dag.workload.load = 0.7;
+    dag.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    dag.network = NetworkModel::Exponential { mean: 0.25 };
+    configs.push(("dag_hetero_adaptive", dag, 0x0DA6));
+
+    let mut abort = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+    abort.overload = OverloadPolicy::AbortTardy;
+    abort.policy = Policy::MinimumLaxityFirst;
+    abort.workload.load = 0.9;
+    configs.push(("abort_tardy_mlf", abort, 0xCAFE));
+
+    for (name, cfg, seed) in configs {
+        assert_eq!(
+            cfg.network.min_hop_delay(),
+            0.0,
+            "{name}: golden configs are zero-lookahead by construction"
+        );
+        let run = RunConfig { seed, ..golden_run };
+        let serial = run_once(&cfg, &run).expect("valid config");
+        let sharded = run_once_sharded(&cfg, &run, 4).expect("valid config");
+        assert_eq!(
+            serial, sharded,
+            "{name}: zero-lookahead sharded run must equal the serial (golden) run exactly"
+        );
+    }
+}
+
+#[test]
+fn sharded_matches_serial_on_constant_network() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    cfg.workload.load = 0.9;
+    cfg.network = NetworkModel::Constant { delay: 1.0 };
+    let run = run_cfg(0x5A4D);
+    let serial = run_once(&cfg, &run).unwrap();
+    for shards in [2, 4] {
+        let sharded = run_once_sharded(&cfg, &run, shards).unwrap();
+        assert_eq!(serial, sharded, "{shards} shards vs serial");
+    }
+}
+
+#[test]
+fn sharded_matches_serial_with_heterogeneity_and_preemption() {
+    let mut cfg = SystemConfig::psp_baseline(SdaStrategy::ud_div1());
+    cfg.preemptive = true;
+    cfg.workload.load = 0.8;
+    cfg.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    cfg.network = NetworkModel::Constant { delay: 0.5 };
+    let run = run_cfg(0x9E7E);
+    let serial = run_once(&cfg, &run).unwrap();
+    for shards in [2, 3] {
+        let sharded = run_once_sharded(&cfg, &run, shards).unwrap();
+        assert_eq!(serial, sharded, "{shards} shards vs serial");
+    }
+}
+
+#[test]
+fn sharded_matches_serial_on_dag_tasks_over_a_delay_matrix() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::adaptive(
+        SdaStrategy::eqf_div1(),
+        AdaptiveSlack::default(),
+    ));
+    cfg.workload.shape = GlobalShape::Dag {
+        depth: 4,
+        max_width: 3,
+        edge_density: 0.4,
+    };
+    cfg.workload.slack = SlackRange::PSP_BASELINE;
+    cfg.workload.load = 0.7;
+    cfg.workload.node_speeds = Some(vec![0.8, 0.9, 0.95, 1.05, 1.1, 1.2]);
+    cfg.network = positive_matrix(cfg.workload.nodes);
+    assert!(cfg.network.min_hop_delay() >= 0.5);
+    let run = run_cfg(0xDA61);
+    let serial = run_once(&cfg, &run).unwrap();
+    let sharded = run_once_sharded(&cfg, &run, 3).unwrap();
+    assert_eq!(serial, sharded, "DAG + matrix network: 3 shards vs serial");
+}
+
+/// The shard count is a performance knob, never a semantic one: 1 shard
+/// (the serial fallback), 2, 3 and 6 shards must produce the same bits.
+#[test]
+fn shard_count_never_changes_the_result() {
+    let mut cfg = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+    cfg.workload.load = 0.7;
+    cfg.network = NetworkModel::Constant { delay: 0.75 };
+    let run = run_cfg(0x1D3A);
+    let one = run_once_sharded(&cfg, &run, 1).unwrap();
+    for shards in [2, 3, 6] {
+        let many = run_once_sharded(&cfg, &run, shards).unwrap();
+        assert_eq!(one, many, "1 vs {shards} shards");
+    }
+    // More shards than nodes clamps to one node per shard and still
+    // produces the same run.
+    let oversubscribed = run_once_sharded(&cfg, &run, 64).unwrap();
+    assert_eq!(one, oversubscribed, "1 vs 64 (clamped) shards");
+}
+
+/// A `Matrix` with a single zero entry has zero minimum hop delay: the
+/// conservative window would have zero width, so the engine must take
+/// the serial fallback (and therefore agree with `run_once` exactly).
+#[test]
+fn zero_lookahead_matrix_falls_back_to_serial() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+    let NetworkModel::Matrix { mut delays } = positive_matrix(cfg.workload.nodes) else {
+        unreachable!()
+    };
+    delays[2][4] = 0.0;
+    cfg.network = NetworkModel::Matrix { delays };
+    assert_eq!(cfg.network.min_hop_delay(), 0.0);
+    let run = run_cfg(0x0F0B);
+    let serial = run_once(&cfg, &run).unwrap();
+    let sharded = run_once_sharded(&cfg, &run, 4).unwrap();
+    assert_eq!(
+        serial, sharded,
+        "zero-entry matrix must fall back to serial"
+    );
+}
+
+/// AbortTardy + shards: semantically divergent from serial (documented),
+/// but still deterministic and shard-count invariant, with exact task
+/// accounting (completed + aborted totals are consistent across counts).
+#[test]
+fn abort_tardy_is_shard_count_invariant() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+    cfg.overload = OverloadPolicy::AbortTardy;
+    cfg.workload.load = 0.95;
+    cfg.network = NetworkModel::Constant { delay: 0.5 };
+    let run = run_cfg(0xAB07);
+    let two = run_once_sharded(&cfg, &run, 2).unwrap();
+    let four = run_once_sharded(&cfg, &run, 4).unwrap();
+    assert_eq!(two, four, "2 vs 4 shards under AbortTardy");
+    assert!(
+        two.metrics.aborted_globals > 0,
+        "the overloaded firm-deadline config must actually abort tasks"
+    );
+}
