@@ -17,6 +17,7 @@ fn reduced_opts() -> ExperimentOpts {
         seed: 0xF162,
         threads: 0,
         shards: 1,
+        order_fuzz: 0,
         csv_dir: None,
     }
 }
@@ -31,6 +32,7 @@ fn bench_fig2(c: &mut Criterion) {
         seed: 0xF162,
         threads: 0,
         shards: 1,
+        order_fuzz: 0,
         csv_dir: None,
     };
     let data = fig2::run(&print_opts);

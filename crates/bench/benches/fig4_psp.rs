@@ -15,6 +15,7 @@ fn bench_fig4(c: &mut Criterion) {
         seed: 0xF164,
         threads: 0,
         shards: 1,
+        order_fuzz: 0,
         csv_dir: None,
     };
     let data = fig4::run(&print_opts);
@@ -32,6 +33,7 @@ fn bench_fig4(c: &mut Criterion) {
             seed: 0xF164,
             threads: 0,
             shards: 1,
+            order_fuzz: 0,
             csv_dir: None,
         };
         b.iter(|| black_box(fig4::run(&opts)));

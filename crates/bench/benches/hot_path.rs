@@ -61,6 +61,7 @@ fn run(cfg: &SystemConfig) -> u64 {
         warmup: 200.0,
         duration: 8_000.0,
         seed: 0x0907,
+        order_fuzz: 0,
     };
     let result = run_once(cfg, &run_cfg).expect("baseline config is valid");
     result.events

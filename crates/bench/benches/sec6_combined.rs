@@ -16,6 +16,7 @@ fn bench_sec6(c: &mut Criterion) {
         seed: 0x5EC6,
         threads: 0,
         shards: 1,
+        order_fuzz: 0,
         csv_dir: None,
     };
     let data = sec6::run(&print_opts);
@@ -33,6 +34,7 @@ fn bench_sec6(c: &mut Criterion) {
             seed: 0x5EC6,
             threads: 0,
             shards: 1,
+            order_fuzz: 0,
             csv_dir: None,
         };
         b.iter(|| black_box(sec6::run(&opts)));

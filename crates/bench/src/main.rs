@@ -46,6 +46,7 @@ fn hot_run() -> RunConfig {
         warmup: 200.0,
         duration: 8_000.0,
         seed: 0x0907,
+        order_fuzz: 0,
     }
 }
 
@@ -127,6 +128,7 @@ fn scenarios() -> Vec<Scenario> {
         warmup: 200.0,
         duration: 2_000.0,
         seed: 0x0907,
+        order_fuzz: 0,
     };
     for (name, shards) in [
         ("hetero96_net_serial", 1),

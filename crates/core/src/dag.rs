@@ -596,6 +596,68 @@ impl DagRun {
         false
     }
 
+    /// Re-issues a *lost* released-but-uncompleted subtask at `now`,
+    /// appending exactly one replacement submission to `out`.
+    ///
+    /// The replacement deadline re-decomposes the **residual** budget
+    /// with the SSP rule over the lost node's own remaining critical-path
+    /// tail (the node is now the straggler gating everything behind it,
+    /// so *its* tail — not the original wave-critical member's — is the
+    /// path view that matters), evaluated at the advanced clock. The
+    /// straggler keeps the whole window: its wave siblings already carry
+    /// their original deadlines (or are done). A task that is a single
+    /// antichain keeps the flat-parallel convention: the window is the
+    /// global deadline.
+    ///
+    /// Completion bookkeeping is untouched — the subtask stays
+    /// outstanding until [`DagRun::complete`] is finally called for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run never started, or if `subtask` is not a
+    /// released, uncompleted node.
+    pub fn reissue<A: DeadlineAssigner + ?Sized>(
+        &mut self,
+        subtask: SubtaskRef,
+        strategy: &A,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) {
+        assert!(self.started, "DagRun::reissue before start");
+        let idx = subtask.0;
+        assert!(
+            idx < self.nodes.len() && !self.done[idx] && self.indeg_left[idx] == 0,
+            "reissue for a subtask that is not active: {subtask:?}"
+        );
+        let hop = self.expected_hop_comm;
+        let root_parallel = self.edges.is_empty() && self.nodes.len() > 1;
+        let window = if root_parallel {
+            self.deadline
+        } else {
+            let off = self.tail_off[idx] as usize;
+            let end = self.tail_off[idx + 1] as usize;
+            let tail = &self.tails[off..end];
+            strategy.serial_deadline(&SspInput {
+                submit_time: now,
+                global_deadline: self.deadline,
+                pex_current: self.nodes[idx].pex,
+                pex_remaining_after: tail,
+                comm_current: hop,
+                comm_after: hop * (tail.len() + 1) as f64,
+                slack_scale: self.slack_scale,
+            })
+        };
+        let s = self.nodes[idx];
+        out.push(Submission {
+            subtask: SubtaskRef(idx),
+            node: s.node,
+            ex: s.ex,
+            pex: s.pex,
+            deadline: window,
+            priority: strategy.priority_class(),
+        });
+    }
+
     /// Activates the wave currently in `wave_buf` at `now`: computes the
     /// wave window with the SSP rule over the wave's remaining critical
     /// path, divides it with the PSP rule when the wave is wider than
@@ -968,6 +1030,82 @@ mod tests {
         run.push_node(NodeId::new(0), 1.0, 1.0);
         let mut out = Vec::new();
         run.start(&SdaStrategy::ud_ud(), 0.0, &mut out);
+    }
+
+    #[test]
+    fn reissue_uses_the_lost_nodes_own_tail() {
+        // Diamond A → {B, C} → D, pex: A 1, B 2, C 1, D 1, dl 10.
+        // After A completes at t = 1 the wave {B, C} opens. Losing C and
+        // reissuing at t = 4: C's own tail is [1.0] (just D), so EQS sees
+        // slack 10 − 4 − (1 + 1) = 4 over 2 levels → dl = 4 + 1 + 2 = 7.
+        let mut run = DagRun::new();
+        run.reset();
+        let a = run.push_node(NodeId::new(0), 1.0, 1.0);
+        let b = run.push_node(NodeId::new(1), 2.0, 2.0);
+        let c = run.push_node(NodeId::new(2), 1.0, 1.0);
+        let d = run.push_node(NodeId::new(3), 1.0, 1.0);
+        run.push_edge(a, b);
+        run.push_edge(a, c);
+        run.push_edge(b, d);
+        run.push_edge(c, d);
+        run.finalize();
+        run.set_timing(0.0, 10.0);
+        let strategy = SdaStrategy::new(
+            SerialStrategy::EqualSlack,
+            ParallelStrategy::UltimateDeadline,
+        );
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        let mut wave = Vec::new();
+        assert!(!run.complete(subs[0].subtask, &strategy, 1.0, &mut wave));
+        assert_eq!(wave.len(), 2);
+        let lost = wave
+            .iter()
+            .find(|s| s.subtask == SubtaskRef(c as usize))
+            .expect("C is in the wave");
+        let mut again = Vec::new();
+        run.reissue(lost.subtask, &strategy, 4.0, &mut again);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].subtask, lost.subtask);
+        assert!(
+            (again[0].deadline - 7.0).abs() < EPS,
+            "{}",
+            again[0].deadline
+        );
+        // Bookkeeping untouched: the run still completes normally.
+        let mut next = Vec::new();
+        assert!(!run.complete(wave[0].subtask, &strategy, 5.0, &mut next));
+        assert!(!run.complete(again[0].subtask, &strategy, 6.0, &mut next));
+        assert_eq!(next.len(), 1);
+        assert!(run.complete(next[0].subtask, &strategy, 7.0, &mut next));
+        assert!(run.is_finished());
+    }
+
+    #[test]
+    fn reissue_on_an_antichain_keeps_the_global_window() {
+        let mut run = DagRun::new();
+        run.reset();
+        for i in 0..3 {
+            run.push_node(NodeId::new(i), 1.0, 1.0);
+        }
+        run.finalize();
+        run.set_timing(2.0, 14.0);
+        let mut subs = Vec::new();
+        run.start(&SdaStrategy::ud_div1(), 2.0, &mut subs);
+        let mut again = Vec::new();
+        run.reissue(subs[1].subtask, &SdaStrategy::ud_div1(), 6.0, &mut again);
+        assert_eq!(again.len(), 1);
+        assert!((again[0].deadline - 14.0).abs() < EPS);
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn reissue_of_a_blocked_node_panics() {
+        let mut run = chain(&[1.0, 1.0], 4.0);
+        let strategy = SdaStrategy::ud_ud();
+        let mut out = Vec::new();
+        run.start(&strategy, 0.0, &mut out);
+        run.reissue(SubtaskRef(1), &strategy, 1.0, &mut out);
     }
 
     #[test]

@@ -364,6 +364,67 @@ impl FlatRun {
         false
     }
 
+    /// Re-issues a *lost* subtask of the currently active stage at `now`,
+    /// appending exactly one replacement submission to `out`.
+    ///
+    /// The replacement deadline re-decomposes the **residual** budget:
+    /// the SSP rule is re-applied at `now` over the current stage plus
+    /// every stage still ahead (the same arithmetic stage activation
+    /// used when the stage first opened, but
+    /// with the clock advanced — so whatever slack the failure burned is
+    /// charged to this and later stages under the strategy's own
+    /// division rule). The straggler keeps the whole stage window: its
+    /// siblings already carry their original deadlines (or are done), so
+    /// there is nothing left to divide the window across.
+    ///
+    /// Completion bookkeeping is untouched — the subtask was outstanding
+    /// before the loss and stays outstanding until [`FlatRun::complete`]
+    /// is finally called for it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run never started, or if `subtask` is not an
+    /// uncompleted member of the currently active stage.
+    pub fn reissue<A: DeadlineAssigner + ?Sized>(
+        &mut self,
+        subtask: SubtaskRef,
+        strategy: &A,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) {
+        assert!(self.started, "FlatRun::reissue before start");
+        let idx = subtask.0;
+        let stage = self.current_stage;
+        let (start, end) = self.stage_bounds(stage);
+        assert!(
+            idx >= start && idx < end && !self.done[idx],
+            "reissue for a subtask that is not active: {subtask:?}"
+        );
+        let hop = self.expected_hop_comm;
+        let stage_dl = if self.serial_levels {
+            strategy.serial_deadline(&SspInput {
+                submit_time: now,
+                global_deadline: self.deadline,
+                pex_current: self.stage_pex[stage],
+                pex_remaining_after: &self.stage_pex[stage + 1..],
+                comm_current: hop,
+                comm_after: hop * (self.stage_ends.len() - stage) as f64,
+                slack_scale: self.slack_scale,
+            })
+        } else {
+            self.deadline
+        };
+        let s = self.subtasks[idx];
+        out.push(Submission {
+            subtask: SubtaskRef(idx),
+            node: s.node,
+            ex: s.ex,
+            pex: s.pex,
+            deadline: stage_dl,
+            priority: strategy.priority_class(),
+        });
+    }
+
     /// Activates stage `stage` at `now`: computes its window via the SSP
     /// rule (when serial levels apply), the branch deadline via the PSP
     /// rule (when the stage is a parallel group), and appends one
@@ -693,6 +754,58 @@ mod tests {
         run.set_expected_comm(1.25);
         run.reset();
         assert_eq!(run.expected_comm(), 0.0);
+    }
+
+    #[test]
+    fn reissue_recomputes_residual_window_at_now() {
+        // Two serial stages, pex 1 each, dl = 8. EQS at t = 0 gives
+        // stage 1 dl = 0 + 1 + 3 = 4. Losing it and reissuing at t = 3
+        // re-divides the residual slack 8 − 3 − 2 = 3 → share 1.5:
+        // dl = 3 + 1 + 1.5 = 5.5.
+        let mut run = serial_chain(&[1.0, 1.0], 8.0);
+        let strategy = SdaStrategy::new(
+            crate::SerialStrategy::EqualSlack,
+            crate::ParallelStrategy::UltimateDeadline,
+        );
+        let mut subs = Vec::new();
+        run.start(&strategy, 0.0, &mut subs);
+        assert!((subs[0].deadline - 4.0).abs() < 1e-12);
+        let lost = subs[0].subtask;
+        let mut again = Vec::new();
+        run.reissue(lost, &strategy, 3.0, &mut again);
+        assert_eq!(again.len(), 1);
+        assert_eq!(again[0].subtask, lost);
+        assert_eq!(again[0].node, subs[0].node);
+        assert!(
+            (again[0].deadline - 5.5).abs() < 1e-12,
+            "{}",
+            again[0].deadline
+        );
+        // Bookkeeping untouched: the reissued subtask still completes
+        // normally and advances the run.
+        let mut more = Vec::new();
+        assert!(!run.complete(lost, &strategy, 4.0, &mut more));
+        assert_eq!(more.len(), 1);
+        assert!(run.complete(more[0].subtask, &strategy, 6.0, &mut more));
+        assert!(run.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "not active")]
+    fn reissue_of_completed_subtask_panics() {
+        let mut run = FlatRun::new();
+        run.reset();
+        run.push_subtask(NodeId::new(0), 1.0, 1.0);
+        run.push_subtask(NodeId::new(1), 1.0, 1.0);
+        run.end_stage();
+        run.set_structure(false, true);
+        run.set_timing(0.0, 4.0);
+        let strategy = SdaStrategy::ud_ud();
+        let mut out = Vec::new();
+        run.start(&strategy, 0.0, &mut out);
+        let mut more = Vec::new();
+        run.complete(out[0].subtask, &strategy, 1.0, &mut more);
+        run.reissue(out[0].subtask, &strategy, 2.0, &mut more);
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! Extension: fleet churn — `MD` vs node failure rate and repair time
+//! under crash/recovery churn with re-dispatch and mid-task deadline
+//! re-decomposition.
+
+use sda_experiments::{emit, ext::churn, ExperimentOpts, Metric};
+
+fn main() {
+    let opts = ExperimentOpts::from_args();
+    let rates = churn::failure_rate(&opts);
+    emit(
+        &rates,
+        &opts,
+        &[Metric::MdGlobal, Metric::MdLocal, Metric::Lost],
+    );
+    let repairs = churn::repair_time(&opts);
+    emit(
+        &repairs,
+        &opts,
+        &[Metric::MdGlobal, Metric::MdLocal, Metric::Lost],
+    );
+}

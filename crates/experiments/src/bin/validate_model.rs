@@ -37,6 +37,7 @@ fn main() {
         warmup: opts.warmup.max(2_000.0),
         duration: opts.duration.max(100_000.0),
         seed: opts.seed,
+        order_fuzz: 0,
     };
     let mut all_ok = true;
     println!("== M/M/1 calibration (1 node, locals only, FCFS) ==");

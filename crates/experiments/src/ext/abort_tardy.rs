@@ -70,6 +70,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         // At high load, aborting saves both classes relative to no-abort.

@@ -165,6 +165,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         }
     }
 

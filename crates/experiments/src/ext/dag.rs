@@ -105,6 +105,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         }
     }
 

@@ -50,6 +50,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         let md = |x: f64| data.cell("DIV-x", x).unwrap().md_global.mean;

@@ -56,6 +56,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         let gf = data.cell("GF", 0.9).unwrap();

@@ -61,6 +61,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         let ud = data.cell("UD m~U{1..8}", 0.5).unwrap().md_global.mean;

@@ -9,6 +9,7 @@
 
 pub mod abort_tardy;
 pub mod burst;
+pub mod churn;
 pub mod dag;
 pub mod divx;
 pub mod eqf_as;

@@ -57,6 +57,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         // UD ignores pex, so its curve is flat up to noise.

@@ -51,6 +51,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         let gain = |rf: f64| {

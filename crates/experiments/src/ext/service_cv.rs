@@ -84,6 +84,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         for &cv2 in &[0.25, 1.0, 4.0] {

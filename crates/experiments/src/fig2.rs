@@ -55,6 +55,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         // (b): at load 0.5, EQF must beat UD for global tasks, clearly.

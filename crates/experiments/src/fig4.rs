@@ -57,6 +57,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         let at = |label: &str, load: f64| data.cell(label, load).unwrap();

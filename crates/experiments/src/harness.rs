@@ -32,6 +32,10 @@ pub struct ExperimentOpts {
     pub shards: usize,
     /// Directory to write per-metric CSV files into (`--csv DIR`).
     pub csv_dir: Option<std::path::PathBuf>,
+    /// Seed for the event-queue order-fuzz harness (`--order-fuzz S`;
+    /// 0 = off). Non-zero values apply a seeded permutation to
+    /// same-timestamp event ties — metrics must be invariant.
+    pub order_fuzz: u64,
 }
 
 impl Default for ExperimentOpts {
@@ -44,6 +48,7 @@ impl Default for ExperimentOpts {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         }
     }
 }
@@ -92,7 +97,7 @@ impl ExperimentOpts {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--full|--quick|--smoke] [--reps N] [--duration T] [--warmup T] \
-                 [--seed S] [--threads N] [--shards N] [--csv DIR]"
+                 [--seed S] [--threads N] [--shards N] [--csv DIR] [--order-fuzz S]"
             );
             std::process::exit(2);
         })
@@ -160,6 +165,11 @@ impl ExperimentOpts {
                 "--csv" => {
                     opts.csv_dir = Some(value_of("--csv")?.into());
                 }
+                "--order-fuzz" => {
+                    opts.order_fuzz = value_of("--order-fuzz")?
+                        .parse()
+                        .map_err(|e| format!("--order-fuzz: {e}"))?;
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -178,6 +188,7 @@ impl ExperimentOpts {
             warmup: self.warmup,
             duration: self.duration,
             seed: self.seed,
+            order_fuzz: self.order_fuzz,
         }
     }
 
@@ -233,6 +244,10 @@ pub struct CellStats {
     pub local_response: PointStat,
     /// Mean hand-off transit time (0 under free communication).
     pub transit: PointStat,
+    /// Mean jobs lost to node crashes per replication (locals dropped
+    /// on a down node plus in-flight subtask copies). 0 with failures
+    /// disabled.
+    pub lost: PointStat,
 }
 
 /// Which metric of a [`CellStats`] to tabulate.
@@ -252,6 +267,8 @@ pub enum Metric {
     LocalResponse,
     /// Mean hand-off transit time.
     Transit,
+    /// Mean jobs lost to node crashes per replication.
+    Lost,
 }
 
 impl Metric {
@@ -265,6 +282,7 @@ impl Metric {
             Metric::GlobalResponse => "global response time",
             Metric::LocalResponse => "local response time",
             Metric::Transit => "hand-off transit time",
+            Metric::Lost => "jobs lost to crashes",
         }
     }
 
@@ -277,6 +295,7 @@ impl Metric {
             Metric::GlobalResponse => cell.global_response,
             Metric::LocalResponse => cell.local_response,
             Metric::Transit => cell.transit,
+            Metric::Lost => cell.lost,
         }
     }
 }
@@ -485,10 +504,11 @@ pub fn run_sweep(
                 // either way (shard count is not a semantic knob).
                 let rep = if opts.shards > 1 {
                     run_replications_sharded(&p.config, &run, opts.reps, opts.shards)
+                        .expect("experiment configurations are valid")
                 } else {
                     run_replications_with_threads(&p.config, &run, opts.reps, 1)
-                }
-                .expect("experiment configurations are valid");
+                        .expect("experiment configurations are valid")
+                };
                 let cell = CellStats {
                     md_local: PointStat::from_reps(&rep.local_miss_pct),
                     md_global: PointStat::from_reps(&rep.global_miss_pct),
@@ -497,6 +517,7 @@ pub fn run_sweep(
                     global_response: PointStat::from_reps(&rep.global_response),
                     local_response: PointStat::from_reps(&rep.local_response),
                     transit: PointStat::from_reps(&rep.transit),
+                    lost: PointStat::from_reps(&rep.lost),
                 };
                 results.lock().expect("no poisoned lock")[i] = Some(cell);
             });
@@ -532,6 +553,7 @@ mod tests {
             threads: 2,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         }
     }
 
@@ -618,6 +640,10 @@ mod tests {
                 half_width: 0.2,
             },
             transit: PointStat {
+                mean: 0.0,
+                half_width: f64::INFINITY,
+            },
+            lost: PointStat {
                 mean: 0.0,
                 half_width: f64::INFINITY,
             },

@@ -53,6 +53,7 @@ mod tests {
             threads: 0,
             shards: 1,
             csv_dir: None,
+            order_fuzz: 0,
         };
         let data = run(&opts);
         let at = |label: &str| data.cell(label, 0.7).unwrap();

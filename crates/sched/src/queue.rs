@@ -266,6 +266,13 @@ impl ReadyQueue {
         self.heap.is_empty()
     }
 
+    /// Number of slab slots ever grown (occupied + free). Exposed so
+    /// tests can prove mass cancellation recycles slots instead of
+    /// growing the slab.
+    pub fn slab_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Drains the queue, returning the jobs in service order.
     pub fn drain_ordered(&mut self) -> Vec<Job> {
         let mut out = Vec::with_capacity(self.len());
@@ -273,6 +280,18 @@ impl ReadyQueue {
             out.push(j);
         }
         out
+    }
+
+    /// Mass cancellation: moves every queued job into `out` (service
+    /// order) and vacates its slab slot. The slab and heap keep their
+    /// capacity and every vacated slot lands on the free list, so a node
+    /// failure that wipes the queue allocates nothing once `out` has
+    /// capacity — and the freed slots are reused verbatim when the node
+    /// rejoins.
+    pub fn purge_into(&mut self, out: &mut Vec<Job>) {
+        while let Some(slot) = self.pop_slot() {
+            out.push(self.release(slot));
+        }
     }
 }
 

@@ -88,6 +88,46 @@ proptest! {
         prop_assert!(q.is_empty());
     }
 
+    /// Mass cancellation (a node crash wiping its queue): `purge_into`
+    /// returns every queued job exactly once in service order, leaves
+    /// the queue empty, and vacates every slab slot for verbatim reuse
+    /// — refilling to the same occupancy never grows the slab.
+    #[test]
+    fn purge_returns_all_jobs_and_frees_all_slots(
+        specs in job_specs(),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let mut q = ReadyQueue::new(policy);
+        let mut twin = ReadyQueue::new(policy);
+        for (i, s) in specs.iter().enumerate() {
+            let mut job = Job::local(TaskId::new(i as u64), i as f64, s.pex, s.deadline);
+            job.pex = s.pex;
+            if s.elevated {
+                job.priority = PriorityClass::Elevated;
+            }
+            q.push(job);
+            twin.push(job);
+        }
+        let n = q.len();
+        let capacity = q.slab_capacity();
+        let mut purged = Vec::new();
+        q.purge_into(&mut purged);
+        prop_assert_eq!(purged.len(), n, "every queued job purged exactly once");
+        prop_assert!(q.is_empty());
+        // Service order: identical to what popping would have yielded.
+        let drained = twin.drain_ordered();
+        let purged_ids: Vec<u64> = purged.iter().map(|j| j.enqueue_time as u64).collect();
+        let drained_ids: Vec<u64> = drained.iter().map(|j| j.enqueue_time as u64).collect();
+        prop_assert_eq!(purged_ids, drained_ids, "purge order is service order");
+        // Every slot is back on the free list: refilling to the same
+        // occupancy reuses them without growing the slab.
+        for job in purged {
+            q.push(job);
+        }
+        prop_assert_eq!(q.slab_capacity(), capacity, "purged slots must be reused");
+    }
+
     /// An elevated job is never popped after a normal job that was
     /// already queued when it arrived.
     #[test]

@@ -118,6 +118,15 @@ impl<E> Context<E> {
         self.queue.cancel(handle)
     }
 
+    /// Sets the event queue's order-fuzz seed (see
+    /// [`EventQueue::set_order_fuzz`]): 0 keeps exact FIFO order among
+    /// simultaneous events, any other value replaces it with a seeded
+    /// deterministic permutation. Call before seeding initial events for
+    /// a whole-run permutation.
+    pub fn set_order_fuzz(&mut self, seed: u64) {
+        self.queue.set_order_fuzz(seed);
+    }
+
     /// Asks the engine to stop after the current event completes.
     pub fn stop(&mut self) {
         self.stop_requested = true;

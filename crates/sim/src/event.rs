@@ -83,6 +83,20 @@ fn pack_key(time: SimTime, seq: u64) -> u128 {
     (u128::from(pq::key_from_f64(time.as_f64())) << 64) | u128::from(seq)
 }
 
+/// Seeded bijective scramble of the FIFO sequence (a splitmix64-style
+/// finalizer: add, xor-shift, odd multiplies). Being a bijection on
+/// `u64`, scrambled sequences stay unique — no two heap keys ever
+/// collide — while the *order* of simultaneous events becomes a seeded
+/// pseudo-random permutation. Time order is untouched: the scramble
+/// only fills the low 64 bits of the packed key.
+#[inline]
+fn scramble_seq(seq: u64, seed: u64) -> u64 {
+    let mut z = seq.wrapping_add(seed);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 #[inline]
 fn time_of_key(key: u128) -> SimTime {
     SimTime::new(pq::f64_from_key((key >> 64) as u64))
@@ -124,6 +138,11 @@ pub struct EventQueue<E> {
     next_seq: u64,
     /// Pending (scheduled, not yet fired or cancelled) events.
     live: usize,
+    /// Order-fuzz seed: 0 = exact FIFO among simultaneous events (the
+    /// default); non-zero scrambles the sequence bits of every key
+    /// through [`scramble_seq`], turning same-timestamp order into a
+    /// seeded permutation.
+    fuzz: u64,
 }
 
 impl<E> EventQueue<E> {
@@ -135,6 +154,7 @@ impl<E> EventQueue<E> {
             free: Vec::new(),
             next_seq: 0,
             live: 0,
+            fuzz: 0,
         }
     }
 
@@ -143,6 +163,39 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         seq
+    }
+
+    /// The sequence bits the next event's key will carry: the raw FIFO
+    /// sequence by default, a seeded bijective scramble of it under
+    /// order fuzz.
+    #[inline]
+    fn key_seq(&mut self) -> u64 {
+        let seq = self.next_seq();
+        if self.fuzz == 0 {
+            seq
+        } else {
+            scramble_seq(seq, self.fuzz)
+        }
+    }
+
+    /// Sets the order-fuzz seed. `0` (the default) keeps the documented
+    /// FIFO order among simultaneous events; any other value replaces
+    /// that tie order with a seeded pseudo-random permutation (still
+    /// fully deterministic for a given seed, and never affecting the
+    /// time order). A model whose observable behavior is tie-order
+    /// independent — as a discrete-event simulation over continuous
+    /// distributions should be — produces identical results under every
+    /// seed, which is exactly what fuzz harnesses assert.
+    ///
+    /// Affects only events scheduled *after* the call; set it before
+    /// scheduling anything for a whole-run permutation.
+    pub fn set_order_fuzz(&mut self, seed: u64) {
+        self.fuzz = seed;
+    }
+
+    /// The active order-fuzz seed (0 = exact FIFO).
+    pub fn order_fuzz(&self) -> u64 {
+        self.fuzz
     }
 
     /// Schedules `event` to fire at `time`. Returns a handle usable with
@@ -169,7 +222,7 @@ impl<E> EventQueue<E> {
             }
         };
         let generation = self.slots[slot as usize].generation;
-        let seq = self.next_seq();
+        let seq = self.key_seq();
         self.heap
             .push(pack_key(time, seq), Payload::Slotted { slot, generation });
         self.live += 1;
@@ -180,7 +233,7 @@ impl<E> EventQueue<E> {
     /// hot path. The payload rides inline in the heap entry: no slab
     /// traffic, no handle, no per-event bookkeeping.
     pub fn schedule_fast(&mut self, time: SimTime, event: E) {
-        let seq = self.next_seq();
+        let seq = self.key_seq();
         self.heap.push(pack_key(time, seq), Payload::Inline(event));
         self.live += 1;
     }
@@ -476,5 +529,77 @@ mod tests {
     fn debug_is_nonempty() {
         let q: EventQueue<u8> = EventQueue::new();
         assert!(!format!("{q:?}").is_empty());
+    }
+
+    #[test]
+    fn order_fuzz_permutes_only_same_timestamp_order() {
+        // Two timestamps, many events each: fuzz must keep the time
+        // order exact, deliver every event exactly once, and actually
+        // permute the equal-time order for some seed.
+        let run = |fuzz: u64| -> Vec<i32> {
+            let mut q = EventQueue::new();
+            q.set_order_fuzz(fuzz);
+            for i in 0..32 {
+                q.schedule_fast(SimTime::from(1.0), i);
+                q.schedule_fast(SimTime::from(2.0), 100 + i);
+            }
+            let mut out = Vec::new();
+            while let Some(ev) = q.pop() {
+                out.push(ev.event);
+            }
+            out
+        };
+        let fifo = run(0);
+        assert_eq!(fifo, (0..32).chain(100..132).collect::<Vec<_>>());
+        let mut any_permuted = false;
+        for seed in 1..=8u64 {
+            let fuzzed = run(seed);
+            // Same multiset, and all t=1 events still precede all t=2.
+            let mut sorted = fuzzed.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, fifo, "seed {seed} lost or duplicated events");
+            assert!(
+                fuzzed[..32].iter().all(|&e| e < 100),
+                "seed {seed} let a t=2 event jump the time order"
+            );
+            if fuzzed != fifo {
+                any_permuted = true;
+            }
+            // Determinism: the same seed replays the same permutation.
+            assert_eq!(fuzzed, run(seed), "seed {seed} is not deterministic");
+        }
+        assert!(any_permuted, "no seed permuted the tie order");
+    }
+
+    #[test]
+    fn order_fuzz_zero_is_identity_and_scramble_is_bijective() {
+        assert_eq!(EventQueue::<u8>::new().order_fuzz(), 0);
+        // Injectivity spot-check over a window of sequences.
+        let mut seen: Vec<u64> = (0..4096).map(|s| scramble_seq(s, 0xF722)).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 4096, "scramble collided within a window");
+    }
+
+    #[test]
+    fn order_fuzz_preserves_cancellation_semantics() {
+        let mut q = EventQueue::new();
+        q.set_order_fuzz(0xDEAD);
+        let handles: Vec<_> = (0..16).map(|i| q.schedule(SimTime::from(1.0), i)).collect();
+        for h in handles.iter().step_by(2) {
+            assert!(q.cancel(*h));
+        }
+        let mut survivors = Vec::new();
+        while let Some(ev) = q.pop() {
+            survivors.push(ev.event);
+        }
+        survivors.sort_unstable();
+        assert_eq!(
+            survivors,
+            (0..16).filter(|i| i % 2 == 1).collect::<Vec<_>>()
+        );
+        for h in handles {
+            assert!(!q.cancel(h), "all handles dead after drain");
+        }
     }
 }

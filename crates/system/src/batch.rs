@@ -116,6 +116,7 @@ mod tests {
             warmup: 500.0,
             duration: 20_000.0,
             seed: 5,
+            order_fuzz: 0,
         };
         let res = run_batch_means(&cfg, &run, 10).unwrap();
         assert_eq!(res.local_batches.len(), 10);
@@ -133,6 +134,7 @@ mod tests {
             warmup: 1_000.0,
             duration: 40_000.0,
             seed: 6,
+            order_fuzz: 0,
         };
         let bm = run_batch_means(&cfg, &run, 16).unwrap();
         let reps = run_replications(&cfg, &run, 3).unwrap();
@@ -152,6 +154,7 @@ mod tests {
             warmup: 200.0,
             duration: 5_000.0,
             seed: 7,
+            order_fuzz: 0,
         };
         let res = run_batch_means(&cfg, &run, 5).unwrap();
         assert!(res.global_batches.is_empty());

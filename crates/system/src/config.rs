@@ -7,6 +7,8 @@ use sda_sched::Policy;
 use sda_sim::rng::Stream;
 use sda_workload::{ConfigError, WorkloadConfig};
 
+use crate::failure::FailureModel;
+
 /// What a node does when it is about to dispatch a job whose (virtual)
 /// deadline has already passed.
 ///
@@ -211,6 +213,8 @@ pub struct SystemConfig {
     pub preemptive: bool,
     /// Inter-node message delays (baseline: free communication).
     pub network: NetworkModel,
+    /// Per-node failure/repair processes (baseline: no failures).
+    pub failure: FailureModel,
 }
 
 impl SystemConfig {
@@ -223,6 +227,7 @@ impl SystemConfig {
             overload: OverloadPolicy::NoAbort,
             preemptive: false,
             network: NetworkModel::Zero,
+            failure: FailureModel::None,
         }
     }
 
@@ -292,8 +297,10 @@ mod tests {
             SystemConfig::combined_baseline(SdaStrategy::eqf_div1()),
         ] {
             assert!(cfg.network.is_zero());
+            assert!(cfg.failure.is_none());
         }
         assert!(NetworkModel::default().is_zero());
+        assert!(FailureModel::default().is_none());
     }
 
     #[test]

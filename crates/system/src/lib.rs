@@ -20,6 +20,12 @@
 //! * per-node **local task** streams competing with global subtasks —
 //!   stationary Poisson by default, or bursty/phased under a
 //!   time-varying `WorkloadConfig::arrivals` process;
+//! * an optional **failure model** ([`FailureModel`], default
+//!   [`None`](FailureModel::None) = the paper's immortal fleet):
+//!   exponential MTTF/MTTR churn or scripted outage traces crash nodes
+//!   — queued and in-flight work is lost, the manager re-dispatches
+//!   lost subtasks to survivors and re-decomposes the remaining
+//!   deadline budget mid-task through the unchanged strategy layer;
 //! * a **feedback loop** for `ADAPT(base)` strategies: a windowed
 //!   miss-ratio EWMA ([`Feedback`], O(1) per completion) is stamped
 //!   into every stage activation as a slack-share multiplier, so
@@ -40,7 +46,7 @@
 //! use sda_system::{RunConfig, SystemConfig};
 //!
 //! let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
-//! let run = RunConfig { warmup: 100.0, duration: 2_000.0, seed: 1 };
+//! let run = RunConfig { warmup: 100.0, duration: 2_000.0, seed: 1, order_fuzz: 0 };
 //! let result = sda_system::run_once(&cfg, &run)?;
 //! assert!(result.metrics.global.completed() > 0);
 //!
@@ -56,6 +62,7 @@
 
 mod batch;
 mod config;
+mod failure;
 mod metrics;
 mod model;
 mod node;
@@ -64,10 +71,11 @@ mod shard;
 
 pub use batch::{run_batch_means, BatchedResult};
 pub use config::{NetworkModel, OverloadPolicy, SystemConfig};
+pub use failure::{DownInterval, FailureModel};
 pub use metrics::{ClassMetrics, Feedback, Metrics};
 pub use model::{Event, SystemModel, TraceEvent};
 pub use node::Node;
 pub use runner::{
     run_once, run_once_sharded, run_replications, run_replications_sharded,
-    run_replications_with_threads, ReplicatedResult, RunConfig, RunResult,
+    run_replications_with_threads, ReplicatedResult, RunConfig, RunError, RunResult,
 };

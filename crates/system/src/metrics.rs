@@ -215,6 +215,22 @@ pub struct Metrics {
     pub aborted_globals: u64,
     /// Local tasks discarded by the firm-deadline policy.
     pub aborted_locals: u64,
+    /// Local tasks destroyed by a node crash (queued or in service when
+    /// the node went down, or delivered to a down node). Each one is
+    /// terminal: it counts as a miss via `record_aborted` — never in the
+    /// response/tardiness distributions — and exactly once here.
+    pub lost_locals: u64,
+    /// Global *subtask* copies destroyed by a node crash. Unlike lost
+    /// locals these are not terminal — the process manager re-dispatches
+    /// each one (see `redispatches`) until the retry budget runs out.
+    pub lost_subtasks: u64,
+    /// Replacement submissions issued for lost subtasks (≤
+    /// `lost_subtasks`; smaller when the retry budget abandons a task).
+    pub redispatches: u64,
+    /// Global tasks abandoned because a lost subtask exhausted its
+    /// re-dispatch budget. Terminal like an abort: a miss, no response
+    /// observation.
+    pub abandoned_globals: u64,
     /// The windowed miss-ratio estimator driving `ADAPT(base)`
     /// strategies. Always maintained (it is O(1) per completion and
     /// perturbs nothing when unused); **preserved across

@@ -24,8 +24,16 @@ use sda_sim::{Context, SimTime, Simulation};
 use sda_workload::{ConfigError, GlobalShape, TaskFactory};
 
 use crate::config::{NetworkModel, OverloadPolicy, SystemConfig};
+use crate::failure::FailureTimeline;
 use crate::metrics::Metrics;
 use crate::node::Node;
+
+/// How many times a global task's lost subtask is re-dispatched before
+/// the process manager gives the task up as
+/// [`abandoned`](crate::Metrics::abandoned_globals). Counted per task,
+/// not per subtask, so a task repeatedly caught on crashing nodes
+/// terminates.
+pub(crate) const MAX_REDISPATCH: u32 = 3;
 
 /// Simulation events of the system model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +81,22 @@ pub enum Event {
     ResultReturn {
         /// The finished task.
         task: TaskId,
+    },
+    /// Node `node` crashes: its queued and in-service jobs are lost, and
+    /// hand-offs in flight toward it are lost on arrival. Scheduled from
+    /// the [`FailureModel`](crate::FailureModel) timeline; carries the
+    /// repair time so the matching [`Event::NodeUp`] is scheduled without
+    /// re-querying the timeline.
+    NodeDown {
+        /// The crashing node.
+        node: NodeId,
+        /// When the node comes back up.
+        up_at: f64,
+    },
+    /// Node `node` finishes repair and rejoins with empty queues.
+    NodeUp {
+        /// The recovering node.
+        node: NodeId,
     },
     /// Warm-up ends: all statistics restart.
     EndWarmup,
@@ -204,6 +228,19 @@ impl PooledRun {
             PooledRun::Dag(run) => run.complete(subtask, strategy, now, out),
         }
     }
+
+    fn reissue<A: DeadlineAssigner + ?Sized>(
+        &mut self,
+        subtask: SubtaskRef,
+        strategy: &A,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) {
+        match self {
+            PooledRun::Flat(run) => run.reissue(subtask, strategy, now, out),
+            PooledRun::Dag(run) => run.reissue(subtask, strategy, now, out),
+        }
+    }
 }
 
 /// One slot of the process manager's task slab.
@@ -223,10 +260,23 @@ struct TaskSlot {
     /// The pooled runtime state (retains capacity across reuse).
     run: PooledRun,
     /// Set under the firm-deadline policy when any subtask is discarded;
-    /// the task is finished as missed and submits nothing further.
+    /// the task is finished as missed, submits nothing further, and its
+    /// in-flight hand-offs are dropped on arrival.
     aborted: bool,
+    /// Set when the re-dispatch path gives the task up (retry budget
+    /// spent or the whole fleet down). Like `aborted`, the task is a
+    /// terminal miss and submits nothing further — but hand-offs already
+    /// in flight still *execute* (the abandon decision cannot outrun
+    /// work already on the wire); their completions are swallowed here.
+    /// This keeps the serial and sharded engines bit-identical: a shard
+    /// may already hold the delivery when the manager abandons the task.
+    abandoned: bool,
     /// Jobs of this task currently queued or in service anywhere.
     outstanding: u32,
+    /// How many of this task's subtasks were re-dispatched after a loss
+    /// (crashed node or hand-off to a down node); capped at
+    /// [`MAX_REDISPATCH`], beyond which the task is abandoned.
+    retries: u32,
 }
 
 /// Packs a slab position into a [`TaskId`]: generation above, slot below.
@@ -298,6 +348,19 @@ pub struct SystemModel {
     delay_buf: Vec<f64>,
     /// Reusable buffer for admission-policy discards.
     discard_buf: Vec<Job>,
+    /// Reusable buffer for jobs lost to a node crash.
+    lost_buf: Vec<Job>,
+    /// Hand-offs that reached a down node during
+    /// [`SystemModel::submit_buffered`]; their re-dispatch is deferred to
+    /// [`SystemModel::flush_lost_handoffs`] because `sub_buf` (which
+    /// re-dispatching reuses) is still being iterated at detection time.
+    lost_handoffs: Vec<(TaskId, SubtaskRef)>,
+    /// The per-node failure/repair timeline. Serial runs consume it via
+    /// `next_outage` to schedule [`Event::NodeDown`]/[`Event::NodeUp`];
+    /// the sharded manager (whose workers own the outage scheduling)
+    /// queries it only via `is_down` for re-dispatch targeting. The two
+    /// access patterns are never mixed on one copy.
+    timeline: FailureTimeline,
     /// RNG stream of the network-delay model (only `Exponential` draws
     /// from it, so deterministic models perturb nothing).
     net_rng: Stream,
@@ -326,6 +389,8 @@ impl SystemModel {
     /// Returns [`ConfigError`] for invalid workload parameters.
     pub fn new(config: SystemConfig, rng: &RngFactory) -> Result<SystemModel, ConfigError> {
         config.network.validate(config.workload.nodes)?;
+        config.failure.validate(config.workload.nodes)?;
+        let timeline = FailureTimeline::new(&config.failure, config.workload.nodes, rng);
         let factory = TaskFactory::new(config.workload.clone(), rng)?;
         let nodes = (0..config.workload.nodes)
             .map(|i| Node::new(NodeId::new(i as u32), config.policy))
@@ -351,6 +416,9 @@ impl SystemModel {
             sub_buf: Vec::new(),
             delay_buf: Vec::new(),
             discard_buf: Vec::new(),
+            lost_buf: Vec::new(),
+            lost_handoffs: Vec::new(),
+            timeline,
             net_rng,
             net_exp,
             hop_comm,
@@ -451,7 +519,9 @@ impl SystemModel {
                         PooledRun::Flat(FlatRun::new())
                     },
                     aborted: false,
+                    abandoned: false,
                     outstanding: 0,
+                    retries: 0,
                 });
                 slot
             }
@@ -460,7 +530,9 @@ impl SystemModel {
         debug_assert!(!entry.live, "free list pointed at a live slot");
         entry.live = true;
         entry.aborted = false;
+        entry.abandoned = false;
         entry.outstanding = 0;
+        entry.retries = 0;
         self.in_flight += 1;
         slot
     }
@@ -505,6 +577,16 @@ impl SystemModel {
     fn handle_local_arrival(&mut self, ctx: &mut Context<Event>, node: NodeId) {
         let now = ctx.now().as_f64();
         let task = self.factory.make_local(node, now);
+        if self.nodes[node.index()].is_down() {
+            // The host is down; its users' submissions go nowhere. The
+            // arrival stream itself keeps running (the generator draw
+            // above keeps the streams aligned with a failure-free run).
+            self.metrics.local.record_aborted();
+            self.metrics.lost_locals += 1;
+            self.metrics.feedback.observe(true);
+            self.schedule_next_local(ctx, node);
+            return;
+        }
         let id = self.fresh_local_id();
         let job = Job::local(id, now, task.attrs.ex, task.attrs.deadline);
         self.nodes[node.index()].enqueue(ctx.now(), job);
@@ -556,6 +638,7 @@ impl SystemModel {
         self.submit_buffered(sink, id, None);
         self.schedule_next_global(sink);
         self.dispatch_buffered(sink);
+        self.flush_lost_handoffs(sink);
     }
 
     /// Delivers one hand-off: enqueues the submission as a job of `task`
@@ -609,13 +692,21 @@ impl SystemModel {
         for i in 0..self.sub_buf.len() {
             let sub = self.sub_buf[i];
             let delay = self.hop_delay(from, Some(sub.node));
-            self.delay_buf.push(delay);
             if record {
                 self.metrics.transit.add(delay);
             }
             if delay > 0.0 {
+                self.delay_buf.push(delay);
                 sink.schedule(delay, Event::SubtaskArrive { task, sub });
+            } else if self.nodes[sub.node.index()].is_down() {
+                // Zero-delay hand-off to a dead node: lost. Re-dispatch
+                // is deferred (`sub_buf` is being iterated right now) and
+                // the infinite pseudo-delay keeps `dispatch_buffered`
+                // away from the down node.
+                self.delay_buf.push(f64::INFINITY);
+                self.lost_handoffs.push((task, sub.subtask));
             } else {
+                self.delay_buf.push(0.0);
                 self.deliver(SimTime::new(sink.now()), task, sub);
             }
         }
@@ -632,6 +723,17 @@ impl SystemModel {
             }
             let node = self.sub_buf[i].node;
             self.dispatch(sink, node);
+        }
+    }
+
+    /// Re-dispatches the hand-offs that [`SystemModel::submit_buffered`]
+    /// found addressed to a down node. Must run after
+    /// [`SystemModel::dispatch_buffered`]: re-dispatching reuses
+    /// `sub_buf`, which the submit/dispatch pair iterates.
+    fn flush_lost_handoffs<S: EventSink>(&mut self, sink: &mut S) {
+        while let Some((task, subtask)) = self.lost_handoffs.pop() {
+            self.metrics.lost_subtasks += 1;
+            self.redispatch(sink, task, subtask);
         }
     }
 
@@ -657,6 +759,45 @@ impl SystemModel {
         true
     }
 
+    /// Sharded-engine *detection* half of the down-destination check in
+    /// [`SystemModel::handle_subtask_arrive`]: whether a hand-off
+    /// delivered to `node` at time `t` will find it down. The manager's
+    /// failure timeline is an oracle (every outage is a pure function of
+    /// the seeded per-node streams), so the calendar drain can ask this
+    /// at *forward* time and withhold the doomed hand-off from its
+    /// worker. Worker-side detection cannot replace this: two
+    /// same-instant losses on different shards would merge in
+    /// `(time, node, seq)` order, which need not match the serial
+    /// schedule order, and the re-dispatch retry budget makes that order
+    /// observable.
+    pub(crate) fn handoff_doomed(&mut self, node: NodeId, t: f64) -> bool {
+        self.timeline.is_down(node.index(), t)
+    }
+
+    /// Sharded-engine *processing* half: loss accounting + re-dispatch
+    /// for a hand-off [`SystemModel::handoff_doomed`] withheld. Runs when
+    /// the window merge reaches the delivery's logical time, so every
+    /// metric and feedback mutation interleaves with the window's other
+    /// events exactly as in the serial schedule (a loss straddling the
+    /// warmup boundary, say, must be reset away or kept identically in
+    /// both engines). Returns `true` when the hand-off was lost
+    /// (accounting settled; the replacement, if any, re-dispatched
+    /// through `sink`).
+    pub(crate) fn handoff_lost<S: EventSink>(
+        &mut self,
+        sink: &mut S,
+        task: TaskId,
+        sub: Submission,
+    ) -> bool {
+        let now = sink.now();
+        if !self.timeline.is_down(sub.node.index(), now) {
+            return false;
+        }
+        self.metrics.lost_subtasks += 1;
+        self.redispatch(sink, task, sub.subtask);
+        true
+    }
+
     /// A hand-off scheduled by [`SystemModel::submit_buffered`] arrives
     /// at its destination node.
     fn handle_subtask_arrive(&mut self, ctx: &mut Context<Event>, task: TaskId, sub: Submission) {
@@ -672,6 +813,13 @@ impl SystemModel {
             if entry.outstanding == 0 {
                 self.release_task_slot(slot);
             }
+            return;
+        }
+        if self.nodes[sub.node.index()].is_down() {
+            // The destination died while the hand-off was in transit:
+            // the work is lost on arrival.
+            self.metrics.lost_subtasks += 1;
+            self.redispatch(ctx, task, sub.subtask);
             return;
         }
         self.deliver(ctx.now(), task, sub);
@@ -716,7 +864,7 @@ impl SystemModel {
                 let scale = self.adapt_scale();
                 let entry = &mut self.tasks[slot];
                 entry.outstanding -= 1;
-                if entry.aborted {
+                if entry.aborted || entry.abandoned {
                     if entry.outstanding == 0 {
                         self.release_task_slot(slot);
                     }
@@ -754,6 +902,7 @@ impl SystemModel {
                     // fan-in, the last-finishing branch's node).
                     self.submit_buffered(sink, task, Some(node));
                     self.dispatch_buffered(sink);
+                    self.flush_lost_handoffs(sink);
                 }
             }
         }
@@ -792,7 +941,7 @@ impl SystemModel {
                 let entry = &mut self.tasks[slot];
                 entry.outstanding -= 1;
                 let outstanding = entry.outstanding;
-                if !entry.aborted {
+                if !entry.aborted && !entry.abandoned {
                     entry.aborted = true;
                     self.metrics.global.record_aborted();
                     self.metrics.aborted_globals += 1;
@@ -805,6 +954,166 @@ impl SystemModel {
                     self.release_task_slot(slot);
                 }
             }
+        }
+    }
+
+    /// Accounts for one job lost to a node crash: a local task is a
+    /// terminal miss (its node's users see nothing back); a global
+    /// subtask enters the re-dispatch path.
+    pub(crate) fn on_job_lost<S: EventSink>(&mut self, sink: &mut S, job: Job) {
+        match job.origin {
+            JobOrigin::Local { .. } => {
+                self.metrics.local.record_aborted();
+                self.metrics.lost_locals += 1;
+                self.metrics.feedback.observe(true);
+            }
+            JobOrigin::Global { task, subtask } => {
+                self.metrics.lost_subtasks += 1;
+                self.redispatch(sink, task, subtask);
+            }
+        }
+    }
+
+    /// Recovery path for one lost global-subtask copy: re-decomposes the
+    /// *remaining* deadline budget over the residual precedence
+    /// structure — through the same [`DeadlineAssigner`] interface the
+    /// strategy uses everywhere else, so UD/ED/EQS/EQF/DIV-x/GF/ADAPT
+    /// all shape the recovery window — and re-submits the work,
+    /// manager-routed, to the nearest surviving node. Once the task's
+    /// retry budget ([`MAX_REDISPATCH`]) is spent, or the whole fleet is
+    /// down, the task is abandoned instead.
+    pub(crate) fn redispatch<S: EventSink>(
+        &mut self,
+        sink: &mut S,
+        task: TaskId,
+        subtask: SubtaskRef,
+    ) {
+        let now = sink.now();
+        let Some(slot) = self.lookup_task(task) else {
+            debug_assert!(false, "loss for unknown task {task}");
+            return;
+        };
+        let traced = self.traced(task);
+        let scale = self.adapt_scale();
+        let entry = &mut self.tasks[slot];
+        entry.outstanding -= 1;
+        if entry.aborted || entry.abandoned {
+            if entry.outstanding == 0 {
+                self.release_task_slot(slot);
+            }
+            return;
+        }
+        if entry.retries >= MAX_REDISPATCH {
+            self.abandon_task(now, slot, task, traced);
+            return;
+        }
+        entry.retries += 1;
+        entry.run.set_slack_scale(scale);
+        self.sub_buf.clear();
+        entry
+            .run
+            .reissue(subtask, &self.config.strategy, now, &mut self.sub_buf);
+        debug_assert_eq!(self.sub_buf.len(), 1, "reissue yields one submission");
+        let orig = self.sub_buf[0].node;
+        let Some(target) = self.pick_live(now, orig) else {
+            self.abandon_task(now, slot, task, traced);
+            return;
+        };
+        // The run stores demands in the original node's service units;
+        // re-express them for the replacement node's speed.
+        let speeds = self.factory.node_speeds();
+        let ratio = speeds[orig.index()] / speeds[target.index()];
+        let sub = &mut self.sub_buf[0];
+        sub.node = target;
+        sub.ex *= ratio;
+        sub.pex *= ratio;
+        self.tasks[slot].outstanding += 1;
+        self.metrics.redispatches += 1;
+        // The replacement hand-off is manager-routed, like the initial
+        // fan-out. The target is live, so it cannot re-enter the lost
+        // path at this instant (other casualties of the same delivery
+        // batch may still be queued behind us in `lost_handoffs`).
+        let pending = self.lost_handoffs.len();
+        self.submit_buffered(sink, task, None);
+        self.dispatch_buffered(sink);
+        debug_assert_eq!(
+            self.lost_handoffs.len(),
+            pending,
+            "re-dispatch to a live node lost"
+        );
+    }
+
+    /// Terminal give-up for a task whose lost work cannot be re-placed:
+    /// a miss with no response observation (like a firm-deadline abort),
+    /// counted separately as
+    /// [`abandoned`](crate::Metrics::abandoned_globals). Unlike an
+    /// abort, hand-offs of the task already in flight still deliver and
+    /// execute — the give-up decision cannot outrun work on the wire —
+    /// and their completions are swallowed by the `abandoned` check in
+    /// [`SystemModel::on_job_done`]. The caller has already settled the
+    /// lost copy's `outstanding` decrement.
+    fn abandon_task(&mut self, now: f64, slot: usize, task: TaskId, traced: bool) {
+        let entry = &mut self.tasks[slot];
+        debug_assert!(
+            !entry.aborted && !entry.abandoned,
+            "abandon of an already-dead task"
+        );
+        entry.abandoned = true;
+        let outstanding = entry.outstanding;
+        self.metrics.global.record_aborted();
+        self.metrics.abandoned_globals += 1;
+        self.metrics.feedback.observe(true);
+        if traced {
+            self.trace.push(TraceEvent::Aborted { task, time: now });
+        }
+        if outstanding == 0 {
+            self.release_task_slot(slot);
+        }
+    }
+
+    /// The nearest live node at or above `from` (wrapping), `None` when
+    /// the whole fleet is down. Serial runs read the authoritative
+    /// per-node down flags; the sharded manager — whose nodes are lent
+    /// out to the shard workers — asks its own failure-timeline copy,
+    /// which agrees with the workers' copies bit-for-bit.
+    fn pick_live(&mut self, now: f64, from: NodeId) -> Option<NodeId> {
+        let n = self.config.workload.nodes;
+        let serial = !self.nodes.is_empty();
+        for k in 0..n {
+            let i = (from.index() + k) % n;
+            let down = if serial {
+                self.nodes[i].is_down()
+            } else {
+                self.timeline.is_down(i, now)
+            };
+            if !down {
+                return Some(NodeId::new(i as u32));
+            }
+        }
+        None
+    }
+
+    /// [`Event::NodeDown`]: crashes `node`, losing its queued and
+    /// in-service jobs, and books the matching [`Event::NodeUp`].
+    fn handle_node_down(&mut self, ctx: &mut Context<Event>, node: NodeId, up_at: f64) {
+        let now = ctx.now();
+        let mut lost = std::mem::take(&mut self.lost_buf);
+        lost.clear();
+        self.nodes[node.index()].fail(now, &mut lost);
+        for job in lost.drain(..) {
+            self.on_job_lost(ctx, job);
+        }
+        self.lost_buf = lost;
+        ctx.schedule_fast_in(up_at - now.as_f64(), Event::NodeUp { node });
+    }
+
+    /// [`Event::NodeUp`]: the node rejoins with empty queues, and the
+    /// timeline's next outage (if any) is booked.
+    fn handle_node_up(&mut self, ctx: &mut Context<Event>, node: NodeId) {
+        let now = ctx.now();
+        self.nodes[node.index()].recover(now);
+        if let Some((down, up)) = self.timeline.next_outage(node.index()) {
+            ctx.schedule_fast_in(down - now.as_f64(), Event::NodeDown { node, up_at: up });
         }
     }
 
@@ -855,6 +1164,17 @@ impl Simulation for SystemModel {
                     self.schedule_next_local(ctx, node);
                 }
                 self.schedule_next_global(ctx);
+                for i in 0..self.config.workload.nodes {
+                    if let Some((down, up)) = self.timeline.next_outage(i) {
+                        ctx.schedule_fast_in(
+                            down,
+                            Event::NodeDown {
+                                node: NodeId::new(i as u32),
+                                up_at: up,
+                            },
+                        );
+                    }
+                }
                 if warmup_end > 0.0 {
                     ctx.schedule_fast_in(warmup_end, Event::EndWarmup);
                 }
@@ -872,6 +1192,8 @@ impl Simulation for SystemModel {
                 };
                 self.finish_task(task, slot, ctx.now().as_f64());
             }
+            Event::NodeDown { node, up_at } => self.handle_node_down(ctx, node, up_at),
+            Event::NodeUp { node } => self.handle_node_up(ctx, node),
             Event::EndWarmup => {
                 self.metrics.reset();
                 for node in &mut self.nodes {
@@ -1450,5 +1772,161 @@ mod tests {
             gf_miss < ud_miss,
             "GF ({gf_miss:.2}%) should beat UD ({ud_miss:.2}%) for globals"
         );
+    }
+
+    mod churn {
+        use super::*;
+        use crate::failure::{DownInterval, FailureModel};
+
+        fn down(node: usize, from: f64, until: f64) -> DownInterval {
+            DownInterval { node, from, until }
+        }
+
+        #[test]
+        fn empty_scripted_trace_is_bit_identical_to_no_failures() {
+            let run = |failure: FailureModel| {
+                let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+                cfg.failure = failure;
+                let mut e = engine(cfg, 50);
+                e.run_until(SimTime::from(3_000.0));
+                let m = e.model().metrics();
+                (
+                    m.local.completed(),
+                    m.global.completed(),
+                    m.global.response().mean().to_bits(),
+                )
+            };
+            assert_eq!(
+                run(FailureModel::None),
+                run(FailureModel::Scripted { downs: Vec::new() })
+            );
+        }
+
+        #[test]
+        fn scripted_outage_loses_work_and_recovers() {
+            let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+            cfg.failure = FailureModel::Scripted {
+                downs: vec![down(0, 300.0, 600.0), down(2, 450.0, 500.0)],
+            };
+            let mut e = engine(cfg, 51);
+            e.run_until(SimTime::from(3_000.0));
+            let m = e.model().metrics();
+            // Locals kept arriving at the dead hosts and were lost…
+            assert!(m.lost_locals > 10, "lost locals: {}", m.lost_locals);
+            // …global subtasks caught on node 0/2 were lost and re-placed.
+            assert!(m.lost_subtasks > 0, "lost subtasks: {}", m.lost_subtasks);
+            assert!(m.redispatches > 0);
+            assert!(m.redispatches <= m.lost_subtasks);
+            // The fleet heals: tasks keep completing after the outage.
+            assert!(m.global.completed() > 300);
+            assert!(e.model().tasks_in_flight() < 200);
+            // Terminal accounting: every terminal local/global is exactly
+            // one of completion-with-response, abort, loss, abandonment.
+            assert_eq!(
+                m.local.response().count() + m.aborted_locals + m.lost_locals,
+                m.local.completed()
+            );
+            assert_eq!(
+                m.global.response().count() + m.aborted_globals + m.abandoned_globals,
+                m.global.completed()
+            );
+            // Both nodes are back up at the end.
+            assert!(e.model().nodes().iter().all(|n| !n.is_down()));
+        }
+
+        #[test]
+        fn whole_fleet_outage_abandons_tasks() {
+            let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+            let downs = (0..cfg.workload.nodes)
+                .map(|i| down(i, 200.0, 260.0))
+                .collect();
+            cfg.failure = FailureModel::Scripted { downs };
+            let mut e = engine(cfg, 52);
+            e.run_until(SimTime::from(1_500.0));
+            let m = e.model().metrics();
+            // Globals arriving while every node is down have nowhere to
+            // go: their fan-out is lost and the task abandoned.
+            assert!(
+                m.abandoned_globals > 0,
+                "abandoned: {}",
+                m.abandoned_globals
+            );
+            assert!(e.model().tasks_in_flight() < 100);
+            assert_eq!(
+                m.global.response().count() + m.aborted_globals + m.abandoned_globals,
+                m.global.completed()
+            );
+        }
+
+        #[test]
+        fn exponential_churn_keeps_the_model_sound() {
+            let mut cfg = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+            cfg.failure = FailureModel::Exponential {
+                mttf: 400.0,
+                mttr: 60.0,
+            };
+            cfg.network = NetworkModel::Constant { delay: 0.25 };
+            let mut e = engine(cfg, 53);
+            e.run_until(SimTime::from(10_000.0));
+            let m = e.model().metrics();
+            assert!(m.lost_locals > 0);
+            assert!(m.lost_subtasks > 0);
+            assert!(m.redispatches > 0);
+            assert!(m.global.completed() > 500);
+            assert!(e.model().tasks_in_flight() < 200, "slab leak under churn");
+            assert_eq!(
+                m.global.response().count() + m.aborted_globals + m.abandoned_globals,
+                m.global.completed()
+            );
+        }
+
+        #[test]
+        fn redispatched_work_lands_on_surviving_nodes() {
+            // One node down for most of the run: its subtasks must be
+            // served elsewhere, so globals still complete and the dead
+            // node accrues no service time while down.
+            let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+            cfg.failure = FailureModel::Scripted {
+                downs: vec![down(1, 150.0, 4_900.0)],
+            };
+            let mut e = engine(cfg, 54);
+            let horizon = SimTime::from(5_000.0);
+            e.run_until(horizon);
+            let m = e.model().metrics();
+            assert!(m.redispatches > 50, "redispatches: {}", m.redispatches);
+            assert!(m.global.completed() > 500);
+            let utils: Vec<f64> = e
+                .model()
+                .nodes()
+                .iter()
+                .map(|n| n.utilization(horizon))
+                .collect();
+            // Node 1 served ~nothing; its wrap-around neighbour 2 absorbed
+            // the re-dispatched share on top of its own.
+            assert!(utils[1] < 0.10, "dead node utilization {}", utils[1]);
+            assert!(utils[2] > utils[1]);
+        }
+
+        #[test]
+        fn churn_with_abort_tardy_leaks_no_slots() {
+            let mut cfg = SystemConfig::psp_baseline(SdaStrategy::ud_div1());
+            cfg.overload = OverloadPolicy::AbortTardy;
+            cfg.workload.load = 0.9;
+            cfg.network = NetworkModel::Exponential { mean: 0.3 };
+            cfg.failure = FailureModel::Exponential {
+                mttf: 250.0,
+                mttr: 40.0,
+            };
+            let mut e = engine(cfg, 55);
+            e.run_until(SimTime::from(8_000.0));
+            let m = e.model().metrics();
+            assert!(m.aborted_globals > 0);
+            assert!(m.lost_subtasks > 0);
+            assert!(
+                e.model().tasks_in_flight() < 300,
+                "{} tasks in flight under churn + aborts — leak?",
+                e.model().tasks_in_flight()
+            );
+        }
     }
 }

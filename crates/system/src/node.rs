@@ -33,6 +33,9 @@ pub struct Node {
     in_service: Option<InService>,
     /// Monotone count of service starts; see [`Node::service_epoch`].
     service_epoch: u64,
+    /// Whether the node has crashed (see [`Node::fail`]). A down node
+    /// accepts no jobs; hand-offs addressed to it are lost.
+    down: bool,
     utilization: TimeWeighted,
     queue_length: TimeWeighted,
     served: u64,
@@ -47,6 +50,7 @@ impl Node {
             queue: ReadyQueue::new(policy),
             in_service: None,
             service_epoch: 0,
+            down: false,
             utilization: TimeWeighted::new(SimTime::ZERO, 0.0),
             queue_length: TimeWeighted::new(SimTime::ZERO, 0.0),
             served: 0,
@@ -62,6 +66,52 @@ impl Node {
     /// Whether the server is currently serving a job.
     pub fn is_busy(&self) -> bool {
         self.in_service.is_some()
+    }
+
+    /// Whether the node has crashed and not yet been repaired.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Crashes the node at `now`: the in-service job (if any) and every
+    /// queued job are moved into `lost` in service order and their slab
+    /// slots vacated (the freed slots are recycled verbatim on rejoin —
+    /// no slab growth, no leaked slots). The service epoch is bumped so
+    /// the completion event already scheduled for the in-service job can
+    /// never resurrect it, even across a later repair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is already down.
+    pub fn fail(&mut self, now: SimTime, lost: &mut Vec<Job>) {
+        assert!(!self.down, "fail on a node that is already down");
+        self.down = true;
+        if let Some(cur) = self.in_service.take() {
+            self.utilization.update(now, 0.0);
+            lost.push(self.queue.release(cur.slot));
+        }
+        // Stale-completion safety net: the epoch moves even though the
+        // `in_service.is_some()` half of `completion_is_current` already
+        // rejects the orphaned completion.
+        self.service_epoch += 1;
+        self.queue.purge_into(lost);
+        self.queue_length.update(now, 0.0);
+    }
+
+    /// Repairs the node at `now`: it rejoins with an empty queue and an
+    /// idle server (crash semantics — nothing survives the outage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not down.
+    pub fn recover(&mut self, now: SimTime) {
+        assert!(self.down, "recover on a node that is up");
+        debug_assert!(self.in_service.is_none() && self.queue.is_empty());
+        self.down = false;
+        // Both time-weighted stats are already integrating zero; touch
+        // them anyway so the repair instant appears as a sample point.
+        self.utilization.update(now, 0.0);
+        self.queue_length.update(now, 0.0);
     }
 
     /// The job in service, if any.
@@ -149,13 +199,23 @@ impl Node {
         self.queue.len()
     }
 
+    /// Job-slab slots ever grown at this node (occupied + free) — lets
+    /// tests prove crash cancellation recycles slots instead of leaking.
+    pub fn slab_capacity(&self) -> usize {
+        self.queue.slab_capacity()
+    }
+
     /// Jobs completely served since the last reset.
     pub fn served(&self) -> u64 {
         self.served
     }
 
     /// Enqueues a job at `now`.
+    ///
+    /// The caller must route around down nodes ([`Node::is_down`]) — a
+    /// crashed node accepts nothing.
     pub fn enqueue(&mut self, now: SimTime, job: Job) {
+        debug_assert!(!self.down, "enqueue on a down node");
         self.queue.push(job);
         self.queue_length.update(now, self.queue.len() as f64);
     }
@@ -173,6 +233,7 @@ impl Node {
     /// its completion (stamped with the new [`Node::service_epoch`]).
     /// Does nothing when busy or empty.
     pub fn try_start(&mut self, now: SimTime) -> Option<Job> {
+        debug_assert!(!self.down, "try_start on a down node");
         if self.in_service.is_some() {
             return None;
         }
@@ -414,6 +475,67 @@ mod tests {
         n.reset_stats(t(1.0));
         assert_eq!(n.served(), 0);
         assert_eq!(n.utilization(t(2.0)), 0.0);
+    }
+
+    #[test]
+    fn fail_loses_everything_and_recycles_slots() {
+        let mut n = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        n.enqueue(t(0.0), job(9.0, 2.0));
+        n.enqueue(t(0.0), job(3.0, 1.0));
+        n.enqueue(t(0.0), job(5.0, 1.0));
+        n.try_start(t(0.0)); // serves the dl-3 job
+        let epoch = n.service_epoch();
+        assert!(!n.is_down());
+
+        let mut lost = Vec::new();
+        n.fail(t(1.0), &mut lost);
+        assert!(n.is_down());
+        assert!(!n.is_busy());
+        assert_eq!(n.queue_len(), 0);
+        // In-service job first, then the queue in service order.
+        assert_eq!(lost.len(), 3);
+        assert_eq!(lost[0].deadline, 3.0);
+        assert_eq!(lost[1].deadline, 5.0);
+        assert_eq!(lost[2].deadline, 9.0);
+        assert!(
+            !n.completion_is_current(epoch),
+            "the orphaned completion is stale"
+        );
+
+        n.recover(t(4.0));
+        assert!(!n.is_down());
+        // Rejoining reuses the freed slab slots verbatim.
+        n.enqueue(t(4.0), job(7.0, 1.0));
+        n.enqueue(t(4.0), job(8.0, 1.0));
+        n.enqueue(t(4.0), job(9.0, 1.0));
+        assert_eq!(n.slab_capacity(), 3);
+        assert_eq!(n.try_start(t(4.0)).unwrap().deadline, 7.0);
+    }
+
+    #[test]
+    fn fail_on_an_idle_empty_node_loses_nothing() {
+        let mut n = Node::new(NodeId::new(0), Policy::Fcfs);
+        let mut lost = Vec::new();
+        n.fail(t(1.0), &mut lost);
+        assert!(lost.is_empty());
+        n.recover(t(2.0));
+        assert!(!n.is_down());
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_fail_panics() {
+        let mut n = Node::new(NodeId::new(0), Policy::Fcfs);
+        let mut lost = Vec::new();
+        n.fail(t(1.0), &mut lost);
+        n.fail(t(2.0), &mut lost);
+    }
+
+    #[test]
+    #[should_panic(expected = "node that is up")]
+    fn recover_on_an_up_node_panics() {
+        let mut n = Node::new(NodeId::new(0), Policy::Fcfs);
+        n.recover(t(1.0));
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct RunConfig {
     pub duration: f64,
     /// Master seed; every RNG stream derives from it.
     pub seed: u64,
+    /// Seed for the deterministic same-timestamp order permutation
+    /// (see [`sda_sim::Context::set_order_fuzz`]); `0` (the default)
+    /// keeps exact FIFO order. Any non-zero seed is an equally valid
+    /// tie-break, so metrics that survive a set of fuzz seeds do not
+    /// lean on accidental event ordering.
+    #[serde(default)]
+    pub order_fuzz: u64,
 }
 
 impl Default for RunConfig {
@@ -33,6 +40,7 @@ impl Default for RunConfig {
             warmup: 1_000.0,
             duration: 50_000.0,
             seed: 0x5DA_5EED,
+            order_fuzz: 0,
         }
     }
 }
@@ -45,6 +53,7 @@ impl RunConfig {
             warmup: 10_000.0,
             duration: 1_000_000.0,
             seed,
+            order_fuzz: 0,
         }
     }
 
@@ -54,7 +63,68 @@ impl RunConfig {
             warmup: 500.0,
             duration: 10_000.0,
             seed,
+            order_fuzz: 0,
         }
+    }
+}
+
+/// Why a run harness failed.
+///
+/// The serial [`run_once`] only ever fails on configuration
+/// ([`ConfigError`], which it returns directly); the sharded harnesses
+/// can additionally fail at runtime when a cross-shard mailbox
+/// overflows, so they return this richer error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// Invalid workload/system configuration.
+    Config(ConfigError),
+    /// A shard worker overran a fixed-capacity cross-shard mailbox —
+    /// the run is aborted rather than silently dropping events. Raise
+    /// the capacity (or investigate the surge the diagnostics point at).
+    MailboxOverflow {
+        /// The shard whose mailbox overflowed.
+        shard: usize,
+        /// Bound of the synchronization window being processed when the
+        /// overflow occurred.
+        window: f64,
+        /// The mailbox capacity that was exceeded.
+        capacity: usize,
+        /// Which mailbox: `"record"` (shard → manager completions) or
+        /// `"delivery"` (manager → shard hand-offs).
+        kind: &'static str,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Config(e) => write!(f, "{e}"),
+            RunError::MailboxOverflow {
+                shard,
+                window,
+                capacity,
+                kind,
+            } => write!(
+                f,
+                "shard {shard}: {kind} mailbox overflow (capacity {capacity}) \
+                 in synchronization window starting at t={window}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Config(e) => Some(e),
+            RunError::MailboxOverflow { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> Self {
+        RunError::Config(e)
     }
 }
 
@@ -114,6 +184,7 @@ pub fn run_once(config: &SystemConfig, run: &RunConfig) -> Result<RunResult, Con
     let rng = RngFactory::new(run.seed);
     let model = SystemModel::new(config.clone(), &rng)?;
     let mut engine = Engine::new(model);
+    engine.context_mut().set_order_fuzz(run.order_fuzz);
     engine.context_mut().schedule_at(
         SimTime::ZERO,
         Event::Init {
@@ -158,14 +229,16 @@ pub fn run_once(config: &SystemConfig, run: &RunConfig) -> Result<RunResult, Con
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] for invalid workload parameters.
+/// Returns [`RunError::Config`] for invalid workload parameters, and
+/// [`RunError::MailboxOverflow`] if a cross-shard mailbox overruns its
+/// capacity at runtime.
 pub fn run_once_sharded(
     config: &SystemConfig,
     run: &RunConfig,
     shards: usize,
-) -> Result<RunResult, ConfigError> {
+) -> Result<RunResult, RunError> {
     if shards <= 1 || config.network.min_hop_delay() <= 0.0 {
-        return run_once(config, run);
+        return Ok(run_once(config, run)?);
     }
     crate::shard::run_sharded(config, run, shards)
 }
@@ -191,6 +264,9 @@ pub struct ReplicatedResult {
     /// [`NetworkModel::Zero`](crate::NetworkModel::Zero), where no
     /// transit is observed).
     pub transit: Replications,
+    /// Work lost to node failures per replication: lost local tasks
+    /// plus lost global-subtask copies (0 with failures disabled).
+    pub lost: Replications,
     /// The individual runs, for deeper inspection.
     pub runs: Vec<RunResult>,
 }
@@ -307,8 +383,8 @@ pub fn run_replications_sharded(
     base: &RunConfig,
     replications: usize,
     shards: usize,
-) -> Result<ReplicatedResult, ConfigError> {
-    let mut runs: Vec<Option<Result<RunResult, ConfigError>>> = Vec::with_capacity(replications);
+) -> Result<ReplicatedResult, RunError> {
+    let mut runs: Vec<Option<Result<RunResult, RunError>>> = Vec::with_capacity(replications);
     for r in 0..replications {
         let run_cfg = RunConfig {
             seed: replication_seed(base.seed, r),
@@ -320,10 +396,10 @@ pub fn run_replications_sharded(
 }
 
 /// Folds per-replication results in replication-index order, so the
-/// aggregate statistics are independent of completion order.
-fn fold_runs(
-    runs: Vec<Option<Result<RunResult, ConfigError>>>,
-) -> Result<ReplicatedResult, ConfigError> {
+/// aggregate statistics are independent of completion order. Generic
+/// over the error type: the serial harnesses fold [`ConfigError`]s, the
+/// sharded ones [`RunError`]s.
+fn fold_runs<E>(runs: Vec<Option<Result<RunResult, E>>>) -> Result<ReplicatedResult, E> {
     let mut result = ReplicatedResult {
         local_miss_pct: Replications::new(),
         global_miss_pct: Replications::new(),
@@ -332,6 +408,7 @@ fn fold_runs(
         global_response: Replications::new(),
         utilization: Replications::new(),
         transit: Replications::new(),
+        lost: Replications::new(),
         runs: Vec::with_capacity(runs.len()),
     };
     for run in runs {
@@ -351,6 +428,9 @@ fn fold_runs(
             .add(run.metrics.global.response().mean());
         result.utilization.add(run.mean_utilization());
         result.transit.add(run.metrics.transit.mean());
+        result
+            .lost
+            .add((run.metrics.lost_locals + run.metrics.lost_subtasks) as f64);
         result.runs.push(run);
     }
     Ok(result)
@@ -396,6 +476,7 @@ mod tests {
             warmup: 200.0,
             duration: 2_500.0,
             seed: 11,
+            order_fuzz: 0,
         };
         let serial = run_replications_with_threads(&cfg, &base, 4, 1).unwrap();
         let par2 = run_replications_with_threads(&cfg, &base, 4, 2).unwrap();

@@ -67,22 +67,24 @@
 
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use sda_core::{NodeId, Submission, TaskId};
 use sda_sched::Job;
 use sda_sim::mailbox::Mailbox;
 use sda_sim::rng::RngFactory;
 use sda_sim::{EventQueue, SimTime};
-use sda_workload::ConfigError;
 
 use crate::config::{OverloadPolicy, SystemConfig};
+use crate::failure::FailureTimeline;
 use crate::model::{Event, EventSink, SystemModel};
 use crate::node::Node;
-use crate::runner::{RunConfig, RunResult};
+use crate::runner::{RunConfig, RunError, RunResult};
 
 /// Fixed capacity of every cross-shard mailbox (deliveries in, records
 /// out). Sized with orders-of-magnitude headroom over any realistic
-/// per-window volume; overflow is a sizing bug and panics.
+/// per-window volume; an overflow aborts the run with a structured
+/// [`RunError::MailboxOverflow`] rather than silently dropping events.
 const MAILBOX_CAPACITY: usize = 1 << 14;
 
 /// A reusable spin barrier for the bulk-synchronous window protocol
@@ -134,6 +136,12 @@ struct Shared {
     bound_bits: AtomicU64,
     inclusive: AtomicBool,
     done: AtomicBool,
+    /// Set (with `error` filled) by whichever side first hits a mailbox
+    /// overflow; the manager then shuts the window protocol down cleanly
+    /// and surfaces the error instead of panicking in a worker thread.
+    failed: AtomicBool,
+    /// First overflow's diagnostics; later ones are dropped.
+    error: Mutex<Option<RunError>>,
 }
 
 impl Shared {
@@ -143,7 +151,17 @@ impl Shared {
             bound_bits: AtomicU64::new(0),
             inclusive: AtomicBool::new(false),
             done: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
         }
+    }
+
+    fn fail(&self, err: RunError) {
+        let mut slot = self.error.lock().expect("no poisoned lock");
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        self.failed.store(true, Ordering::Release);
     }
 
     fn publish(&self, bound: f64, inclusive: bool) {
@@ -180,16 +198,29 @@ enum CalEntry {
     Handoff { task: TaskId, sub: Submission },
 }
 
-/// One completion or admission discard reported shard → manager. `seq`
-/// is a per-node monotone counter: the `(time, node, seq)` sort key
-/// reconstructs a total order that is independent of the shard count.
+/// What a shard → manager record reports about its job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecordKind {
+    /// Service completion.
+    Done,
+    /// Admission discard (firm-deadline policy).
+    Discard,
+    /// Lost to a node failure: the job was queued/in service on a
+    /// crashing node, or was delivered to a node that was down. The
+    /// manager's merge runs the loss accounting and the re-dispatch.
+    Lost,
+}
+
+/// One completion, admission discard or failure loss reported
+/// shard → manager. `seq` is a per-node monotone counter: the
+/// `(time, node, seq)` sort key reconstructs a total order that is
+/// independent of the shard count.
 #[derive(Debug, Clone, Copy)]
 struct Record {
     time: f64,
     node: NodeId,
     seq: u32,
-    /// `true` = service completion, `false` = admission discard.
-    done: bool,
+    kind: RecordKind,
     job: Job,
 }
 
@@ -200,6 +231,12 @@ enum ShardEvent {
     Deliver { node: NodeId, job: Job },
     /// Mirrors [`Event::ServiceComplete`] (same epoch staleness check).
     Complete { node: NodeId, epoch: u64 },
+    /// Mirrors [`Event::NodeDown`]: failure events are node-local, so
+    /// each worker self-schedules its own nodes' outages from its
+    /// failure-timeline copy — no cross-shard coordination needed.
+    Down { node: NodeId, up_at: f64 },
+    /// Mirrors [`Event::NodeUp`].
+    Up { node: NodeId },
     /// Mirrors the node-stat half of [`Event::EndWarmup`]. Scheduled at
     /// queue creation so its FIFO sequence is the lowest possible and it
     /// pops ahead of any same-instant event, exactly like the serial
@@ -237,7 +274,11 @@ impl EventSink for ManagerSink<'_> {
             Event::GlobalArrival | Event::ResultReturn { .. } | Event::EndWarmup => {
                 self.queue.schedule_fast(at, event);
             }
-            Event::Init { .. } | Event::LocalArrival { .. } | Event::ServiceComplete { .. } => {
+            Event::Init { .. }
+            | Event::LocalArrival { .. }
+            | Event::ServiceComplete { .. }
+            | Event::NodeDown { .. }
+            | Event::NodeUp { .. } => {
                 unreachable!("node-side event {event:?} scheduled on the manager sink");
             }
         }
@@ -308,16 +349,24 @@ impl Sequencer {
 /// One shard: a contiguous block of nodes, their private event queue,
 /// and the per-node record sequence counters.
 struct ShardWorker {
+    /// This shard's index (for overflow diagnostics).
+    shard: usize,
     /// Global index of `nodes[0]`.
     base: usize,
     nodes: Vec<Node>,
     queue: EventQueue<ShardEvent>,
+    /// This worker's failure-timeline copy; only its own nodes' streams
+    /// are ever consumed (via `next_outage`), so all copies agree
+    /// bit-for-bit with the serial engine's single timeline.
+    timeline: FailureTimeline,
     /// Per-node monotone record sequence (parallel to `nodes`).
     rec_seq: Vec<u32>,
     /// Reusable mailbox drain buffer.
     scratch: Vec<Handoff>,
     /// Reusable admission-discard buffer (mirrors the model's).
     discard_buf: Vec<Job>,
+    /// Reusable crash-loss buffer (mirrors the model's).
+    lost_buf: Vec<Job>,
     preemptive: bool,
     overload: OverloadPolicy,
     /// Node-side events handled, *excluding* the per-shard `EndWarmup`
@@ -339,8 +388,18 @@ impl ShardWorker {
             if shared.done.load(Ordering::Acquire) {
                 break;
             }
-            let (bound, inclusive) = shared.window();
-            self.run_window(bound, inclusive, inbox, records);
+            if shared.failed.load(Ordering::Acquire) {
+                // Another participant overflowed: stop doing real work
+                // (but keep the inbox drained and the barriers manned)
+                // until the manager shuts the protocol down.
+                inbox.drain_into(&mut self.scratch);
+                self.scratch.clear();
+            } else {
+                let (bound, inclusive) = shared.window();
+                if let Err(err) = self.run_window(bound, inclusive, inbox, records) {
+                    shared.fail(err);
+                }
+            }
             shared.barrier.wait();
         }
         self
@@ -352,7 +411,7 @@ impl ShardWorker {
         inclusive: bool,
         inbox: &Mailbox<Handoff>,
         records: &Mailbox<Record>,
-    ) {
+    ) -> Result<(), RunError> {
         inbox.drain_into(&mut self.scratch);
         for i in 0..self.scratch.len() {
             let h = self.scratch[i];
@@ -378,8 +437,26 @@ impl ShardWorker {
                 ShardEvent::Deliver { node, job } => {
                     self.events += 1;
                     let li = node.index() - self.base;
+                    if self.nodes[li].is_down() {
+                        // Delivery to a dead node: lost in flight. The
+                        // manager pre-filters these against its timeline
+                        // at forward time, so this only fires on exact
+                        // ties between a delivery and an outage edge
+                        // where the event orders disagree (measure-zero
+                        // under continuous draws); the record path keeps
+                        // the accounting sound even then.
+                        self.push_record(
+                            records,
+                            bound,
+                            now_t.as_f64(),
+                            li,
+                            RecordKind::Lost,
+                            job,
+                        )?;
+                        continue;
+                    }
                     self.nodes[li].enqueue(now_t, job);
-                    self.dispatch(now_t, li, records);
+                    self.dispatch(now_t, bound, li, records)?;
                 }
                 ShardEvent::Complete { node, epoch } => {
                     // Counted even when stale, like the serial engine.
@@ -389,8 +466,41 @@ impl ShardWorker {
                         continue;
                     }
                     let job = self.nodes[li].finish_service(now_t);
-                    self.push_record(records, now_t.as_f64(), li, true, job);
-                    self.dispatch(now_t, li, records);
+                    self.push_record(records, bound, now_t.as_f64(), li, RecordKind::Done, job)?;
+                    self.dispatch(now_t, bound, li, records)?;
+                }
+                ShardEvent::Down { node, up_at } => {
+                    self.events += 1;
+                    let li = node.index() - self.base;
+                    self.lost_buf.clear();
+                    self.nodes[li].fail(now_t, &mut self.lost_buf);
+                    // The loss order (in-service first, then queue
+                    // service order) matches the serial `fail`; the
+                    // per-node `seq` preserves it through the merge sort.
+                    for i in 0..self.lost_buf.len() {
+                        let job = self.lost_buf[i];
+                        self.push_record(
+                            records,
+                            bound,
+                            now_t.as_f64(),
+                            li,
+                            RecordKind::Lost,
+                            job,
+                        )?;
+                    }
+                    self.queue
+                        .schedule_fast(SimTime::new(up_at), ShardEvent::Up { node });
+                }
+                ShardEvent::Up { node } => {
+                    self.events += 1;
+                    let li = node.index() - self.base;
+                    self.nodes[li].recover(now_t);
+                    if let Some((down, up)) = self.timeline.next_outage(node.index()) {
+                        self.queue.schedule_fast(
+                            SimTime::new(down),
+                            ShardEvent::Down { node, up_at: up },
+                        );
+                    }
                 }
                 ShardEvent::EndWarmup => {
                     for node in &mut self.nodes {
@@ -399,13 +509,20 @@ impl ShardWorker {
                 }
             }
         }
+        Ok(())
     }
 
     /// The node-side half of [`SystemModel`]'s dispatch: preemption
     /// check, admission policy, service start. Discards and completions
     /// become records; their metrics/precedence half runs manager-side
     /// at the merge.
-    fn dispatch(&mut self, now_t: SimTime, li: usize, records: &Mailbox<Record>) {
+    fn dispatch(
+        &mut self,
+        now_t: SimTime,
+        bound: f64,
+        li: usize,
+        records: &Mailbox<Record>,
+    ) -> Result<(), RunError> {
         let now = now_t.as_f64();
         if self.preemptive && self.nodes[li].should_preempt() {
             self.nodes[li].preempt_requeue(now_t);
@@ -421,7 +538,7 @@ impl ShardWorker {
                 );
                 for i in 0..self.discard_buf.len() {
                     let j = self.discard_buf[i];
-                    self.push_record(records, now, li, false, j);
+                    self.push_record(records, bound, now, li, RecordKind::Discard, j)?;
                 }
                 started
             }
@@ -432,30 +549,37 @@ impl ShardWorker {
             self.queue
                 .schedule_fast(now_t + job.service, ShardEvent::Complete { node, epoch });
         }
+        Ok(())
     }
 
     fn push_record(
         &mut self,
         records: &Mailbox<Record>,
+        bound: f64,
         time: f64,
         li: usize,
-        done: bool,
+        kind: RecordKind,
         job: Job,
-    ) {
+    ) -> Result<(), RunError> {
         let seq = self.rec_seq[li];
         self.rec_seq[li] += 1;
         let record = Record {
             time,
             node: self.nodes[li].id(),
             seq,
-            done,
+            kind,
             job,
         };
-        assert!(
-            records.push(record),
-            "record mailbox overflow (capacity {})",
-            records.capacity()
-        );
+        if records.push(record) {
+            Ok(())
+        } else {
+            Err(RunError::MailboxOverflow {
+                shard: self.shard,
+                window: bound,
+                capacity: records.capacity(),
+                kind: "record",
+            })
+        }
     }
 }
 
@@ -494,15 +618,28 @@ fn merge_window(
                 "record at {} escaped its window (bound {bound})",
                 r.time
             );
-            if r.done {
-                let mut sink = ManagerSink {
-                    now: r.time,
-                    calendar,
-                    queue: mgr_queue,
-                };
-                model.on_job_done(&mut sink, r.job, r.node);
-            } else {
-                model.on_job_discarded(r.time, r.job);
+            match r.kind {
+                RecordKind::Done => {
+                    let mut sink = ManagerSink {
+                        now: r.time,
+                        calendar,
+                        queue: mgr_queue,
+                    };
+                    model.on_job_done(&mut sink, r.job, r.node);
+                }
+                RecordKind::Discard => model.on_job_discarded(r.time, r.job),
+                RecordKind::Lost => {
+                    // Loss accounting + re-dispatch: the replacement
+                    // hand-off goes back out through the calendar with a
+                    // full hop of transit (≥ the lookahead), so the
+                    // window protocol stays sound.
+                    let mut sink = ManagerSink {
+                        now: r.time,
+                        calendar,
+                        queue: mgr_queue,
+                    };
+                    model.on_job_lost(&mut sink, r.job);
+                }
             }
         } else {
             let et = evt_time.expect("checked above");
@@ -526,6 +663,23 @@ fn merge_window(
                     None => debug_assert!(false, "result return for unknown task {task}"),
                 },
                 Event::EndWarmup => model.reset_metrics(),
+                Event::SubtaskArrive { task, sub } => {
+                    // A hand-off `drain_calendar` withheld because its
+                    // destination is down at `et`: the loss is processed
+                    // here, at its logical time. The task may have been
+                    // aborted by an earlier event of this window — then
+                    // the serial engine drops the arrival before looking
+                    // at the node, so mirror that order.
+                    if !model.handoff_aborted(task) {
+                        let mut sink = ManagerSink {
+                            now: et,
+                            calendar,
+                            queue: mgr_queue,
+                        };
+                        let lost = model.handoff_lost(&mut sink, task, sub);
+                        debug_assert!(lost, "withheld hand-off not lost at delivery");
+                    }
+                }
                 other => unreachable!("manager queue held node event {other:?}"),
             }
         }
@@ -537,19 +691,29 @@ fn merge_window(
 /// Forwards every calendar entry up to `limit` to its shard's mailbox,
 /// building hand-off jobs at their delivery time (exactly the serial
 /// `deliver` construction). Aborted tasks' hand-offs are dropped here
-/// with their accounting settled, mirroring the serial engine's
-/// drop-on-arrival; the drop is counted so event totals stay comparable.
-/// Returns the number of deliveries pushed (the final window repeats
-/// until this hits zero).
+/// with their accounting settled (and counted as drops so event totals
+/// stay comparable), mirroring the serial engine's drop-on-arrival.
+/// Hand-offs addressed to a node that the failure timeline says will be
+/// down at delivery are *withheld* from the worker and re-queued on
+/// `mgr_queue` at their delivery time: the loss accounting and
+/// re-dispatch must not run early, at drain time, because they mutate
+/// manager state (metrics, the warmup reset, adaptive feedback) that
+/// the window's earlier events have not yet touched — `merge_window`
+/// processes them at their logical instant instead. Returns the number
+/// of deliveries pushed (the final window repeats until this hits
+/// zero), or the overflow diagnostics if a shard's delivery mailbox ran
+/// out of capacity.
+#[allow(clippy::too_many_arguments)] // the window protocol's full state
 fn drain_calendar(
     model: &mut SystemModel,
     calendar: &mut EventQueue<CalEntry>,
+    mgr_queue: &mut EventQueue<Event>,
     limit: f64,
     inclusive: bool,
     mailboxes: &[Mailbox<Handoff>],
     shard_of: &[u32],
     dropped: &mut u64,
-) -> u64 {
+) -> Result<u64, RunError> {
     let mut pushed = 0u64;
     while let Some(at) = calendar.peek_time() {
         let t = at.as_f64();
@@ -565,6 +729,19 @@ fn drain_calendar(
                     *dropped += 1;
                     continue;
                 }
+                if model.handoff_doomed(sub.node, t) {
+                    // The destination will be down at delivery: withhold
+                    // the hand-off from the worker, but *process* the
+                    // loss (accounting + re-dispatch) at its logical
+                    // time — `merge_window` pops this event at `t`,
+                    // interleaved with the window's records and manager
+                    // events in time order. Same-instant losses keep
+                    // their calendar order through the queue's FIFO
+                    // tie-break, which is the serial engine's
+                    // same-instant processing order.
+                    mgr_queue.schedule_fast(at, Event::SubtaskArrive { task, sub });
+                    continue;
+                }
                 let job = Job::global(
                     task,
                     sub.subtask,
@@ -578,14 +755,17 @@ fn drain_calendar(
             }
         };
         let shard = shard_of[node.index()] as usize;
-        assert!(
-            mailboxes[shard].push(Handoff { time: t, node, job }),
-            "delivery mailbox overflow (capacity {})",
-            mailboxes[shard].capacity()
-        );
+        if !mailboxes[shard].push(Handoff { time: t, node, job }) {
+            return Err(RunError::MailboxOverflow {
+                shard,
+                window: limit,
+                capacity: mailboxes[shard].capacity(),
+                kind: "delivery",
+            });
+        }
         pushed += 1;
     }
-    pushed
+    Ok(pushed)
 }
 
 /// Runs the model once with `shards ≥ 2` node shards advancing
@@ -596,7 +776,7 @@ pub(crate) fn run_sharded(
     config: &SystemConfig,
     run: &RunConfig,
     shards: usize,
-) -> Result<RunResult, ConfigError> {
+) -> Result<RunResult, RunError> {
     run_sharded_inner(config, run, shards).map(|(result, _)| result)
 }
 
@@ -606,7 +786,18 @@ fn run_sharded_inner(
     config: &SystemConfig,
     run: &RunConfig,
     shards: usize,
-) -> Result<(RunResult, SystemModel), ConfigError> {
+) -> Result<(RunResult, SystemModel), RunError> {
+    run_sharded_inner_with_capacity(config, run, shards, MAILBOX_CAPACITY)
+}
+
+/// [`run_sharded_inner`] with an explicit mailbox capacity, so overflow
+/// handling can be exercised without generating 2¹⁴ in-flight events.
+fn run_sharded_inner_with_capacity(
+    config: &SystemConfig,
+    run: &RunConfig,
+    shards: usize,
+    mailbox_capacity: usize,
+) -> Result<(RunResult, SystemModel), RunError> {
     let lookahead = config.network.min_hop_delay();
     debug_assert!(
         shards >= 2 && lookahead > 0.0,
@@ -639,17 +830,40 @@ fn run_sharded_inner(
     let mut workers: Vec<ShardWorker> = Vec::with_capacity(shard_count);
     for (s, block) in blocks.into_iter().enumerate() {
         let mut queue = EventQueue::new();
+        if run.order_fuzz != 0 {
+            // Any non-zero seed is a valid same-timestamp permutation;
+            // give each queue its own so shards don't share one.
+            queue.set_order_fuzz(run.order_fuzz.wrapping_add(s as u64 + 2));
+        }
         if run.warmup > 0.0 {
             queue.schedule_fast(SimTime::new(run.warmup), ShardEvent::EndWarmup);
         }
+        // Every worker builds the full fleet's timeline (bit-identical
+        // across copies) but consumes only its own nodes' streams.
+        let mut timeline = FailureTimeline::new(&config.failure, n, &rng);
+        for li in 0..block.len() {
+            let gi = bounds[s] + li;
+            if let Some((down, up)) = timeline.next_outage(gi) {
+                queue.schedule_fast(
+                    SimTime::new(down),
+                    ShardEvent::Down {
+                        node: NodeId::new(gi as u32),
+                        up_at: up,
+                    },
+                );
+            }
+        }
         let len = block.len();
         workers.push(ShardWorker {
+            shard: s,
             base: bounds[s],
             nodes: block,
             queue,
+            timeline,
             rec_seq: vec![0; len],
             scratch: Vec::new(),
             discard_buf: Vec::new(),
+            lost_buf: Vec::new(),
             preemptive: config.preemptive,
             overload: config.overload,
             events: 0,
@@ -659,6 +873,10 @@ fn run_sharded_inner(
     // ---- Manager state; replicate the serial Init exactly. ----
     let mut calendar: EventQueue<CalEntry> = EventQueue::new();
     let mut mgr_queue: EventQueue<Event> = EventQueue::new();
+    if run.order_fuzz != 0 {
+        calendar.set_order_fuzz(run.order_fuzz);
+        mgr_queue.set_order_fuzz(run.order_fuzz.wrapping_add(1));
+    }
     let mut sequencer = Sequencer::new(&mut model, n);
     {
         let mut sink = ManagerSink {
@@ -673,10 +891,10 @@ fn run_sharded_inner(
     }
 
     let mailboxes: Vec<Mailbox<Handoff>> = (0..shard_count)
-        .map(|_| Mailbox::with_capacity(MAILBOX_CAPACITY))
+        .map(|_| Mailbox::with_capacity(mailbox_capacity))
         .collect();
     let recboxes: Vec<Mailbox<Record>> = (0..shard_count)
-        .map(|_| Mailbox::with_capacity(MAILBOX_CAPACITY))
+        .map(|_| Mailbox::with_capacity(mailbox_capacity))
         .collect();
     let shared = Shared::new(shard_count + 1);
 
@@ -691,15 +909,18 @@ fn run_sharded_inner(
     let mut bound = lookahead.min(horizon);
     let mut inclusive = bound >= horizon;
     sequencer.generate(&mut model, &mut calendar, bound, inclusive);
+    // No workers are running yet, so a priming overflow returns
+    // directly.
     drain_calendar(
         &mut model,
         &mut calendar,
+        &mut mgr_queue,
         bound,
         inclusive,
         &mailboxes,
         &shard_of,
         &mut dropped,
-    );
+    )?;
     shared.publish(bound, inclusive);
 
     let mut finished: Vec<ShardWorker> = Vec::with_capacity(shard_count);
@@ -714,6 +935,13 @@ fn run_sharded_inner(
         loop {
             shared.barrier.wait(); // release shards into the window
             shared.barrier.wait(); // window done; records are in
+            if shared.failed.load(Ordering::Acquire) {
+                // A worker overflowed its record mailbox: stop cleanly.
+                // The error itself is picked up after the scope ends.
+                shared.done.store(true, Ordering::Release);
+                shared.barrier.wait(); // release shards so they observe `done`
+                break;
+            }
             rec_buf.clear();
             for recbox in &recboxes {
                 recbox.drain_into(&mut rec_buf);
@@ -740,13 +968,29 @@ fn run_sharded_inner(
             let pushed = drain_calendar(
                 &mut model,
                 &mut calendar,
+                &mut mgr_queue,
                 next_bound,
                 next_inclusive,
                 &mailboxes,
                 &shard_of,
                 &mut dropped,
             );
-            if inclusive && pushed == 0 {
+            let pushed = match pushed {
+                Ok(pushed) => pushed,
+                Err(err) => {
+                    shared.fail(err);
+                    shared.done.store(true, Ordering::Release);
+                    shared.barrier.wait(); // release shards so they observe `done`
+                    break;
+                }
+            };
+            // A withheld (doomed) hand-off pushes nothing but leaves a
+            // loss event on the manager queue at or before the horizon;
+            // the next merge must still process it (and its re-dispatch
+            // may put a delivery back in the calendar), so the final
+            // window is only done when both are empty.
+            let mgr_pending = mgr_queue.peek_time().is_some_and(|t| t.as_f64() <= horizon);
+            if inclusive && pushed == 0 && !mgr_pending {
                 shared.done.store(true, Ordering::Release);
                 shared.barrier.wait(); // release shards so they observe `done`
                 break;
@@ -759,6 +1003,9 @@ fn run_sharded_inner(
             finished.push(handle.join().expect("shard worker panicked"));
         }
     });
+    if let Some(err) = shared.error.lock().expect("no poisoned lock").take() {
+        return Err(err);
+    }
 
     // ---- Reassemble and report, exactly like the serial harness. ----
     let mut shard_events: u64 = 0;
@@ -807,6 +1054,7 @@ mod tests {
             warmup: 200.0,
             duration: 3_000.0,
             seed: 0x51AD,
+            order_fuzz: 0,
         };
         let serial = run_once(&cfg, &run).unwrap();
         let sharded = run_sharded(&cfg, &run, 2).unwrap();
@@ -820,6 +1068,7 @@ mod tests {
             warmup: 150.0,
             duration: 2_000.0,
             seed: 0xC047,
+            order_fuzz: 0,
         };
         let two = run_sharded(&cfg, &run, 2).unwrap();
         let three = run_sharded(&cfg, &run, 3).unwrap();
@@ -857,6 +1106,7 @@ mod tests {
             warmup: 100.0,
             duration: 2_500.0,
             seed: 0xF1FE,
+            order_fuzz: 0,
         };
         let (result, model) = run_sharded_inner(&cfg, &run, 3).unwrap();
         assert!(
@@ -873,5 +1123,226 @@ mod tests {
         // semantics: the drop-at-drain decisions are manager-side.
         let again = run_sharded(&cfg, &run, 2).unwrap();
         assert_eq!(result, again, "AbortTardy must stay shard-count invariant");
+    }
+
+    #[test]
+    fn scripted_churn_matches_serial_across_shard_counts() {
+        use crate::failure::{DownInterval, FailureModel};
+        let mut cfg = networked(SdaStrategy::eqf_ud(), 1.0);
+        cfg.failure = FailureModel::Scripted {
+            downs: vec![
+                DownInterval {
+                    node: 0,
+                    from: 300.0,
+                    until: 700.0,
+                },
+                DownInterval {
+                    node: 3,
+                    from: 500.0,
+                    until: 650.0,
+                },
+                DownInterval {
+                    node: 0,
+                    from: 1_400.0,
+                    until: 1_500.0,
+                },
+            ],
+        };
+        let run = RunConfig {
+            warmup: 200.0,
+            duration: 2_500.0,
+            seed: 0xC42,
+            order_fuzz: 0,
+        };
+        let serial = run_once(&cfg, &run).unwrap();
+        assert!(
+            serial.metrics.lost_subtasks > 0,
+            "scenario must lose in-flight subtasks for the test to bite"
+        );
+        for shards in [2, 3, 6] {
+            let sharded = run_sharded(&cfg, &run, shards).unwrap();
+            assert_eq!(
+                serial, sharded,
+                "{shards}-shard churn run must match serial"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_churn_matches_serial_across_shard_counts() {
+        use crate::failure::FailureModel;
+        let mut cfg = networked(SdaStrategy::ud_div1(), 0.5);
+        cfg.failure = FailureModel::Exponential {
+            mttf: 400.0,
+            mttr: 60.0,
+        };
+        let run = RunConfig {
+            warmup: 150.0,
+            duration: 2_000.0,
+            seed: 0xFA11,
+            order_fuzz: 0,
+        };
+        let serial = run_once(&cfg, &run).unwrap();
+        assert!(
+            serial.metrics.lost_locals > 0,
+            "random outages must hit some queued local work"
+        );
+        for shards in [2, 3, 6] {
+            let sharded = run_sharded(&cfg, &run, shards).unwrap();
+            assert_eq!(
+                serial, sharded,
+                "{shards}-shard exponential-churn run must match serial"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_loss_at_the_warmup_boundary_matches_serial() {
+        // Regression: a hand-off lost just after the warmup boundary
+        // must be counted identically in both engines. The sharded
+        // drain detects the doomed delivery at forward time; if the
+        // loss were *processed* then too, the `EndWarmup` metrics reset
+        // — which the window merge has not yet reached — would wipe a
+        // loss the serial engine counts (this seed lineage, through the
+        // replication harness, produces exactly that straddle; it is
+        // the `ext_churn --smoke` cell that first caught the bug).
+        use crate::failure::FailureModel;
+        use crate::runner::{run_replications_sharded, run_replications_with_threads};
+        let mut cfg = SystemConfig::combined_baseline(SdaStrategy::ud_div1());
+        cfg.workload.load = 0.6;
+        cfg.network = NetworkModel::Constant { delay: 0.5 };
+        cfg.failure = FailureModel::Exponential {
+            mttf: 400.0,
+            mttr: 40.0,
+        };
+        let run = RunConfig {
+            warmup: 200.0,
+            duration: 1_500.0,
+            seed: 0x5DA_0003,
+            order_fuzz: 0,
+        };
+        let serial = run_replications_with_threads(&cfg, &run, 1, 1).unwrap();
+        assert!(serial.runs[0].metrics.lost_subtasks > 0);
+        for shards in [2, 3, 6] {
+            let sharded = run_replications_sharded(&cfg, &run, 1, shards).unwrap();
+            assert_eq!(
+                serial.runs, sharded.runs,
+                "{shards}-shard replication must match serial"
+            );
+        }
+    }
+
+    #[test]
+    fn churn_with_aborttardy_leaks_no_slots_sharded() {
+        use crate::failure::FailureModel;
+        let mut cfg = networked(SdaStrategy::ud_ud(), 0.5);
+        cfg.overload = OverloadPolicy::AbortTardy;
+        cfg.workload.load = 0.9;
+        cfg.failure = FailureModel::Exponential {
+            mttf: 250.0,
+            mttr: 40.0,
+        };
+        let run = RunConfig {
+            warmup: 100.0,
+            duration: 2_500.0,
+            seed: 0x10EAF,
+            order_fuzz: 0,
+        };
+        let (result, model) = run_sharded_inner(&cfg, &run, 3).unwrap();
+        assert!(result.metrics.aborted_globals > 0);
+        assert!(result.metrics.lost_subtasks > 0);
+        let in_flight = model.tasks_in_flight();
+        assert!(
+            in_flight < 200,
+            "{in_flight} tasks still in flight — abort+churn leaked slots?"
+        );
+        // Lost work is terminal: it must never enter the response-time
+        // sample, so observed responses + terminal outcomes add up.
+        let m = &result.metrics;
+        assert_eq!(
+            m.global.response().count() + m.aborted_globals + m.abandoned_globals,
+            m.global.completed(),
+            "every global task resolves exactly once"
+        );
+        assert_eq!(
+            m.local.response().count() + m.aborted_locals + m.lost_locals,
+            m.local.completed(),
+            "every local job resolves exactly once"
+        );
+    }
+
+    #[test]
+    fn tiny_mailbox_overflows_gracefully() {
+        let cfg = networked(SdaStrategy::eqf_ud(), 0.5);
+        let run = RunConfig {
+            warmup: 100.0,
+            duration: 2_000.0,
+            seed: 0x0F10,
+            order_fuzz: 0,
+        };
+        match run_sharded_inner_with_capacity(&cfg, &run, 2, 4) {
+            Err(RunError::MailboxOverflow {
+                shard,
+                window,
+                capacity,
+                kind,
+            }) => {
+                assert!(shard < 2, "shard index out of range: {shard}");
+                assert_eq!(capacity, 4);
+                assert!(window.is_finite() && window >= 0.0);
+                assert!(kind == "record" || kind == "delivery", "kind = {kind}");
+            }
+            Err(other) => panic!("expected MailboxOverflow, got {other}"),
+            Ok(_) => panic!("capacity-4 mailboxes must overflow at baseline load"),
+        }
+    }
+
+    #[test]
+    fn order_fuzz_changes_tie_breaks_but_not_invariants() {
+        // A seeded same-timestamp permutation must not break conservation:
+        // across ≥8 fuzz seeds every job still resolves exactly once and
+        // no task slots leak, with churn active the whole run.
+        use crate::failure::{DownInterval, FailureModel};
+        let mut cfg = networked(SdaStrategy::eqf_ud(), 1.0);
+        cfg.failure = FailureModel::Scripted {
+            downs: vec![
+                DownInterval {
+                    node: 1,
+                    from: 250.0,
+                    until: 600.0,
+                },
+                DownInterval {
+                    node: 4,
+                    from: 900.0,
+                    until: 1_100.0,
+                },
+            ],
+        };
+        for fuzz in 1..=8u64 {
+            let run = RunConfig {
+                warmup: 150.0,
+                duration: 1_800.0,
+                seed: 0xF022,
+                order_fuzz: fuzz * 0x9E37,
+            };
+            let serial = run_once(&cfg, &run).unwrap();
+            let (sharded, model) = run_sharded_inner(&cfg, &run, 3).unwrap();
+            for (label, m) in [("serial", &serial.metrics), ("sharded", &sharded.metrics)] {
+                assert_eq!(
+                    m.global.response().count() + m.aborted_globals + m.abandoned_globals,
+                    m.global.completed(),
+                    "fuzz {fuzz} {label}: global accounting broke"
+                );
+                assert_eq!(
+                    m.local.response().count() + m.aborted_locals + m.lost_locals,
+                    m.local.completed(),
+                    "fuzz {fuzz} {label}: local accounting broke"
+                );
+            }
+            assert!(
+                model.tasks_in_flight() < 100,
+                "fuzz {fuzz}: leaked task slots"
+            );
+        }
     }
 }

@@ -3,9 +3,10 @@
 
 use proptest::prelude::*;
 
-use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
-use sda_sched::Policy;
-use sda_system::{run_once, OverloadPolicy, RunConfig, SystemConfig};
+use sda_core::{NodeId, ParallelStrategy, SdaStrategy, SerialStrategy, TaskId};
+use sda_sched::{Job, Policy};
+use sda_sim::SimTime;
+use sda_system::{run_once, FailureModel, Node, OverloadPolicy, RunConfig, SystemConfig};
 use sda_workload::GlobalShape;
 
 fn configs() -> impl Strategy<Value = SystemConfig> {
@@ -64,6 +65,7 @@ proptest! {
             warmup: 200.0,
             duration: 3_000.0,
             seed,
+            order_fuzz: 0,
         };
         let result = run_once(&cfg, &run).unwrap();
         let m = &result.metrics;
@@ -102,5 +104,88 @@ proptest! {
         // The run is reproducible.
         let again = run_once(&cfg, &run).unwrap();
         prop_assert_eq!(&again, &result);
+    }
+
+    /// The identities survive fleet churn: exponential crash/repair on
+    /// top of any configuration, with every lost job counted exactly
+    /// once and the run still bit-reproducible.
+    #[test]
+    fn accounting_survives_churn(
+        cfg in configs(),
+        seed in any::<u64>(),
+        mttf in 150.0f64..800.0,
+        mttr in 10.0f64..120.0,
+    ) {
+        let mut cfg = cfg;
+        cfg.failure = FailureModel::Exponential { mttf, mttr };
+        let run = RunConfig {
+            warmup: 200.0,
+            duration: 3_000.0,
+            seed,
+            order_fuzz: 0,
+        };
+        let result = run_once(&cfg, &run).unwrap();
+        let m = &result.metrics;
+        // Every job resolves exactly once: response observation, abort,
+        // loss or abandonment — never two of them.
+        prop_assert_eq!(
+            m.global.response().count() as u64 + m.aborted_globals + m.abandoned_globals,
+            m.global.completed()
+        );
+        prop_assert_eq!(
+            m.local.response().count() as u64 + m.aborted_locals + m.lost_locals,
+            m.local.completed()
+        );
+        // Re-dispatch only ever reacts to a lost subtask copy (copies
+        // lost on already-aborted or abandoned tasks react to nothing).
+        prop_assert!(m.redispatches <= m.lost_subtasks);
+        for &u in &result.node_utilization {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        }
+        let again = run_once(&cfg, &run).unwrap();
+        prop_assert_eq!(&again, &result);
+    }
+
+    /// A node crash is a mass cancellation: every queued job plus the
+    /// in-service one comes back exactly once in service order, the
+    /// service epoch bumps (staling any in-flight completion handle),
+    /// and the vacated slab slots are reused verbatim after recovery.
+    #[test]
+    fn node_crash_cancels_everything_and_leaks_nothing(
+        deadlines in prop::collection::vec(1.0f64..100.0, 1..40),
+        start_one in any::<bool>(),
+    ) {
+        let t0 = SimTime::from(0.0);
+        let mut node = Node::new(NodeId::new(0), Policy::EarliestDeadlineFirst);
+        for (i, &dl) in deadlines.iter().enumerate() {
+            node.enqueue(t0, Job::local(TaskId::new(i as u64), 0.0, 1.0, dl));
+        }
+        let mut expected = deadlines.len();
+        if start_one {
+            prop_assert!(node.try_start(t0).is_some());
+            expected = deadlines.len(); // one moved from queue to service
+        }
+        let capacity = node.slab_capacity();
+        let epoch = node.service_epoch();
+        let mut lost = Vec::new();
+        node.fail(SimTime::from(1.0), &mut lost);
+        prop_assert_eq!(lost.len(), expected, "all jobs surrendered exactly once");
+        prop_assert!(node.is_down());
+        prop_assert!(!node.is_busy());
+        prop_assert_eq!(node.queue_len(), 0);
+        prop_assert!(
+            !node.completion_is_current(epoch),
+            "stale completion handles must be dead after a crash"
+        );
+        node.recover(SimTime::from(2.0));
+        prop_assert!(!node.is_down());
+        for job in lost {
+            node.enqueue(SimTime::from(2.0), job);
+        }
+        prop_assert_eq!(
+            node.slab_capacity(),
+            capacity,
+            "crash-vacated slots must be reused on rejoin"
+        );
     }
 }

@@ -93,6 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warmup: 1_000.0,
         duration: 50_000.0,
         seed: 7,
+        order_fuzz: 0,
     };
     for (name, strategy) in [
         ("UD-UD   ", SdaStrategy::ud_ud()),

@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warmup: 1_000.0,
         duration: 50_000.0,
         seed: 42,
+        order_fuzz: 0,
     };
     println!("\nSimulating the Table-1 baseline at load 0.5 ...");
     for (name, strategy) in [

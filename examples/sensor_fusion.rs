@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         warmup: 1_000.0,
         duration: 40_000.0,
         seed: 99,
+        order_fuzz: 0,
     };
     let strategies: Vec<(&str, ParallelStrategy)> = vec![
         ("UD   ", ParallelStrategy::UltimateDeadline),

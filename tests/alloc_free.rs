@@ -161,6 +161,7 @@ fn sharded_engine_steady_state_is_allocation_free_per_window() {
             warmup: 500.0,
             duration,
             seed: 0xA110C,
+            order_fuzz: 0,
         };
         let before = ALLOCATIONS.load(Ordering::Relaxed);
         let result = run_once_sharded(&cfg, &run, 2).expect("valid config");
@@ -181,6 +182,37 @@ fn sharded_engine_steady_state_is_allocation_free_per_window() {
         allocs * 50 <= events,
         "sharded steady state allocated {allocs} times over {events} extra \
          events — a per-window allocation crept into the engine"
+    );
+}
+
+#[test]
+fn churn_steady_state_is_allocation_free_per_event() {
+    // The fault-injection surface: exponential crash/repair churn on
+    // pipelines over a constant-delay network. Every crash purges a
+    // node's queue into a recycled loss buffer, bumps the epoch, and
+    // re-dispatches the in-flight casualties through the pooled
+    // `reissue` path — all on retained storage. Crashes keep (rarely)
+    // breaking queue high-water marks on the surviving nodes (each
+    // outage concentrates the load on fewer servers), so assert a
+    // strict rate bound like the MMPP scenario rather than the
+    // stationary absolute cap.
+    use sda::system::FailureModel;
+    let mut cfg = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+    cfg.workload.load = 0.7;
+    cfg.network = NetworkModel::Constant { delay: 0.5 };
+    cfg.failure = FailureModel::Exponential {
+        mttf: 400.0,
+        mttr: 50.0,
+    };
+    let (allocs, events) = measure_window(cfg, 12_000.0, 24_000.0);
+    assert!(
+        events > 50_000,
+        "measurement window too small: {events} events"
+    );
+    assert!(
+        allocs * 250 <= events,
+        "churn steady state allocated {allocs} times over {events} events — \
+         the crash/re-dispatch path regressed toward per-event allocation"
     );
 }
 

@@ -11,6 +11,7 @@ fn identical_seeds_give_identical_runs() {
         warmup: 500.0,
         duration: 10_000.0,
         seed: 12345,
+        order_fuzz: 0,
     };
     let a = run_once(&cfg, &run).unwrap();
     let b = run_once(&cfg, &run).unwrap();
@@ -27,6 +28,7 @@ fn different_seeds_give_different_runs() {
                 warmup: 500.0,
                 duration: 10_000.0,
                 seed,
+                order_fuzz: 0,
             },
         )
         .unwrap()
@@ -46,6 +48,7 @@ fn strategies_see_the_same_workload_sample() {
         warmup: 500.0,
         duration: 20_000.0,
         seed: 777,
+        order_fuzz: 0,
     };
     let ud = run_once(&SystemConfig::ssp_baseline(SdaStrategy::ud_ud()), &run).unwrap();
     let eqf = run_once(&SystemConfig::ssp_baseline(SdaStrategy::eqf_ud()), &run).unwrap();
@@ -70,6 +73,7 @@ fn replication_seeds_are_stable() {
         warmup: 500.0,
         duration: 5_000.0,
         seed: 31337,
+        order_fuzz: 0,
     };
     let a = run_replications(&cfg, &base, 3).unwrap();
     let b = run_replications(&cfg, &base, 3).unwrap();

@@ -49,6 +49,7 @@ fn fingerprint(cfg: &SystemConfig, seed: u64) -> Fingerprint {
         warmup: 500.0,
         duration: 6_000.0,
         seed,
+        order_fuzz: 0,
     };
     let r = run_once(cfg, &run).expect("config is valid");
     Fingerprint {
@@ -276,6 +277,77 @@ fn golden_dag_hetero_adaptive() {
             transit_mean_bits: 4598216150253414276,
         },
     );
+}
+
+/// The fault-injection configuration of the fleet-churn PR: a scripted
+/// outage trace (two overlapping-in-time node outages plus a repeat
+/// offender) on §6 pipelines over a constant-delay network. Captured
+/// when the feature landed; pins the crash/recovery event flow — queue
+/// purge order, in-flight loss, re-dispatch routing and the mid-task
+/// residual-deadline re-decomposition. The six fingerprints above pin
+/// the complementary invariant: with `FailureModel::None` (the default)
+/// the failure machinery is bit-invisible.
+#[test]
+fn golden_scripted_churn_pipelines() {
+    use sda::system::{run_once_sharded, DownInterval, FailureModel};
+    let mut cfg = SystemConfig::combined_baseline(SdaStrategy::eqf_div1());
+    cfg.workload.load = 0.7;
+    cfg.network = NetworkModel::Constant { delay: 0.5 };
+    cfg.failure = FailureModel::Scripted {
+        downs: vec![
+            DownInterval {
+                node: 1,
+                from: 800.0,
+                until: 1_400.0,
+            },
+            DownInterval {
+                node: 4,
+                from: 1_200.0,
+                until: 1_600.0,
+            },
+            DownInterval {
+                node: 1,
+                from: 3_000.0,
+                until: 3_200.0,
+            },
+        ],
+    };
+    check(
+        "scripted_churn_pipelines",
+        &cfg,
+        0xFA11,
+        Fingerprint {
+            local_completed: 19138,
+            local_missed: 6122,
+            global_completed: 1075,
+            global_missed: 325,
+            local_miss_pct_bits: 4629697240084797074,
+            global_miss_pct_bits: 4629202926280358030,
+            local_resp_mean_bits: 4615467157315181813,
+            global_resp_mean_bits: 4623911215783981462,
+            util0_bits: 4604462674421507674,
+            qlen0_bits: 4609767199342363438,
+            transit_count: 7726,
+            transit_mean_bits: 4602678819172646912,
+        },
+    );
+    // The same seeded run must survive sharding bit-for-bit, whatever
+    // the shard count — failures are node-local events.
+    let run = RunConfig {
+        warmup: 500.0,
+        duration: 6_000.0,
+        seed: 0xFA11,
+        order_fuzz: 0,
+    };
+    let serial = run_once(&cfg, &run).expect("config is valid");
+    assert!(serial.metrics.lost_subtasks > 0, "outages must lose work");
+    for shards in [2, 3, 6] {
+        let sharded = run_once_sharded(&cfg, &run, shards).expect("config is valid");
+        assert_eq!(
+            serial, sharded,
+            "{shards}-shard churn run diverged from serial"
+        );
+    }
 }
 
 #[test]

@@ -29,6 +29,7 @@ fn mm1_mean_response_time_matches_theory() {
             warmup: 5_000.0,
             duration: 300_000.0,
             seed: 1_000 + (rho * 10.0) as u64,
+            order_fuzz: 0,
         };
         let result = run_once(&cfg, &run).unwrap();
         let measured = result.metrics.local.response().mean();
@@ -50,6 +51,7 @@ fn mm1_utilization_matches_rho() {
             warmup: 5_000.0,
             duration: 200_000.0,
             seed: 2_000 + (rho * 10.0) as u64,
+            order_fuzz: 0,
         };
         let result = run_once(&cfg, &run).unwrap();
         let util = result.mean_utilization();
@@ -69,6 +71,7 @@ fn mm1_queue_length_matches_little() {
         warmup: 5_000.0,
         duration: 300_000.0,
         seed: 3_000,
+        order_fuzz: 0,
     };
     let result = run_once(&cfg, &run).unwrap();
     let lq = result.node_queue_length[0];
@@ -90,6 +93,7 @@ fn edf_does_not_change_mm1_totals() {
         warmup: 2_000.0,
         duration: 100_000.0,
         seed: 4_000,
+        order_fuzz: 0,
     };
     let fcfs = run_once(&cfg, &run).unwrap();
     cfg.policy = Policy::EarliestDeadlineFirst;

@@ -11,6 +11,7 @@ fn base_run(seed: u64) -> RunConfig {
         warmup: 1_000.0,
         duration: 25_000.0,
         seed,
+        order_fuzz: 0,
     }
 }
 

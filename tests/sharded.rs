@@ -29,6 +29,7 @@ fn run_cfg(seed: u64) -> RunConfig {
         warmup: 300.0,
         duration: 3_000.0,
         seed,
+        order_fuzz: 0,
     }
 }
 
@@ -57,6 +58,7 @@ fn sharded_reproduces_every_golden_config_through_the_fallback() {
         warmup: 500.0,
         duration: 6_000.0,
         seed: 0, // overridden per config below
+        order_fuzz: 0,
     };
     let mut configs: Vec<(&str, SystemConfig, u64)> = Vec::new();
 
