@@ -1,0 +1,139 @@
+//! Pass 5 — `clippy.toml` must mirror the banned-API pass.
+//!
+//! Clippy's `disallowed-types` / `disallowed-methods` are the *native*
+//! backstop for the banned-API pass: they fire inside IDEs and under
+//! `cargo clippy` where this linter may not run. Two lists that drift
+//! are worse than one list — a developer who sees clippy stay silent
+//! will assume the API is fine. This pass diffs `clippy.toml` against
+//! the [`BANNED`] table and errors on any
+//! path present on one side only.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::diag::{Diagnostic, Lint};
+use crate::minitoml::{Document, Value};
+use crate::passes::banned_api::BANNED;
+
+/// Diffs `clippy.toml` (at the workspace root) against the ban table.
+pub fn run(root: &Path, diags: &mut Vec<Diagnostic>) {
+    let rel = Path::new("clippy.toml");
+    let text = match std::fs::read_to_string(root.join(rel)) {
+        Ok(t) => t,
+        Err(e) => {
+            diags.push(Diagnostic::file_level(
+                Lint::ClippySync,
+                rel,
+                format!(
+                    "clippy.toml is required as the native backstop for the banned-API pass \
+                     but cannot be read: {e}"
+                ),
+            ));
+            return;
+        }
+    };
+    let doc = match Document::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            diags.push(Diagnostic::file_level(
+                Lint::ClippySync,
+                rel,
+                format!("cannot parse clippy.toml: {e}"),
+            ));
+            return;
+        }
+    };
+    check_list(&doc, "disallowed-types", expected_types(), rel, diags);
+    check_list(&doc, "disallowed-methods", expected_methods(), rel, diags);
+}
+
+/// The `disallowed-types` paths the ban table mandates.
+pub fn expected_types() -> BTreeSet<&'static str> {
+    BANNED
+        .iter()
+        .flat_map(|b| b.clippy_types.iter().copied())
+        .collect()
+}
+
+/// The `disallowed-methods` paths the ban table mandates.
+pub fn expected_methods() -> BTreeSet<&'static str> {
+    BANNED
+        .iter()
+        .flat_map(|b| b.clippy_methods.iter().copied())
+        .collect()
+}
+
+fn check_list(
+    doc: &Document,
+    key: &str,
+    expected: BTreeSet<&'static str>,
+    rel: &Path,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut found = BTreeSet::new();
+    if let Some(Value::Array(items)) = doc.sections[0].get(key) {
+        for item in items {
+            match item {
+                Value::Table(t) => match t.get("path") {
+                    Some(p) => {
+                        if t.get("reason").is_none_or(|r| r.trim().is_empty()) {
+                            diags.push(Diagnostic::file_level(
+                                Lint::ClippySync,
+                                rel,
+                                format!("{key} entry `{p}` needs a non-empty `reason`"),
+                            ));
+                        }
+                        found.insert(p.clone());
+                    }
+                    None => diags.push(Diagnostic::file_level(
+                        Lint::ClippySync,
+                        rel,
+                        format!("{key} entry without a `path`"),
+                    )),
+                },
+                Value::Str(p) => {
+                    found.insert(p.clone());
+                }
+                other => diags.push(Diagnostic::file_level(
+                    Lint::ClippySync,
+                    rel,
+                    format!("{key}: unsupported entry {other:?}"),
+                )),
+            }
+        }
+    }
+    for miss in expected.iter().filter(|e| !found.contains(**e)) {
+        diags.push(Diagnostic::file_level(
+            Lint::ClippySync,
+            rel,
+            format!(
+                "{key} is missing `{miss}` — the banned-API pass bans it, so clippy must \
+                 disallow it too"
+            ),
+        ));
+    }
+    for extra in found.iter().filter(|f| !expected.contains(f.as_str())) {
+        diags.push(Diagnostic::file_level(
+            Lint::ClippySync,
+            rel,
+            format!(
+                "{key} lists `{extra}` which the banned-API pass does not ban — add it to \
+                 the BANNED table in sda-analysis or remove it here"
+            ),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_sets_are_nonempty_and_disjointly_sourced() {
+        assert!(expected_types().contains("std::collections::HashMap"));
+        assert!(expected_methods().contains("std::env::var"));
+        // rand bans have no clippy mirror (the offline stub exports
+        // neither function), by documented design.
+        assert!(!expected_methods().contains("rand::thread_rng"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Deliberately-violating fixture for the banned-api pass.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+
+/// Times something with the wall clock (banned).
+pub fn timed() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs()
+}
+
+/// Reads the ambient environment (banned).
+pub fn from_env() -> Option<String> {
+    std::env::var("SEED").ok()
+}
+
+/// Uses a hash map (banned) and an annotated, allowed hash set.
+pub fn collections() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    // sda-lint: allow(banned-api, reason = "fixture: proves the escape hatch suppresses the next line")
+    let s: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    m.len() + s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Banned APIs inside #[cfg(test)] items are out of scope.
+    #[test]
+    fn test_code_may_use_hash() {
+        let _ = std::collections::HashMap::<u8, u8>::new();
+    }
+}

@@ -1,0 +1,6 @@
+//! Clean fixture crate; only clippy.toml is wrong in this tree.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Harmless.
+pub fn noop() {}

@@ -1,0 +1,18 @@
+//! Fixture crate declaring a config enum whose variants are only
+//! partially pinned by the fixture's test suite.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// A three-variant config enum; `Blue` has no test naming it.
+#[derive(Debug, Clone, Copy)]
+pub enum Color {
+    /// Pinned by tests/pin.rs.
+    Red,
+    /// Pinned by tests/pin.rs.
+    Green {
+        /// Struct variants must still be detected.
+        luma: f64,
+    },
+    /// Deliberately unpinned.
+    Blue(u8),
+}

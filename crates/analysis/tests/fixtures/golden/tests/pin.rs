@@ -1,0 +1,8 @@
+//! Names two of Color's three variants; a comment mentioning
+//! Color::Blue must NOT count as coverage.
+
+#[test]
+fn pins_red_and_green() {
+    let _ = Color::Red;
+    let _ = Color::Green { luma: 0.5 };
+}

@@ -1,0 +1,6 @@
+//! Fixture crate whose headers are wrong: `warn(missing_docs)` instead
+//! of `deny`, and no `forbid(unsafe_code)` at all.
+#![warn(missing_docs)]
+
+/// Harmless.
+pub fn noop() {}

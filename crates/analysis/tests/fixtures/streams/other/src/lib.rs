@@ -1,0 +1,8 @@
+//! The subsystem that owns `other.owned`.
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Draws the stream this subsystem owns.
+pub fn draw(f: &Factory) {
+    let _ = f.stream("other.owned");
+}

@@ -22,6 +22,14 @@
 //!
 //! Usage: `cargo run --release -p sda-bench [-- --samples N --out PATH]`
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+// Measuring wall time is this binary's purpose; the sda-lint allows
+// below mark the individual reads. Clippy's disallowed lists (the
+// native mirror of the same rules) are waived here wholesale.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
+
+// sda-lint: allow(banned-api, reason = "wall time is the measurement this harness exists to take")
 use std::time::Instant;
 
 use sda_core::SdaStrategy;
@@ -149,6 +157,7 @@ fn scenarios() -> Vec<Scenario> {
 fn main() {
     let mut samples = 3usize;
     let mut out = String::from("BENCH_hot_path.json");
+    // sda-lint: allow(banned-api, reason = "CLI entry point: argv is read once, before any simulation state exists")
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -177,6 +186,7 @@ fn main() {
     // Interleave: one sample of every scenario per round.
     for round in 0..samples {
         for (i, s) in list.iter().enumerate() {
+            // sda-lint: allow(banned-api, reason = "timing the run is the benchmark; determinism is asserted on events below")
             let start = Instant::now();
             let result = run_once_sharded(&s.cfg, &s.run, s.shards).expect("bench config is valid");
             let secs = start.elapsed().as_secs_f64();

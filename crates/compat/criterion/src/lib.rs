@@ -13,6 +13,10 @@
 //! acceptance gates here need.
 
 #![forbid(unsafe_code)]
+// Wall-clock timing is this crate's entire purpose (it is the benchmark
+// harness); it is `exempt`-tier in analysis/lints.toml for the same
+// reason.
+#![allow(clippy::disallowed_types, clippy::disallowed_methods)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};

@@ -91,7 +91,9 @@ impl ExperimentOpts {
     ///
     /// Unknown flags abort with a usage message on stderr (exit code 2)
     /// rather than being silently ignored.
+    #[allow(clippy::disallowed_methods)] // argv parsing — see the sda-lint allow below
     pub fn from_args() -> ExperimentOpts {
+        // sda-lint: allow(banned-api, reason = "sweep-binary entry point: argv is read once into ExperimentOpts before any simulation starts")
         let args: Vec<String> = std::env::args().skip(1).collect();
         Self::parse(&args).unwrap_or_else(|e| {
             eprintln!("error: {e}");
@@ -670,6 +672,7 @@ mod tests {
             c.workload.load = load;
             c
         })];
+        #[allow(clippy::disallowed_methods)] // test scratch space, not simulation input
         let dir = std::env::temp_dir().join(format!("sda-emit-test-{}", std::process::id()));
         let opts = ExperimentOpts {
             csv_dir: Some(dir.clone()),

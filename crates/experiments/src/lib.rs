@@ -37,7 +37,7 @@
 //! count); the default sits between quick and full.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod harness;
 

@@ -376,7 +376,7 @@ pub struct SystemModel {
     /// How many more global tasks may start tracing.
     trace_budget: u64,
     /// Ids of global tasks currently being traced.
-    trace_ids: std::collections::HashSet<u64>,
+    trace_ids: std::collections::BTreeSet<u64>,
     trace: Vec<TraceEvent>,
 }
 
@@ -424,7 +424,7 @@ impl SystemModel {
             hop_comm,
             metrics: Metrics::new(),
             trace_budget: 0,
-            trace_ids: std::collections::HashSet::new(),
+            trace_ids: std::collections::BTreeSet::new(),
             trace: Vec::new(),
         })
     }

@@ -488,6 +488,7 @@ impl TaskFactory {
 }
 
 #[cfg(test)]
+#[allow(clippy::disallowed_types)] // HashSet as a test-only membership check never feeds results
 mod tests {
     use super::*;
     use crate::pex::PexModel;

@@ -47,6 +47,9 @@
 //! Run a small end-to-end simulation of the paper's baseline and compare
 //! UD against EQF (see `examples/quickstart.rs` for the full program).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use sda_core as core;
 pub use sda_experiments as experiments;
 pub use sda_sched as sched;

@@ -1,8 +1,16 @@
 //! End-to-end determinism and common-random-numbers guarantees across
 //! the whole stack (workload → system → metrics).
+//!
+//! The `pins` module at the bottom names every public config enum
+//! variant in a seeded run; the `golden-coverage` pass of
+//! `sda-analysis` fails CI when a variant stops being exercised here
+//! or in any other test under `tests/`.
 
 use sda::core::SdaStrategy;
-use sda::system::{run_once, run_replications, RunConfig, SystemConfig};
+use sda::system::{
+    run_once, run_replications, FailureModel, NetworkModel, OverloadPolicy, RunConfig, SystemConfig,
+};
+use sda::workload::{ArrivalProcess, GlobalShape, PhaseSegment};
 
 #[test]
 fn identical_seeds_give_identical_runs() {
@@ -79,4 +87,71 @@ fn replication_seeds_are_stable() {
     let b = run_replications(&cfg, &base, 3).unwrap();
     assert_eq!(a.global_miss_pct.values(), b.global_miss_pct.values());
     assert_eq!(a.runs, b.runs);
+}
+
+/// Seeded same-seed-reproducibility pins for config-enum variants not
+/// exercised by the golden fingerprints: each variant must at minimum
+/// run, produce work, and replay bit-identically.
+mod pins {
+    use super::*;
+
+    fn pin_run(cfg: &SystemConfig) {
+        let run = RunConfig {
+            warmup: 200.0,
+            duration: 4_000.0,
+            seed: 0xC0FFEE,
+            order_fuzz: 0,
+        };
+        let a = run_once(cfg, &run).unwrap();
+        let b = run_once(cfg, &run).unwrap();
+        assert_eq!(a, b, "same seed must replay bit-identically");
+        assert!(
+            a.metrics.global.completed() > 0,
+            "the pinned variant must actually produce completed tasks"
+        );
+    }
+
+    #[test]
+    fn serial_shape_replays() {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        cfg.workload.shape = GlobalShape::Serial { m: 4 };
+        pin_run(&cfg);
+    }
+
+    #[test]
+    fn serial_random_m_shape_replays() {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        cfg.workload.shape = GlobalShape::SerialRandomM { min_m: 2, max_m: 6 };
+        pin_run(&cfg);
+    }
+
+    #[test]
+    fn serial_parallel_shape_replays() {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_div1());
+        cfg.workload.shape = GlobalShape::SerialParallel {
+            stages: 3,
+            branches: 2,
+        };
+        pin_run(&cfg);
+    }
+
+    #[test]
+    fn phased_arrivals_replay() {
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        cfg.workload.arrivals = ArrivalProcess::Phased {
+            segments: vec![PhaseSegment::new(300.0, 1.0), PhaseSegment::new(100.0, 2.0)],
+        };
+        pin_run(&cfg);
+    }
+
+    #[test]
+    fn explicit_defaults_replay() {
+        // The defaults the goldens rely on implicitly, spelled out:
+        // delay-free network, immortal fleet, soft deadlines.
+        let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+        cfg.network = NetworkModel::Zero;
+        cfg.failure = FailureModel::None;
+        cfg.overload = OverloadPolicy::NoAbort;
+        pin_run(&cfg);
+    }
 }
