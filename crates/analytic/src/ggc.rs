@@ -1,0 +1,204 @@
+//! Allen–Cunneen-style G/G/c approximation.
+//!
+//! The mean wait of a G/G/c queue is approximated by scaling the exact
+//! M/M/c mean wait by `(ca2 + cs2) / 2`, where `ca2`/`cs2` are the
+//! squared coefficients of variation of the inter-arrival and service
+//! distributions. For Poisson arrivals at `c = 1` this is the exact
+//! Pollaczek–Khinchine mean; at `ca2 = cs2 = 1` it collapses to the
+//! exact M/M/c result.
+//!
+//! The waiting-time *distribution* is approximated as a point mass at
+//! zero plus an exponential tail whose rate `r` is fitted so that the
+//! conditional mean matches: `P[W > t] = p_wait e^{-r t}` with
+//! `r = p_wait / mean_wait`.
+
+use crate::queue::{uniform_slack_miss, Mmc, TheoryError};
+
+/// G/G/c approximation built on an exact [`Mmc`] backbone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GgcApprox {
+    mmc: Mmc,
+    ca2: f64,
+    cs2: f64,
+}
+
+impl GgcApprox {
+    /// Build a G/G/c approximation for arrival rate `lambda`, service
+    /// rate `mu` per server, `servers` servers, and squared
+    /// coefficients of variation `ca2` (inter-arrival) and `cs2`
+    /// (service). Errors on invalid parameters or `rho >= 1`.
+    pub fn new(
+        lambda: f64,
+        mu: f64,
+        servers: u32,
+        ca2: f64,
+        cs2: f64,
+    ) -> Result<Self, TheoryError> {
+        if !ca2.is_finite() || ca2 < 0.0 {
+            return Err(TheoryError::BadParameter {
+                what: "ca2",
+                value: ca2,
+            });
+        }
+        if !cs2.is_finite() || cs2 < 0.0 {
+            return Err(TheoryError::BadParameter {
+                what: "cs2",
+                value: cs2,
+            });
+        }
+        Ok(GgcApprox {
+            mmc: Mmc::new(lambda, mu, servers)?,
+            ca2,
+            cs2,
+        })
+    }
+
+    /// The exact M/M/c backbone this approximation scales.
+    pub fn backbone(&self) -> &Mmc {
+        &self.mmc
+    }
+
+    /// Variability scaling factor `(ca2 + cs2) / 2`.
+    pub fn variability_factor(&self) -> f64 {
+        (self.ca2 + self.cs2) / 2.0
+    }
+
+    /// Per-server utilization (same as the backbone).
+    pub fn utilization(&self) -> f64 {
+        self.mmc.utilization()
+    }
+
+    /// Probability of waiting; the Erlang-C value is kept unscaled.
+    pub fn p_wait(&self) -> f64 {
+        self.mmc.p_wait()
+    }
+
+    /// Approximate mean wait `Wq(M/M/c) * (ca2 + cs2) / 2`.
+    pub fn mean_wait(&self) -> f64 {
+        self.mmc.mean_wait() * self.variability_factor()
+    }
+
+    /// Fitted exponential tail rate `r = p_wait / mean_wait`, so that
+    /// `E[W] = p_wait / r` matches the Allen–Cunneen mean. Returns
+    /// `f64::INFINITY` when the mean wait is zero (degenerate traffic).
+    pub fn tail_rate(&self) -> f64 {
+        let w = self.mean_wait();
+        if w > 0.0 {
+            self.p_wait() / w
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Approximate waiting-time variance under the exponential-tail
+    /// fit: `E[W^2] = 2 p / r^2`, so `Var = 2p/r^2 - (p/r)^2`.
+    pub fn wait_variance(&self) -> f64 {
+        let p = self.p_wait();
+        let r = self.tail_rate();
+        if !r.is_finite() {
+            return 0.0;
+        }
+        2.0 * p / (r * r) - (p / r) * (p / r)
+    }
+
+    /// Approximate mean queue length via Little's law,
+    /// `Lq = lambda * Wq`.
+    pub fn mean_queue(&self) -> f64 {
+        self.mmc.mean_queue() * self.variability_factor()
+    }
+
+    /// Approximate waiting-time tail `P[W > t] = p_wait e^{-r t}`.
+    pub fn wait_tail(&self, t: f64) -> f64 {
+        let r = self.tail_rate();
+        if !r.is_finite() {
+            return 0.0;
+        }
+        self.p_wait() * (-r * t).exp()
+    }
+
+    /// Deadline-miss probability for `deadline = arrival + service +
+    /// slack` with `slack ~ U[lo, hi]`: `p_wait E[e^{-r slack}]`.
+    pub fn miss_ratio_uniform_slack(&self, lo: f64, hi: f64) -> f64 {
+        let r = self.tail_rate();
+        if !r.is_finite() {
+            return 0.0;
+        }
+        uniform_slack_miss(self.p_wait(), r, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn collapses_to_exact_mmc_at_scv_one() {
+        for &(lambda, mu, c) in &[(0.5, 1.0, 1u32), (2.4, 1.0, 3), (5.6, 1.0, 8)] {
+            let exact = Mmc::new(lambda, mu, c).unwrap();
+            let approx = GgcApprox::new(lambda, mu, c, 1.0, 1.0).unwrap();
+            assert!((approx.mean_wait() - exact.mean_wait()).abs() < TOL);
+            assert!((approx.wait_variance() - exact.wait_variance()).abs() < TOL);
+            assert!((approx.mean_queue() - exact.mean_queue()).abs() < TOL);
+            assert!((approx.tail_rate() - exact.theta()).abs() < 1e-9);
+            for &t in &[0.0, 0.7, 3.0] {
+                assert!((approx.wait_tail(t) - exact.wait_tail(t)).abs() < TOL);
+            }
+            for &(lo, hi) in &[(0.0, 0.0), (0.25, 2.5)] {
+                assert!(
+                    (approx.miss_ratio_uniform_slack(lo, hi)
+                        - exact.miss_ratio_uniform_slack(lo, hi))
+                    .abs()
+                        < TOL
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_pollaczek_khinchine_at_c1_poisson() {
+        // M/G/1: Wq = lambda E[S^2] / (2 (1 - rho)) with
+        // E[S^2] = m^2 (1 + cs2).
+        for &cs2 in &[0.0, 0.25, 1.0, 4.0] {
+            let (lambda, mean_s) = (0.6, 1.0);
+            let q = GgcApprox::new(lambda, 1.0 / mean_s, 1, 1.0, cs2).unwrap();
+            let es2 = mean_s * mean_s * (1.0 + cs2);
+            let pk = lambda * es2 / (2.0 * (1.0 - lambda * mean_s));
+            assert!(
+                (q.mean_wait() - pk).abs() < TOL,
+                "PK mismatch at cs2={cs2}: {} vs {pk}",
+                q.mean_wait()
+            );
+        }
+    }
+
+    #[test]
+    fn lower_variability_means_less_waiting() {
+        let det = GgcApprox::new(2.4, 1.0, 3, 1.0, 0.0).unwrap();
+        let exp = GgcApprox::new(2.4, 1.0, 3, 1.0, 1.0).unwrap();
+        let hyper = GgcApprox::new(2.4, 1.0, 3, 1.0, 4.0).unwrap();
+        assert!(det.mean_wait() < exp.mean_wait());
+        assert!(exp.mean_wait() < hyper.mean_wait());
+        assert!(
+            det.miss_ratio_uniform_slack(0.25, 2.5) < hyper.miss_ratio_uniform_slack(0.25, 2.5)
+        );
+    }
+
+    #[test]
+    fn degenerate_zero_variability_has_zero_wait() {
+        // ca2 = cs2 = 0 (D/D/c below capacity): no queueing.
+        let q = GgcApprox::new(0.5, 1.0, 1, 0.0, 0.0).unwrap();
+        assert!(q.mean_wait().abs() < TOL);
+        assert!(q.wait_variance().abs() < TOL);
+        assert!(q.wait_tail(0.1) < TOL);
+        assert!(q.miss_ratio_uniform_slack(0.0, 1.0) < TOL);
+    }
+
+    #[test]
+    fn rejects_bad_scv() {
+        assert!(GgcApprox::new(0.5, 1.0, 1, -1.0, 1.0).is_err());
+        assert!(GgcApprox::new(0.5, 1.0, 1, 1.0, f64::NAN).is_err());
+        assert!(GgcApprox::new(2.0, 1.0, 2, 1.0, 1.0).is_err());
+    }
+}

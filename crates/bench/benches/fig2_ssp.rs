@@ -18,6 +18,7 @@ fn reduced_opts() -> ExperimentOpts {
         threads: 0,
         shards: 1,
         order_fuzz: 0,
+        screen: false,
         csv_dir: None,
     }
 }
@@ -33,6 +34,7 @@ fn bench_fig2(c: &mut Criterion) {
         threads: 0,
         shards: 1,
         order_fuzz: 0,
+        screen: false,
         csv_dir: None,
     };
     let data = fig2::run(&print_opts);

@@ -16,6 +16,7 @@ fn bench_fig4(c: &mut Criterion) {
         threads: 0,
         shards: 1,
         order_fuzz: 0,
+        screen: false,
         csv_dir: None,
     };
     let data = fig4::run(&print_opts);
@@ -34,6 +35,7 @@ fn bench_fig4(c: &mut Criterion) {
             threads: 0,
             shards: 1,
             order_fuzz: 0,
+            screen: false,
             csv_dir: None,
         };
         b.iter(|| black_box(fig4::run(&opts)));

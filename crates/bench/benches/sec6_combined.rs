@@ -17,6 +17,7 @@ fn bench_sec6(c: &mut Criterion) {
         threads: 0,
         shards: 1,
         order_fuzz: 0,
+        screen: false,
         csv_dir: None,
     };
     let data = sec6::run(&print_opts);
@@ -35,6 +36,7 @@ fn bench_sec6(c: &mut Criterion) {
             threads: 0,
             shards: 1,
             order_fuzz: 0,
+            screen: false,
             csv_dir: None,
         };
         b.iter(|| black_box(sec6::run(&opts)));

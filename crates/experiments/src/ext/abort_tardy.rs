@@ -71,6 +71,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         // At high load, aborting saves both classes relative to no-abort.

@@ -51,6 +51,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         let md = |x: f64| data.cell("DIV-x", x).unwrap().md_global.mean;

@@ -57,6 +57,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         let gf = data.cell("GF", 0.9).unwrap();

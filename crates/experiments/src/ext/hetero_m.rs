@@ -62,6 +62,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         let ud = data.cell("UD m~U{1..8}", 0.5).unwrap().md_global.mean;

@@ -52,6 +52,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         let gain = |rf: f64| {
@@ -72,5 +73,68 @@ mod tests {
             eqf_loose < 10.0 && ud_loose < 35.0,
             "loose slack should miss little: EQF {eqf_loose:.1}%, UD {ud_loose:.1}%"
         );
+    }
+
+    #[test]
+    fn analytic_screen_skips_the_loose_slack_tail_bit_exactly() {
+        // The slack-tightness grid spans predicted global miss ratios
+        // from ~89% (rel_flex = 0.125) down to ~0.02% (rel_flex = 16):
+        // with the [SCREEN_LO_PCT, SCREEN_HI_PCT] band the loose-slack
+        // tail (rel_flex ∈ {4, 16}) is screened in both series while
+        // the contested region is still simulated.
+        let base = ExperimentOpts {
+            reps: 2,
+            warmup: 200.0,
+            duration: 1_500.0,
+            seed: 31,
+            threads: 0,
+            shards: 1,
+            csv_dir: None,
+            order_fuzz: 0,
+            screen: false,
+        };
+        let unscreened = run(&base);
+        let screened = run(&ExperimentOpts {
+            screen: true,
+            ..base
+        });
+
+        let mut n_screened = 0;
+        let mut n_total = 0;
+        for (si, label) in screened.series_labels.iter().enumerate() {
+            for (xi, &rf) in screened.xs.iter().enumerate() {
+                n_total += 1;
+                let cell = &screened.cells[si][xi];
+                if cell.md_global.is_screened() {
+                    n_screened += 1;
+                    // Every metric of a screened cell is marked.
+                    assert!(cell.utilization.is_screened(), "{label} rf={rf}");
+                    assert!(cell.md_local.is_screened(), "{label} rf={rf}");
+                } else {
+                    // Contested points keep the unscreened seed lineage,
+                    // so the whole cell matches bit for bit.
+                    assert_eq!(
+                        cell, &unscreened.cells[si][xi],
+                        "simulated cell diverged at {label} rf={rf}"
+                    );
+                }
+            }
+        }
+        // The issue's acceptance bar: ≥ 25% of the default grid skipped
+        // (here exactly the rel_flex ∈ {4, 16} tail of each series).
+        assert!(
+            n_screened * 4 >= n_total,
+            "screened only {n_screened}/{n_total} points"
+        );
+        assert!(cellwise_screened(&screened, 4.0) && cellwise_screened(&screened, 16.0));
+        // The CSV carries the literal marker for plotting scripts.
+        let csv = screened.csv(crate::harness::Metric::MdGlobal);
+        assert!(csv.contains(",screened"), "{csv}");
+    }
+
+    fn cellwise_screened(data: &SweepData, rf: f64) -> bool {
+        ["UD", "EQF"]
+            .iter()
+            .all(|label| data.cell(label, rf).unwrap().md_global.is_screened())
     }
 }

@@ -85,6 +85,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         for &cv2 in &[0.25, 1.0, 4.0] {

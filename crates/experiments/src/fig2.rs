@@ -56,6 +56,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         // (b): at load 0.5, EQF must beat UD for global tasks, clearly.

@@ -36,7 +36,23 @@ pub struct ExperimentOpts {
     /// 0 = off). Non-zero values apply a seeded permutation to
     /// same-timestamp event ties — metrics must be invariant.
     pub order_fuzz: u64,
+    /// Analytic screening (`--screen`): evaluate the closed-form
+    /// predictor at every grid point first and skip simulating points
+    /// whose predicted miss ratio is decisively uninteresting (outside
+    /// [`SCREEN_LO_PCT`]‥[`SCREEN_HI_PCT`]). Skipped cells carry the
+    /// analytic value with a `screened` marker; points the predictor
+    /// cannot handle (adaptive strategies, non-Poisson arrivals, …) are
+    /// always simulated.
+    pub screen: bool,
 }
+
+/// Lower edge of the "interesting" predicted-miss band (percent): grid
+/// points predicted below this are screened out as trivially feasible.
+pub const SCREEN_LO_PCT: f64 = 10.0;
+
+/// Upper edge of the "interesting" predicted-miss band (percent): grid
+/// points predicted above this are screened out as hopelessly overloaded.
+pub const SCREEN_HI_PCT: f64 = 90.0;
 
 impl Default for ExperimentOpts {
     fn default() -> Self {
@@ -49,6 +65,7 @@ impl Default for ExperimentOpts {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         }
     }
 }
@@ -99,7 +116,7 @@ impl ExperimentOpts {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--full|--quick|--smoke] [--reps N] [--duration T] [--warmup T] \
-                 [--seed S] [--threads N] [--shards N] [--csv DIR] [--order-fuzz S]"
+                 [--seed S] [--threads N] [--shards N] [--csv DIR] [--order-fuzz S] [--screen]"
             );
             std::process::exit(2);
         })
@@ -172,6 +189,9 @@ impl ExperimentOpts {
                         .parse()
                         .map_err(|e| format!("--order-fuzz: {e}"))?;
                 }
+                "--screen" => {
+                    opts.screen = true;
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -208,9 +228,12 @@ impl ExperimentOpts {
 /// A point estimate with its 95% confidence half-width.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PointStat {
-    /// Across-replication mean.
+    /// Across-replication mean — or the closed-form analytic value for
+    /// a screened point (see [`PointStat::is_screened`]).
     pub mean: f64,
-    /// 95% CI half-width (infinite for a single replication).
+    /// 95% CI half-width (infinite for a single replication; negative
+    /// infinity marks an analytically screened point, which has no
+    /// sampling error at all).
     pub half_width: f64,
 }
 
@@ -226,6 +249,22 @@ impl PointStat {
                 half_width: f64::INFINITY,
             },
         }
+    }
+
+    /// An analytically screened point: `mean` is the closed-form
+    /// prediction (possibly non-finite for metrics the predictor does
+    /// not model), with no replications behind it.
+    fn screened(mean: f64) -> PointStat {
+        PointStat {
+            mean,
+            half_width: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Whether this point was analytically screened rather than
+    /// simulated (`--screen`).
+    pub fn is_screened(&self) -> bool {
+        self.half_width == f64::NEG_INFINITY
     }
 }
 
@@ -361,7 +400,14 @@ impl SweepData {
             out.push_str(&format!("{x:>12.3}"));
             for si in 0..self.series_labels.len() {
                 let p = metric.pick(&self.cells[si][xi]);
-                if p.half_width.is_finite() {
+                if p.is_screened() {
+                    // Analytic value, marked; same 18-char column width.
+                    if p.mean.is_finite() {
+                        out.push_str(&format!("  {:>10.2} (scr)", p.mean));
+                    } else {
+                        out.push_str(&format!("  {:>16}", "(scr)"));
+                    }
+                } else if p.half_width.is_finite() {
                     out.push_str(&format!("  {:>9.2} ±{:>5.2}", p.mean, p.half_width));
                 } else {
                     out.push_str(&format!("  {:>16.2}", p.mean));
@@ -376,7 +422,10 @@ impl SweepData {
     ///
     /// A single-replication point has no confidence interval; its
     /// half-width is `inf`, which most CSV readers reject as a number —
-    /// such cells emit an *empty* half-width field instead.
+    /// such cells emit an *empty* half-width field instead. Analytically
+    /// screened points (`--screen`) emit the closed-form value (empty if
+    /// the predictor does not model this metric) with the literal marker
+    /// `screened` in the half-width column.
     pub fn csv(&self, metric: Metric) -> String {
         let mut out = String::new();
         out.push_str(&self.x_label.replace(',', ";"));
@@ -388,7 +437,13 @@ impl SweepData {
             out.push_str(&format!("{x}"));
             for si in 0..self.series_labels.len() {
                 let p = metric.pick(&self.cells[si][xi]);
-                if p.half_width.is_finite() {
+                if p.is_screened() {
+                    if p.mean.is_finite() {
+                        out.push_str(&format!(",{},screened", p.mean));
+                    } else {
+                        out.push_str(",,screened");
+                    }
+                } else if p.half_width.is_finite() {
                     out.push_str(&format!(",{},{}", p.mean, p.half_width));
                 } else {
                     out.push_str(&format!(",{},", p.mean));
@@ -447,6 +502,13 @@ pub fn emit(data: &SweepData, opts: &ExperimentOpts, metrics: &[Metric]) {
 /// replicated experiment; points are executed in parallel across worker
 /// threads.
 ///
+/// With [`ExperimentOpts::screen`] set, each point is first evaluated by
+/// the closed-form predictor ([`sda_analytic::predict()`]); points whose
+/// predicted miss ratio falls outside [`SCREEN_LO_PCT`]‥[`SCREEN_HI_PCT`]
+/// are not simulated and carry the analytic value instead (marked via
+/// [`PointStat::is_screened`]). Simulated points keep the exact seed
+/// lineage of an unscreened run, so their cells are bit-identical.
+///
 /// # Panics
 ///
 /// Panics if any configuration fails validation — experiment definitions
@@ -487,6 +549,37 @@ pub fn run_sweep(
                     break;
                 }
                 let p = &points[i];
+                // Analytic screening: skip simulating points whose
+                // predicted miss ratio is decisively outside the
+                // interesting band. The decision is pure closed-form —
+                // it never consumes randomness — so the seed lineage of
+                // every *simulated* point is identical to an unscreened
+                // run and contested-region cells match bit for bit.
+                if opts.screen {
+                    if let Ok(pred) = sda_analytic::predict(&p.config) {
+                        let miss = pred.screen_miss_pct();
+                        if !(SCREEN_LO_PCT..=SCREEN_HI_PCT).contains(&miss) {
+                            let cell = CellStats {
+                                md_local: PointStat::screened(pred.local_miss_pct),
+                                md_global: PointStat::screened(
+                                    pred.global_miss_pct.unwrap_or(f64::NAN),
+                                ),
+                                subtask_miss: PointStat::screened(f64::NAN),
+                                utilization: PointStat::screened(pred.mean_utilization),
+                                global_response: PointStat::screened(
+                                    pred.global_response.unwrap_or(f64::NAN),
+                                ),
+                                local_response: PointStat::screened(pred.local_response),
+                                transit: PointStat::screened(p.config.network.expected_hop_delay()),
+                                lost: PointStat::screened(0.0),
+                            };
+                            results.lock().expect("no poisoned lock")[i] = Some(cell);
+                            continue;
+                        }
+                    }
+                    // Predictor out of scope (adaptive strategy,
+                    // non-Poisson arrivals, failures, …) → simulate.
+                }
                 // Give every point its own seed lineage so series/x
                 // points are statistically independent.
                 let run = RunConfig {
@@ -556,6 +649,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         }
     }
 
@@ -584,6 +678,55 @@ mod tests {
         let smoke = ExperimentOpts::parse(&["--smoke".into()]).unwrap();
         assert_eq!(smoke.reps, 1);
         assert!(smoke.duration < ExperimentOpts::quick().duration);
+        assert!(!smoke.screen);
+        let screened = ExperimentOpts::parse(&["--screen".into()]).unwrap();
+        assert!(screened.screen);
+    }
+
+    #[test]
+    fn screened_cells_render_with_marker() {
+        let sim = PointStat {
+            mean: 42.0,
+            half_width: 1.5,
+        };
+        let cell = CellStats {
+            md_local: PointStat::screened(3.25),
+            md_global: PointStat::screened(f64::NAN),
+            subtask_miss: sim,
+            utilization: sim,
+            global_response: sim,
+            local_response: sim,
+            transit: sim,
+            lost: sim,
+        };
+        let data = SweepData {
+            title: "screen-render".to_string(),
+            x_label: "load".to_string(),
+            xs: vec![0.5],
+            series_labels: vec!["UD".to_string()],
+            cells: vec![vec![cell]],
+        };
+        // Finite analytic value: emitted with the `screened` marker.
+        assert_eq!(
+            data.csv(Metric::MdLocal),
+            "load,UD,UD_hw\n0.5,3.25,screened\n"
+        );
+        // Metric the predictor does not model: empty value, still marked.
+        assert_eq!(data.csv(Metric::MdGlobal), "load,UD,UD_hw\n0.5,,screened\n");
+        // Simulated metrics are untouched.
+        assert_eq!(data.csv(Metric::Utilization), "load,UD,UD_hw\n0.5,42,1.5\n");
+        // Table columns stay 18 characters wide in all three shapes.
+        for (metric, needle) in [
+            (Metric::MdLocal, "(scr)"),
+            (Metric::MdGlobal, "(scr)"),
+            (Metric::Utilization, "±"),
+        ] {
+            let table = data.table(metric);
+            assert!(table.contains(needle), "{metric:?}: {table}");
+        }
+        let row = data.table(Metric::MdLocal);
+        let line = row.lines().last().unwrap();
+        assert_eq!(line.len(), 12 + 18, "column width changed: {line:?}");
     }
 
     #[test]

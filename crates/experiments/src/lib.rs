@@ -34,7 +34,12 @@
 //! `--reps N`, `--duration T`, `--warmup T`, `--seed S`, `--threads N`,
 //! `--shards N` (split each run across N cores via the sharded
 //! conservative-parallel engine — results are identical for any shard
-//! count); the default sits between quick and full.
+//! count), and `--screen` (analytic screening: grid points whose
+//! closed-form predicted miss ratio falls outside
+//! [`SCREEN_LO_PCT`]‥[`SCREEN_HI_PCT`] are not simulated; their cells
+//! carry the analytic value with a `screened` CSV marker, while the
+//! remaining points are bit-identical to an unscreened run); the
+//! default scale sits between quick and full.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -50,4 +55,5 @@ pub mod table1;
 
 pub use harness::{
     emit, run_sweep, CellStats, ExperimentOpts, Metric, PointStat, SeriesSpec, SweepData,
+    SCREEN_HI_PCT, SCREEN_LO_PCT,
 };

@@ -54,6 +54,7 @@ mod tests {
             shards: 1,
             csv_dir: None,
             order_fuzz: 0,
+            screen: false,
         };
         let data = run(&opts);
         let at = |label: &str| data.cell(label, 0.7).unwrap();

@@ -109,6 +109,11 @@ impl Constant {
     pub fn value(&self) -> f64 {
         self.0
     }
+
+    /// Analytic variance (zero: every draw is the same value).
+    pub fn variance(&self) -> f64 {
+        0.0
+    }
 }
 
 impl Constant {
@@ -157,6 +162,12 @@ impl Uniform {
     /// Upper bound.
     pub fn hi(&self) -> f64 {
         self.hi
+    }
+
+    /// Analytic variance `(hi − lo)² / 12`.
+    pub fn variance(&self) -> f64 {
+        let span = self.hi - self.lo;
+        span * span / 12.0
     }
 
     /// Returns a copy with both bounds multiplied by `factor ≥ 0`.
@@ -220,6 +231,11 @@ impl Exponential {
     pub fn rate(&self) -> f64 {
         1.0 / self.mean
     }
+
+    /// Analytic variance `mean²` (CV² = 1).
+    pub fn variance(&self) -> f64 {
+        self.mean * self.mean
+    }
 }
 
 impl Exponential {
@@ -271,6 +287,11 @@ impl Erlang {
     pub fn stages(&self) -> u32 {
         self.stages
     }
+
+    /// Analytic variance `stages · stage_mean²` (CV² = 1/stages).
+    pub fn variance(&self) -> f64 {
+        f64::from(self.stages) * self.stage_mean * self.stage_mean
+    }
 }
 
 impl Erlang {
@@ -320,6 +341,15 @@ impl Hyper2 {
             mean1: require_positive("hyper2 mean1", mean1)?,
             mean2: require_positive("hyper2 mean2", mean2)?,
         })
+    }
+
+    /// Analytic variance: `E[X²] = 2(p·mean1² + (1−p)·mean2²)` for the
+    /// exponential mixture, minus the squared mean.
+    pub fn variance(&self) -> f64 {
+        let ex2 =
+            2.0 * (self.p * self.mean1 * self.mean1 + (1.0 - self.p) * self.mean2 * self.mean2);
+        let m = self.p * self.mean1 + (1.0 - self.p) * self.mean2;
+        ex2 - m * m
     }
 }
 
@@ -378,6 +408,11 @@ impl LogNormal {
     pub fn cv2(&self) -> f64 {
         (self.sigma * self.sigma).exp_m1()
     }
+
+    /// Analytic variance `mean² · CV²`.
+    pub fn variance(&self) -> f64 {
+        self.mean * self.mean * self.cv2()
+    }
 }
 
 impl LogNormal {
@@ -433,6 +468,17 @@ impl Pareto {
     /// The tail index α.
     pub fn alpha(&self) -> f64 {
         self.alpha
+    }
+
+    /// Analytic variance `x_m² α / ((α−1)²(α−2))`; infinite for
+    /// `α ≤ 2` (the heavy-tailed regime).
+    pub fn variance(&self) -> f64 {
+        if self.alpha > 2.0 {
+            let a1 = self.alpha - 1.0;
+            self.xm * self.xm * self.alpha / (a1 * a1 * (self.alpha - 2.0))
+        } else {
+            f64::INFINITY
+        }
     }
 }
 
@@ -552,6 +598,37 @@ impl Sampler {
             Sampler::Pareto(d) => d.mean(),
         }
     }
+
+    /// The analytic variance of the wrapped distribution
+    /// (`f64::INFINITY` for Pareto with `α ≤ 2`).
+    pub fn variance(&self) -> f64 {
+        match self {
+            Sampler::Constant(d) => d.variance(),
+            Sampler::Uniform(d) => d.variance(),
+            Sampler::Exponential(d) => d.variance(),
+            Sampler::Erlang(d) => d.variance(),
+            Sampler::Hyper2(d) => d.variance(),
+            Sampler::LogNormal(d) => d.variance(),
+            Sampler::Pareto(d) => d.variance(),
+        }
+    }
+
+    /// The analytic second moment `E[X²] = Var + mean²`.
+    pub fn second_moment(&self) -> f64 {
+        let m = self.mean();
+        self.variance() + m * m
+    }
+
+    /// The squared coefficient of variation `Var / mean²`; zero when
+    /// the mean is zero (only a degenerate `Constant(0)`).
+    pub fn scv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.variance() / (m * m)
+        }
+    }
 }
 
 impl Dist for Sampler {
@@ -663,6 +740,12 @@ impl DistSpec {
     /// valid.
     pub fn mean(&self) -> Result<f64, DistError> {
         Ok(self.build_sampler()?.mean())
+    }
+
+    /// Analytic variance of the described distribution, if the
+    /// parameters are valid (`f64::INFINITY` for Pareto with `α ≤ 2`).
+    pub fn variance(&self) -> Result<f64, DistError> {
+        Ok(self.build_sampler()?.variance())
     }
 }
 
@@ -894,5 +977,95 @@ mod tests {
         assert!(!e.to_string().is_empty());
         let e = Exponential::with_mean(0.0).unwrap_err();
         assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn variances_match_closed_forms() {
+        // Exact values per distribution.
+        assert_eq!(Constant::new(3.5).unwrap().variance(), 0.0);
+        let u = Uniform::new(1.0, 4.0).unwrap();
+        assert!((u.variance() - 0.75).abs() < 1e-15);
+        let e = Exponential::with_mean(2.0).unwrap();
+        assert!((e.variance() - 4.0).abs() < 1e-15);
+        // Erlang-4 with stage mean 0.5: var = 4 · 0.25 = 1.
+        let k = Erlang::new(4, 0.5).unwrap();
+        assert!((k.variance() - 1.0).abs() < 1e-15);
+        // Hyper2 degenerating to a single exponential: var = mean².
+        let h = Hyper2::new(1.0, 2.0, 5.0).unwrap();
+        assert!((h.variance() - 4.0).abs() < 1e-12);
+        // LogNormal: var = mean²·cv2 by construction.
+        let l = LogNormal::with_mean_cv2(2.0, 3.0).unwrap();
+        assert!((l.variance() - 12.0).abs() < 1e-9);
+        // Pareto α ≤ 2 has infinite variance, α > 2 the closed form.
+        assert!(Pareto::with_mean(1.0, 1.5)
+            .unwrap()
+            .variance()
+            .is_infinite());
+        let p = Pareto::with_mean(1.0, 3.0).unwrap();
+        // xm = 2/3: var = xm²·3/(4·1) = 1/3.
+        assert!((p.variance() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampler_moments_agree_with_sampled_moments() {
+        // Monte-Carlo check that the analytic variance describes what
+        // the sampler actually draws (finite-variance variants only).
+        let specs = [
+            DistSpec::Uniform { lo: 0.25, hi: 2.5 },
+            DistSpec::Exponential { mean: 1.0 },
+            DistSpec::Erlang {
+                stages: 4,
+                stage_mean: 0.25,
+            },
+            DistSpec::Hyper2 {
+                p: 0.3,
+                mean1: 0.5,
+                mean2: 2.0,
+            },
+            DistSpec::LogNormal {
+                mean: 1.0,
+                cv2: 0.8,
+            },
+            // α = 6 keeps the 4th moment finite so the sample variance
+            // converges at Monte-Carlo rate.
+            DistSpec::Pareto {
+                mean: 1.0,
+                alpha: 6.0,
+            },
+        ];
+        for spec in specs {
+            let s = spec.build_sampler().unwrap();
+            let mut r = rng();
+            let n = 400_000;
+            let mut sum = 0.0;
+            let mut sum2 = 0.0;
+            for _ in 0..n {
+                let x = s.sample_with(&mut r);
+                sum += x;
+                sum2 += x * x;
+            }
+            let m = sum / n as f64;
+            let v = sum2 / n as f64 - m * m;
+            let tol = 0.1 * s.variance().max(0.1);
+            assert!(
+                (v - s.variance()).abs() < tol,
+                "{spec:?}: sampled var {v} vs analytic {}",
+                s.variance()
+            );
+            assert!((s.second_moment() - (s.variance() + s.mean() * s.mean())).abs() < 1e-12);
+            assert_eq!(spec.variance().unwrap(), s.variance());
+        }
+        // SCV accessor: exponential is 1, Erlang-4 is 1/4, constants 0.
+        let exp = DistSpec::Exponential { mean: 3.0 }.build_sampler().unwrap();
+        assert!((exp.scv() - 1.0).abs() < 1e-15);
+        let erl = DistSpec::Erlang {
+            stages: 4,
+            stage_mean: 1.0,
+        }
+        .build_sampler()
+        .unwrap();
+        assert!((erl.scv() - 0.25).abs() < 1e-15);
+        let zero = DistSpec::Constant { value: 0.0 }.build_sampler().unwrap();
+        assert_eq!(zero.scv(), 0.0);
     }
 }

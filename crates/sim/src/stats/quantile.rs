@@ -241,4 +241,53 @@ mod tests {
         }
         assert_eq!(q.estimate(), Some(7.0));
     }
+
+    #[test]
+    fn huge_outliers_keep_the_estimate_finite() {
+        // Heavy-traffic sojourn streams: mostly moderate values with
+        // rare outliers up to 1e300. The marker arithmetic (parabolic
+        // interpolation) must not produce NaN or lose finiteness.
+        let mut q = P2Quantile::new(0.99).unwrap();
+        let mut rng = RngFactory::new(9).stream("p2-outlier");
+        for i in 0..50_000u64 {
+            let x: f64 = rng.gen();
+            let v = match i % 1000 {
+                0 => 1.0e300,
+                1 => 1.0e12,
+                _ => x * 10.0,
+            };
+            q.add(v);
+            if i % 7777 == 0 {
+                let est = q.estimate().unwrap();
+                assert!(!est.is_nan(), "NaN estimate at i={i}");
+            }
+        }
+        let est = q.estimate().unwrap();
+        assert!(est.is_finite(), "estimate not finite: {est}");
+        // P99 of the bulk (U[0,10]) is ~9.9; outliers pull it up but it
+        // must stay a real number below the largest observation.
+        assert!(est <= 1.0e300 && est > 0.0);
+    }
+
+    #[test]
+    fn adversarial_warmup_order_is_handled() {
+        // Descending and mixed-magnitude warmups exercise the initial
+        // marker sort and the first adjustment steps.
+        for warmup in [
+            [1.0e300, 1.0e12, 5.0, 1.0e-12, 0.0],
+            [5.0, 4.0, 3.0, 2.0, 1.0],
+            [1.0, 1.0, 1.0e15, 1.0, 1.0],
+        ] {
+            let mut q = P2Quantile::new(0.95).unwrap();
+            for v in warmup {
+                q.add(v);
+            }
+            for i in 0..1000 {
+                q.add(f64::from(i % 13));
+            }
+            let est = q.estimate().unwrap();
+            assert!(!est.is_nan(), "NaN after warmup {warmup:?}");
+            assert!(est >= 0.0);
+        }
+    }
 }

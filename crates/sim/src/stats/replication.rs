@@ -136,4 +136,30 @@ mod tests {
         assert_eq!(r.values(), &[1.0, 2.0]);
         assert_eq!(r.count(), 2);
     }
+
+    #[test]
+    fn extreme_replication_values_never_produce_nan_intervals() {
+        // Heavy-traffic (ρ → 1) runs can report enormous per-replication
+        // response means; the across-replication interval must stay
+        // NaN-free and its half-width nonnegative (via the Tally
+        // variance clamp).
+        let cases: [&[f64]; 4] = [
+            &[1.0e12, 1.0e12, 1.0e12],
+            &[1.0e300, 1.0e300],
+            &[3.7, 1.0e15, 2.2, 8.0e14],
+            &[0.0, 0.0, 0.0, 0.0],
+        ];
+        for vs in cases {
+            let r: Replications = vs.iter().copied().collect();
+            assert!(!r.mean().is_nan());
+            assert!(!r.std_dev().is_nan(), "NaN std_dev for {vs:?}");
+            let ci = r.confidence_interval().unwrap();
+            assert!(!ci.mean.is_nan());
+            assert!(
+                !ci.half_width.is_nan() && ci.half_width >= 0.0,
+                "bad half-width {} for {vs:?}",
+                ci.half_width
+            );
+        }
+    }
 }

@@ -95,11 +95,17 @@ impl Tally {
 
     /// Unbiased sample variance (`n − 1` denominator); `0.0` for fewer than
     /// two observations.
+    ///
+    /// Clamped at zero: Welford's `m2` is nonnegative in exact
+    /// arithmetic, but catastrophic cancellation on extreme-magnitude
+    /// streams (heavy-traffic sojourn outliers near ρ → 1) can drive it
+    /// to a tiny negative, which would surface as NaN from
+    /// [`std_dev`](Tally::std_dev).
     pub fn variance(&self) -> f64 {
         if self.n < 2 {
             0.0
         } else {
-            self.m2 / (self.n - 1) as f64
+            (self.m2 / (self.n - 1) as f64).max(0.0)
         }
     }
 
@@ -224,5 +230,56 @@ mod tests {
         // huge mean.
         let t: Tally = (0..1000).map(|i| 1.0e9 + f64::from(i % 2)).collect();
         assert!((t.variance() - 0.2503).abs() < 0.01, "var={}", t.variance());
+    }
+
+    #[test]
+    fn extreme_value_streams_never_yield_nan_or_negative_variance() {
+        // Heavy-traffic sojourn streams mix moderate values with huge
+        // outliers across many orders of magnitude; the variance must
+        // stay finite-or-infinite and nonnegative, never NaN.
+        let streams: [&[f64]; 4] = [
+            &[1.0, 1.0e12, 2.0, 3.0e15, 4.0],
+            &[1.0e300, 1.0e300, 1.0e300],
+            &[5.0e-320, 1.0e-300, 2.0e-310],
+            &[0.0, 1.0e-30, 1.0e30, 7.3],
+        ];
+        for xs in streams {
+            let t: Tally = xs.iter().copied().collect();
+            assert!(!t.variance().is_nan(), "NaN variance for {xs:?}");
+            assert!(t.variance() >= 0.0, "negative variance for {xs:?}");
+            assert!(!t.std_dev().is_nan(), "NaN std_dev for {xs:?}");
+            assert!(!t.std_error().is_nan(), "NaN std_error for {xs:?}");
+        }
+    }
+
+    #[test]
+    fn identical_huge_observations_have_zero_variance() {
+        // The catastrophic-cancellation case the clamp guards: identical
+        // huge values can leave m2 a tiny negative in floating point.
+        for &v in &[1.0e15, 1.0e100, 1.0e300, 9.007199254740993e15] {
+            let t: Tally = std::iter::repeat_n(v, 1000).collect();
+            assert!(t.variance() >= 0.0, "negative variance at {v}");
+            assert!(!t.std_dev().is_nan(), "NaN std_dev at {v}");
+        }
+    }
+
+    #[test]
+    fn merging_huge_offset_tallies_stays_nonnegative() {
+        // Merging partitions whose means differ by many orders of
+        // magnitude exercises the delta²·n1·n2/total term.
+        let a: Tally = (0..100).map(|i| 1.0e12 + f64::from(i)).collect();
+        let b: Tally = (0..100).map(|i| f64::from(i) * 1.0e-6).collect();
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.count(), 200);
+        assert!(m.variance() >= 0.0);
+        assert!(!m.variance().is_nan());
+        assert!(!m.std_dev().is_nan());
+        // Also merge two identical-huge-value tallies.
+        let c: Tally = std::iter::repeat_n(1.0e300, 50).collect();
+        let mut d: Tally = std::iter::repeat_n(1.0e300, 50).collect();
+        d.merge(&c);
+        assert!(d.variance() >= 0.0);
+        assert!(!d.std_dev().is_nan());
     }
 }

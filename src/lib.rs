@@ -18,6 +18,9 @@
 //!   task trees);
 //! * [`system`] — the distributed system model: independent per-node
 //!   schedulers plus the process manager, with miss-ratio metrics;
+//! * [`analytic`] — closed-form M/M/c and Allen–Cunneen G/G/c
+//!   predictors that cross-validate the simulator and screen sweep
+//!   grids analytically;
 //! * [`experiments`] — the harness regenerating every table and figure.
 //!
 //! ## Quickstart
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub use sda_analytic as analytic;
 pub use sda_core as core;
 pub use sda_experiments as experiments;
 pub use sda_sched as sched;

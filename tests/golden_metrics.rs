@@ -351,6 +351,41 @@ fn golden_scripted_churn_pipelines() {
     }
 }
 
+/// The analytic-validation configuration of the cross-validation PR:
+/// the SSP baseline under FCFS at load 0.6 — a Jackson network whose
+/// closed-form predictions `sda-analytic` reproduces exactly (each node
+/// M/M/1 at ρ = 0.6: `Wq = 1.5`, `E[R_local] = 2.5`, serial m = 4 →
+/// `E[R_global] = 4 · 2.5 = 10` by product form). Pinning the seeded
+/// run alongside those theory values documents what the validation
+/// harness (`tests/analytic_validation.rs`) holds the simulator to; at
+/// this short horizon the sampled means sit near, not at, the
+/// steady-state numbers.
+#[test]
+fn golden_analytic_validation_jackson() {
+    let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
+    cfg.policy = Policy::Fcfs;
+    cfg.workload.load = 0.6;
+    check(
+        "analytic_validation_jackson",
+        &cfg,
+        0xA11C,
+        Fingerprint {
+            local_completed: 16033,
+            local_missed: 5609,
+            global_completed: 1342,
+            global_missed: 607,
+            local_miss_pct_bits: 4630120391014888494,
+            global_miss_pct_bits: 4631562514435556329,
+            local_resp_mean_bits: 4612734986586190000,
+            global_resp_mean_bits: 4621692084124127079,
+            util0_bits: 4603611866201721270,
+            qlen0_bits: 4607057521771570224,
+            transit_count: 0,
+            transit_mean_bits: 0,
+        },
+    );
+}
+
 #[test]
 fn golden_abort_tardy_mlf() {
     let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::ud_ud());
