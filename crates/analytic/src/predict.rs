@@ -224,7 +224,21 @@ pub fn predict(config: &SystemConfig) -> Result<Prediction, PredictError> {
             let es = rho / lam;
             let es2 = (1.0 + cs2) * (lr * s_local * s_local + sub_rate * s_sub * s_sub) / lam;
             let cs2_mix = (es2 / (es * es) - 1.0).max(0.0);
-            let q = GgcApprox::new(lam, 1.0 / es, 1, 1.0, cs2_mix)?;
+            let mut q = GgcApprox::new(lam, 1.0 / es, 1, 1.0, cs2_mix)?;
+            // When the service shape has a finite third moment, upgrade
+            // the waiting tail to the Takács/gamma fit. The mixture's
+            // third moment is the rate-weighted mix of the class
+            // moments (classes differ only in mean).
+            let es3_mix = match (
+                w.service.third_moment(s_local),
+                w.service.third_moment(s_sub),
+            ) {
+                (Some(m3_local), Some(m3_sub)) => Some((lr * m3_local + sub_rate * m3_sub) / lam),
+                _ => None,
+            };
+            if let Some(es3) = es3_mix {
+                q = q.with_service_third_moment(es3)?;
+            }
             NodeCalc {
                 local_rate: lr,
                 sub_service_mean: s_sub,

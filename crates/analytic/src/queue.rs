@@ -184,6 +184,16 @@ impl Mmc {
         self.lambda / (f64::from(self.servers) * self.mu)
     }
 
+    /// The arrival rate `lambda`.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The number of servers `c`.
+    pub fn servers(&self) -> u32 {
+        self.servers
+    }
+
     /// Erlang-C probability that an arrival must wait.
     pub fn p_wait(&self) -> f64 {
         self.p_wait

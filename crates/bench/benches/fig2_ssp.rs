@@ -19,6 +19,7 @@ fn reduced_opts() -> ExperimentOpts {
         shards: 1,
         order_fuzz: 0,
         screen: false,
+        mailbox_capacity: None,
         csv_dir: None,
     }
 }
@@ -35,9 +36,10 @@ fn bench_fig2(c: &mut Criterion) {
         shards: 1,
         order_fuzz: 0,
         screen: false,
+        mailbox_capacity: None,
         csv_dir: None,
     };
-    let data = fig2::run(&print_opts);
+    let data = fig2::run(&print_opts).unwrap();
     println!("{}", data.table(Metric::MdLocal));
     println!("{}", data.table(Metric::MdGlobal));
 
@@ -46,7 +48,7 @@ fn bench_fig2(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(8));
     group.bench_function("ssp_baseline_sweep_reduced", |b| {
         let opts = reduced_opts();
-        b.iter(|| black_box(fig2::run(&opts)));
+        b.iter(|| black_box(fig2::run(&opts).unwrap()));
     });
     group.finish();
 }

@@ -17,9 +17,10 @@ fn bench_fig3(c: &mut Criterion) {
         shards: 1,
         order_fuzz: 0,
         screen: false,
+        mailbox_capacity: None,
         csv_dir: None,
     };
-    let data = fig3::run(&print_opts);
+    let data = fig3::run(&print_opts).unwrap();
     println!("{}", data.table(Metric::MdLocal));
     println!("{}", data.table(Metric::MdGlobal));
 
@@ -36,9 +37,10 @@ fn bench_fig3(c: &mut Criterion) {
             shards: 1,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
             csv_dir: None,
         };
-        b.iter(|| black_box(fig3::run(&opts)));
+        b.iter(|| black_box(fig3::run(&opts).unwrap()));
     });
     group.finish();
 }

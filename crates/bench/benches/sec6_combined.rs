@@ -18,9 +18,10 @@ fn bench_sec6(c: &mut Criterion) {
         shards: 1,
         order_fuzz: 0,
         screen: false,
+        mailbox_capacity: None,
         csv_dir: None,
     };
-    let data = sec6::run(&print_opts);
+    let data = sec6::run(&print_opts).unwrap();
     println!("{}", data.table(Metric::MdLocal));
     println!("{}", data.table(Metric::MdGlobal));
 
@@ -37,9 +38,10 @@ fn bench_sec6(c: &mut Criterion) {
             shards: 1,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
             csv_dir: None,
         };
-        b.iter(|| black_box(sec6::run(&opts)));
+        b.iter(|| black_box(sec6::run(&opts).unwrap()));
     });
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! Runs every experiment in sequence and prints all tables — the data
 //! behind EXPERIMENTS.md.
 
-use sda_experiments::{ext, fig2, fig3, fig4, sec6, table1, ExperimentOpts, Metric};
+use sda_experiments::{ext, fig2, fig3, fig4, sec6, sweep_or_exit, table1, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
@@ -9,26 +9,44 @@ fn main() {
 
     let both = [Metric::MdLocal, Metric::MdGlobal];
     let sections: Vec<(&str, sda_experiments::SweepData)> = vec![
-        ("Fig 2", fig2::run(&opts)),
-        ("Fig 3", fig3::run(&opts)),
-        ("Fig 4", fig4::run(&opts)),
-        ("Sec 6", sec6::run(&opts)),
-        ("Ext: pex error", ext::pex_error::run(&opts)),
-        ("Ext: abort tardy", ext::abort_tardy::run(&opts)),
-        ("Ext: MLF", ext::mlf::run(&opts)),
-        ("Ext: subtask count", ext::subtask_count::run(&opts)),
-        ("Ext: hetero m", ext::hetero_m::run(&opts)),
-        ("Ext: hetero load", ext::hetero_load::run(&opts)),
-        ("Ext: rel_flex", ext::rel_flex::run(&opts)),
-        ("Ext: DIV-x sweep", ext::divx::run(&opts)),
-        ("Ext: GF", ext::gf::run(&opts)),
-        ("Ext: EQF artificial stages", ext::eqf_as::run(&opts)),
-        ("Ext: service CV²", ext::service_cv::run(&opts)),
+        ("Fig 2", sweep_or_exit(fig2::run(&opts))),
+        ("Fig 3", sweep_or_exit(fig3::run(&opts))),
+        ("Fig 4", sweep_or_exit(fig4::run(&opts))),
+        ("Sec 6", sweep_or_exit(sec6::run(&opts))),
+        ("Ext: pex error", sweep_or_exit(ext::pex_error::run(&opts))),
+        (
+            "Ext: abort tardy",
+            sweep_or_exit(ext::abort_tardy::run(&opts)),
+        ),
+        ("Ext: MLF", sweep_or_exit(ext::mlf::run(&opts))),
+        (
+            "Ext: subtask count",
+            sweep_or_exit(ext::subtask_count::run(&opts)),
+        ),
+        ("Ext: hetero m", sweep_or_exit(ext::hetero_m::run(&opts))),
+        (
+            "Ext: hetero load",
+            sweep_or_exit(ext::hetero_load::run(&opts)),
+        ),
+        ("Ext: rel_flex", sweep_or_exit(ext::rel_flex::run(&opts))),
+        ("Ext: DIV-x sweep", sweep_or_exit(ext::divx::run(&opts))),
+        ("Ext: GF", sweep_or_exit(ext::gf::run(&opts))),
+        (
+            "Ext: EQF artificial stages",
+            sweep_or_exit(ext::eqf_as::run(&opts)),
+        ),
+        (
+            "Ext: service CV²",
+            sweep_or_exit(ext::service_cv::run(&opts)),
+        ),
         (
             "Ext: heavy tail (Pareto)",
-            ext::service_cv::run_pareto(&opts),
+            sweep_or_exit(ext::service_cv::run_pareto(&opts)),
         ),
-        ("Ext: preemptive EDF", ext::preemption::run(&opts)),
+        (
+            "Ext: preemptive EDF",
+            sweep_or_exit(ext::preemption::run(&opts)),
+        ),
     ];
     for (name, data) in &sections {
         println!("==== {name} ====");

@@ -1,9 +1,9 @@
 //! Extension: firm deadlines (tardy jobs discarded at dispatch).
 
-use sda_experiments::{emit, ext::abort_tardy, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::abort_tardy, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = abort_tardy::run(&opts);
+    let data = sweep_or_exit(abort_tardy::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

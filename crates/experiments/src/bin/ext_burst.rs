@@ -2,17 +2,17 @@
 //! transients) and the feedback-adaptive `ADAPT(EQF)` strategy — the
 //! non-stationary scenario axis the paper leaves open.
 
-use sda_experiments::{emit, ext::burst, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::burst, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let bursty = burst::burstiness(&opts);
+    let bursty = sweep_or_exit(burst::burstiness(&opts));
     emit(
         &bursty,
         &opts,
         &[Metric::MdGlobal, Metric::MdLocal, Metric::GlobalResponse],
     );
-    let phased = burst::overload_phase(&opts);
+    let phased = sweep_or_exit(burst::overload_phase(&opts));
     emit(
         &phased,
         &opts,

@@ -2,17 +2,17 @@
 //! under crash/recovery churn with re-dispatch and mid-task deadline
 //! re-decomposition.
 
-use sda_experiments::{emit, ext::churn, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::churn, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let rates = churn::failure_rate(&opts);
+    let rates = sweep_or_exit(churn::failure_rate(&opts));
     emit(
         &rates,
         &opts,
         &[Metric::MdGlobal, Metric::MdLocal, Metric::Lost],
     );
-    let repairs = churn::repair_time(&opts);
+    let repairs = sweep_or_exit(churn::repair_time(&opts));
     emit(
         &repairs,
         &opts,

@@ -2,17 +2,17 @@
 //! DAG depth under critical-path deadline decomposition (the precedence
 //! axis the paper's serial-parallel trees leave open).
 
-use sda_experiments::{emit, ext::dag, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::dag, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let density = dag::edge_density(&opts);
+    let density = sweep_or_exit(dag::edge_density(&opts));
     emit(
         &density,
         &opts,
         &[Metric::MdGlobal, Metric::MdLocal, Metric::GlobalResponse],
     );
-    let depth = dag::depth(&opts);
+    let depth = sweep_or_exit(dag::depth(&opts));
     emit(
         &depth,
         &opts,

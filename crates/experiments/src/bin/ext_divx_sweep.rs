@@ -1,9 +1,9 @@
 //! Extension: choosing x for DIV-x.
 
-use sda_experiments::{emit, ext::divx, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::divx, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = divx::run(&opts);
+    let data = sweep_or_exit(divx::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

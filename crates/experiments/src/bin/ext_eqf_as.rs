@@ -1,10 +1,10 @@
 //! Extension: EQF with artificial stages (the paper's §7 future work).
 
-use sda_experiments::{emit, ext::eqf_as, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::eqf_as, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = eqf_as::run(&opts);
+    let data = sweep_or_exit(eqf_as::run(&opts));
     emit(
         &data,
         &opts,

@@ -1,9 +1,9 @@
 //! Extension: Globals First vs DIV-1 vs UD across frac_local.
 
-use sda_experiments::{emit, ext::gf, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::gf, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = gf::run(&opts);
+    let data = sweep_or_exit(gf::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,9 +1,9 @@
 //! Extension: unbalanced local loads (one hot node).
 
-use sda_experiments::{emit, ext::hetero_load, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::hetero_load, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = hetero_load::run(&opts);
+    let data = sweep_or_exit(hetero_load::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,9 +1,9 @@
 //! Extension: heterogeneous subtask counts (m ~ U{1..8}).
 
-use sda_experiments::{emit, ext::hetero_m, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::hetero_m, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = hetero_m::run(&opts);
+    let data = sweep_or_exit(hetero_m::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,9 +1,9 @@
 //! Extension: minimum-laxity-first local schedulers.
 
-use sda_experiments::{emit, ext::mlf, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::mlf, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = mlf::run(&opts);
+    let data = sweep_or_exit(mlf::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,17 +1,17 @@
 //! Extension: heterogeneous node speeds and inter-node message delays —
 //! the network-aware scenario axis the paper leaves open.
 
-use sda_experiments::{emit, ext::network, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::network, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let delays = network::delay_sensitivity(&opts);
+    let delays = sweep_or_exit(network::delay_sensitivity(&opts));
     emit(
         &delays,
         &opts,
         &[Metric::MdGlobal, Metric::MdLocal, Metric::Transit],
     );
-    let skew = network::speed_skew(&opts);
+    let skew = sweep_or_exit(network::speed_skew(&opts));
     emit(
         &skew,
         &opts,

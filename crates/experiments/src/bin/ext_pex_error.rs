@@ -1,9 +1,9 @@
 //! Extension: sensitivity to execution-time prediction error.
 
-use sda_experiments::{emit, ext::pex_error, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::pex_error, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = pex_error::run(&opts);
+    let data = sweep_or_exit(pex_error::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,9 +1,9 @@
 //! Extension beyond the paper: preemptive EDF node servers.
 
-use sda_experiments::{emit, ext::preemption, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::preemption, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = preemption::run(&opts);
+    let data = sweep_or_exit(preemption::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,9 +1,9 @@
 //! Extension: global slack tightness (rel_flex sweep).
 
-use sda_experiments::{emit, ext::rel_flex, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::rel_flex, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = rel_flex::run(&opts);
+    let data = sweep_or_exit(rel_flex::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,12 +1,12 @@
 //! Extension beyond the paper: service-time variability (CV² sweep and
 //! heavy-tailed Pareto execution times).
 
-use sda_experiments::{emit, ext::service_cv, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::service_cv, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = service_cv::run(&opts);
+    let data = sweep_or_exit(service_cv::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
-    let pareto = service_cv::run_pareto(&opts);
+    let pareto = sweep_or_exit(service_cv::run_pareto(&opts));
     emit(&pareto, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,9 +1,9 @@
 //! Extension: number of subtasks per global task.
 
-use sda_experiments::{emit, ext::subtask_count, ExperimentOpts, Metric};
+use sda_experiments::{emit, ext::subtask_count, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = subtask_count::run(&opts);
+    let data = sweep_or_exit(subtask_count::run(&opts));
     emit(&data, &opts, &[Metric::MdGlobal, Metric::MdLocal]);
 }

@@ -1,11 +1,11 @@
 //! Regenerates Figure 2: the four SSP strategies at the baseline,
 //! (a) local and (b) global missed-deadline percentages vs load.
 
-use sda_experiments::{emit, fig2, ExperimentOpts, Metric};
+use sda_experiments::{emit, fig2, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = fig2::run(&opts);
+    let data = sweep_or_exit(fig2::run(&opts));
     emit(
         &data,
         &opts,

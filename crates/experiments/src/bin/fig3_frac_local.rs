@@ -1,11 +1,11 @@
 //! Regenerates Figure 3: UD vs EQF as the fraction of local tasks
 //! varies at load 0.5.
 
-use sda_experiments::{emit, fig3, ExperimentOpts, Metric};
+use sda_experiments::{emit, fig3, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = fig3::run(&opts);
+    let data = sweep_or_exit(fig3::run(&opts));
     emit(&data, &opts, &[Metric::MdLocal, Metric::MdGlobal]);
     println!("(paper: UD curves rise with frac_local — discrimination against");
     println!(" globals grows; EQF curves stay nearly flat)");

@@ -1,11 +1,11 @@
 //! Regenerates Figure 4: UD vs DIV-1/DIV-2 (and GF) on the PSP
 //! baseline (parallel fans).
 
-use sda_experiments::{emit, fig4, ExperimentOpts, Metric};
+use sda_experiments::{emit, fig4, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = fig4::run(&opts);
+    let data = sweep_or_exit(fig4::run(&opts));
     emit(&data, &opts, &[Metric::MdLocal, Metric::MdGlobal]);
     println!("(paper: under UD globals miss ≈3× as often as locals; DIV-1");
     println!(" equalizes the classes; DIV-2 ≈ DIV-1; GF cuts MD_global further");

@@ -1,11 +1,11 @@
 //! Regenerates the Section 6 experiment: UD-UD, UD-DIV1, EQF-UD and
 //! EQF-DIV1 on serial-parallel tasks.
 
-use sda_experiments::{emit, sec6, ExperimentOpts, Metric};
+use sda_experiments::{emit, sec6, sweep_or_exit, ExperimentOpts, Metric};
 
 fn main() {
     let opts = ExperimentOpts::from_args();
-    let data = sec6::run(&opts);
+    let data = sweep_or_exit(sec6::run(&opts));
     emit(&data, &opts, &[Metric::MdLocal, Metric::MdGlobal]);
     println!("(paper: UD-UD misses vastly more global deadlines than local;");
     println!(" EQF or DIV-1 alone help; EQF-DIV1 keeps MD_global ≈ MD_local —");

@@ -47,7 +47,10 @@ fn main() {
         cfg.workload.frac_local = 1.0;
         cfg.workload.load = rho;
         cfg.policy = Policy::Fcfs;
-        let result = run_once(&cfg, &run).expect("valid config");
+        let result = run_once(&cfg, &run).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
         all_ok &= check(
             &format!("E[R] at rho={rho}"),
             result.metrics.local.response().mean(),
@@ -70,7 +73,10 @@ fn main() {
 
     println!("\n== Baseline system (Table 1) ==");
     let cfg = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
-    let result = run_once(&cfg, &run).expect("valid config");
+    let result = run_once(&cfg, &run).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     all_ok &= check(
         "mean node utilization == load",
         result.mean_utilization(),
@@ -79,8 +85,11 @@ fn main() {
     );
 
     println!("\n== Workload generator ==");
-    let mut factory =
-        TaskFactory::new(WorkloadConfig::baseline(), &RngFactory::new(run.seed)).expect("valid");
+    let mut factory = TaskFactory::new(WorkloadConfig::baseline(), &RngFactory::new(run.seed))
+        .unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
     let n = 50_000;
     let mean_work: f64 = (0..n)
         .map(|_| factory.make_global(0.0).spec.total_ex())

@@ -14,14 +14,14 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::{OverloadPolicy, SystemConfig};
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Load sweep.
 pub const LOADS: [f64; 4] = [0.3, 0.5, 0.7, 0.8];
 
 /// Runs the abort-tardy sweep: UD and EQF under the firm policy, with
 /// no-abort EQF as the reference.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy, overload: OverloadPolicy| {
         move |load: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -72,8 +72,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         // At high load, aborting saves both classes relative to no-abort.
         let abort = data.cell("EQF/abort", 0.8).unwrap();
         let keep = data.cell("EQF/no-abort", 0.8).unwrap();

@@ -28,7 +28,7 @@ use sda_core::{AdaptiveSlack, ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 use sda_workload::{ArrivalProcess, PhaseSegment};
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// MMPP quiet/burst rate ratios swept (1 = stationary Poisson).
 pub const BURST_RATIOS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
@@ -115,7 +115,7 @@ fn pipeline_config(strategy: SdaStrategy, arrivals: ArrivalProcess) -> SystemCon
 }
 
 /// Burstiness sweep: `MD` vs MMPP burst ratio.
-pub fn burstiness(opts: &ExperimentOpts) -> SweepData {
+pub fn burstiness(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -134,7 +134,7 @@ pub fn burstiness(opts: &ExperimentOpts) -> SweepData {
 }
 
 /// Overload-transient sweep: `MD` vs overload-phase length.
-pub fn overload_phase(opts: &ExperimentOpts) -> SweepData {
+pub fn overload_phase(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -167,6 +167,7 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         }
     }
 
@@ -182,7 +183,7 @@ mod tests {
 
     #[test]
     fn burstiness_hurts_and_adaptation_pays() {
-        let data = burstiness(&opts(71));
+        let data = burstiness(&opts(71)).unwrap();
         // Burstiness alone (same mean load) raises the global miss
         // ratio for the static strategies.
         for label in ["UD/DIV-1", "EQF/DIV-1"] {
@@ -204,7 +205,7 @@ mod tests {
 
     #[test]
     fn overload_phases_hurt_and_adaptation_pays() {
-        let data = overload_phase(&opts(72));
+        let data = overload_phase(&opts(72)).unwrap();
         // Short transients are absorbed by queueing; sustained overload
         // phases are not.
         let short = data.cell("EQF/DIV-1", 25.0).unwrap().md_global.mean;

@@ -25,7 +25,7 @@ use sda_core::SdaStrategy;
 use sda_system::{FailureModel, NetworkModel, SystemConfig};
 
 use crate::ext::burst::strategy_grid;
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Per-node failure rates swept (`1/MTTF`; 0 = failures disabled, the
 /// bit-exact baseline).
@@ -72,7 +72,7 @@ pub fn failures_at(rate: f64, mttr: f64) -> FailureModel {
 
 /// Failure-rate sweep: `MD` vs per-node failure rate at MTTR
 /// [`BASE_MTTR`].
-pub fn failure_rate(opts: &ExperimentOpts) -> SweepData {
+pub fn failure_rate(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -91,7 +91,7 @@ pub fn failure_rate(opts: &ExperimentOpts) -> SweepData {
 }
 
 /// Repair-time sweep: `MD` vs MTTR at failure rate [`MTTR_SWEEP_RATE`].
-pub fn repair_time(opts: &ExperimentOpts) -> SweepData {
+pub fn repair_time(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -124,12 +124,13 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         }
     }
 
     #[test]
     fn churn_degrades_md_monotonically_and_loses_work() {
-        let data = failure_rate(&opts(81));
+        let data = failure_rate(&opts(81)).unwrap();
         for label in ["UD/DIV-1", "EQF/DIV-1"] {
             let mut prev = f64::NEG_INFINITY;
             for &rate in &FAILURE_RATES {
@@ -164,7 +165,7 @@ mod tests {
         // The paper's headline — EQF beats UD — must survive a churning
         // fleet: re-decomposition hands every strategy the same residual
         // budgets, so the slack-division advantage carries over.
-        let data = failure_rate(&opts(82));
+        let data = failure_rate(&opts(82)).unwrap();
         for &rate in &FAILURE_RATES[1..] {
             let eqf = data.cell("EQF/DIV-1", rate).unwrap().md_global.mean;
             let ud = data.cell("UD/DIV-1", rate).unwrap().md_global.mean;
@@ -177,7 +178,7 @@ mod tests {
 
     #[test]
     fn longer_repairs_hurt() {
-        let data = repair_time(&opts(83));
+        let data = repair_time(&opts(83)).unwrap();
         let quick = data.cell("EQF/DIV-1", MTTRS[0]).unwrap().md_global.mean;
         let slow = data.cell("EQF/DIV-1", MTTRS[3]).unwrap().md_global.mean;
         assert!(

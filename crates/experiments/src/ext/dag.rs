@@ -26,7 +26,7 @@ use sda_system::SystemConfig;
 use sda_workload::{GlobalShape, SlackRange};
 
 use crate::ext::burst::strategy_grid;
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Optional-edge probabilities swept (1.0 = stage-structured limit).
 pub const EDGE_DENSITIES: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
@@ -61,7 +61,7 @@ pub fn dag_config(strategy: SdaStrategy, depth: usize, edge_density: f64) -> Sys
 }
 
 /// Edge-density sweep: `MD` vs the optional-edge probability.
-pub fn edge_density(opts: &ExperimentOpts) -> SweepData {
+pub fn edge_density(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -80,7 +80,7 @@ pub fn edge_density(opts: &ExperimentOpts) -> SweepData {
 }
 
 /// Depth sweep: `MD` vs the number of DAG layers.
-pub fn depth(opts: &ExperimentOpts) -> SweepData {
+pub fn depth(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -107,6 +107,7 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         }
     }
 
@@ -126,7 +127,7 @@ mod tests {
 
     #[test]
     fn deadline_assignment_pays_on_dags() {
-        let data = edge_density(&opts(81));
+        let data = edge_density(&opts(81)).unwrap();
         // The slack-division insight survives the DAG generalization:
         // EQF/DIV-1 beats the do-nothing UD/DIV-1 baseline at every
         // density.
@@ -142,7 +143,7 @@ mod tests {
 
     #[test]
     fn depth_stresses_serial_decomposition() {
-        let data = depth(&opts(82));
+        let data = depth(&opts(82)).unwrap();
         // Deeper DAGs are harder end to end for the do-nothing baseline
         // (same effect as the §4.3 chain-length sweep)…
         let shallow = data.cell("UD/DIV-1", 2.0).unwrap().md_global.mean;

@@ -8,7 +8,7 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// The x values to sweep (UD is shown as the x = 0.125 asymptote
 /// separately).
@@ -18,7 +18,7 @@ pub const XS: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
 pub const LOAD: f64 = 0.7;
 
 /// Runs the DIV-x parameter sweep on the PSP baseline.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series = vec![SeriesSpec::new("DIV-x", |x: f64| {
         let mut cfg = SystemConfig::psp_baseline(SdaStrategy::new(
             SerialStrategy::UltimateDeadline,
@@ -52,8 +52,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         let md = |x: f64| data.cell("DIV-x", x).unwrap().md_global.mean;
         // Going from 0.25 to 1 helps a lot…
         assert!(

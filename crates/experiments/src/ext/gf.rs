@@ -7,7 +7,7 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Fraction-of-local sweep.
 pub const FRACS: [f64; 4] = [0.25, 0.5, 0.75, 0.9];
@@ -16,7 +16,7 @@ pub const FRACS: [f64; 4] = [0.25, 0.5, 0.75, 0.9];
 pub const LOAD: f64 = 0.7;
 
 /// Runs the GF study on the PSP baseline.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |parallel: ParallelStrategy| {
         move |frac: f64| {
             let mut cfg = SystemConfig::psp_baseline(SdaStrategy::new(
@@ -58,8 +58,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         let gf = data.cell("GF", 0.9).unwrap();
         let ud = data.cell("UD", 0.9).unwrap();
         assert!(

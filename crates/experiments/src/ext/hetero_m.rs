@@ -8,13 +8,13 @@ use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 use sda_workload::GlobalShape;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Load sweep.
 pub const LOADS: [f64; 3] = [0.3, 0.5, 0.7];
 
 /// Runs the heterogeneous-m sweep: UD and EQF with `m ~ U{1..8}`.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy, shape: GlobalShape| {
         move |load: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -63,8 +63,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         let ud = data.cell("UD m~U{1..8}", 0.5).unwrap().md_global.mean;
         let eqf = data.cell("EQF m~U{1..8}", 0.5).unwrap().md_global.mean;
         assert!(eqf < ud, "EQF ({eqf:.1}%) must beat UD ({ud:.1}%)");

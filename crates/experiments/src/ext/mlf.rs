@@ -8,13 +8,13 @@ use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_sched::Policy;
 use sda_system::SystemConfig;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Load sweep.
 pub const LOADS: [f64; 3] = [0.3, 0.5, 0.7];
 
 /// Runs the MLF sweep: UD and EQF under MLF, with EDF-EQF as reference.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy, policy: Policy| {
         move |load: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -68,8 +68,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         let ud = data.cell("UD/MLF", 0.5).unwrap().md_global.mean;
         let eqf = data.cell("EQF/MLF", 0.5).unwrap().md_global.mean;
         assert!(eqf < ud, "EQF/MLF ({eqf:.1}%) must beat UD/MLF ({ud:.1}%)");

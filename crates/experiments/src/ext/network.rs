@@ -17,7 +17,7 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::{NetworkModel, SystemConfig};
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Mean per-hop delays swept (0 = the paper's free communication, via
 /// `NetworkModel::Zero`), in units of the mean subtask service time.
@@ -59,7 +59,7 @@ pub fn speed_ramp(k: usize, s: f64) -> Vec<f64> {
 }
 
 /// Delay-sensitivity sweep: `MD` vs mean exponential hop delay.
-pub fn delay_sensitivity(opts: &ExperimentOpts) -> SweepData {
+pub fn delay_sensitivity(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -84,7 +84,7 @@ pub fn delay_sensitivity(opts: &ExperimentOpts) -> SweepData {
 }
 
 /// Heterogeneity sweep: `MD` vs node speed skew.
-pub fn speed_skew(opts: &ExperimentOpts) -> SweepData {
+pub fn speed_skew(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = strategy_grid()
         .into_iter()
         .map(|(label, strategy)| {
@@ -124,6 +124,7 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         }
     }
 
@@ -144,7 +145,7 @@ mod tests {
 
     #[test]
     fn delays_hurt_and_slack_reservation_helps() {
-        let data = delay_sensitivity(&opts(91));
+        let data = delay_sensitivity(&opts(91)).unwrap();
         // Delay raises the global miss ratio for every strategy.
         for label in &data.series_labels {
             let free = data.cell(label, 0.0).unwrap().md_global.mean;
@@ -173,7 +174,7 @@ mod tests {
 
     #[test]
     fn speed_skew_degrades_service() {
-        let data = speed_skew(&opts(92));
+        let data = speed_skew(&opts(92)).unwrap();
         // A strongly skewed system misses more than a balanced one: the
         // slow nodes bottleneck (utilization there scales as 1/(1−s)).
         for label in ["EQF/DIV-1", "UD/DIV-1"] {

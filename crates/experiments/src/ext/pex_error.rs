@@ -8,13 +8,13 @@ use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 use sda_workload::PexModel;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Relative error half-widths, 0 (perfect) to 1 (±100%).
 pub const ERRORS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 /// Runs the prediction-error sweep at the SSP baseline load (0.5).
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy| {
         move |error: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -59,8 +59,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         // UD ignores pex, so its curve is flat up to noise.
         let ud0 = data.cell("UD", 0.0).unwrap().md_global.mean;
         let ud1 = data.cell("UD", 1.0).unwrap().md_global.mean;

@@ -14,14 +14,14 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Load sweep.
 pub const LOADS: [f64; 3] = [0.3, 0.5, 0.7];
 
 /// Runs the preemption ablation: UD and EQF on preemptive EDF nodes,
 /// with non-preemptive EQF as the reference.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy, preemptive: bool| {
         move |load: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -66,8 +66,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         let ud = data.cell("UD/preempt", 0.5).unwrap().md_global.mean;
         let eqf = data.cell("EQF/preempt", 0.5).unwrap().md_global.mean;
         assert!(

@@ -7,13 +7,13 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Relative flexibility of globals, tight to loose.
 pub const REL_FLEX: [f64; 6] = [0.125, 0.25, 0.5, 1.0, 4.0, 16.0];
 
 /// Runs the rel_flex sweep at load 0.5: UD vs EQF.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy| {
         move |rel_flex: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -53,8 +53,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         let gain = |rf: f64| {
             data.cell("UD", rf).unwrap().md_global.mean
                 - data.cell("EQF", rf).unwrap().md_global.mean
@@ -92,12 +93,14 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let unscreened = run(&base);
+        let unscreened = run(&base).unwrap();
         let screened = run(&ExperimentOpts {
             screen: true,
             ..base
-        });
+        })
+        .unwrap();
 
         let mut n_screened = 0;
         let mut n_total = 0;

@@ -8,13 +8,13 @@ use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 use sda_workload::GlobalShape;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// Chain lengths to sweep.
 pub const MS: [f64; 5] = [1.0, 2.0, 4.0, 8.0, 12.0];
 
 /// Runs the subtask-count sweep at load 0.5: UD vs EQF.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy| {
         move |m: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -54,8 +54,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         let gap = |m: f64| {
             let ud = data.cell("UD", m).unwrap().md_global.mean;
             let eqf = data.cell("EQF", m).unwrap().md_global.mean;

@@ -11,13 +11,13 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// The paper's x axis: load from 0.1 to 0.5.
 pub const LOADS: [f64; 5] = [0.1, 0.2, 0.3, 0.4, 0.5];
 
 /// Runs the Figure 2 sweep: all four SSP strategies over [`LOADS`].
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let series: Vec<SeriesSpec> = SerialStrategy::ALL
         .iter()
         .map(|&s| {
@@ -57,8 +57,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         // (b): at load 0.5, EQF must beat UD for global tasks, clearly.
         let ud = data.cell("UD", 0.5).unwrap().md_global.mean;
         let eqf = data.cell("EQF", 0.5).unwrap().md_global.mean;

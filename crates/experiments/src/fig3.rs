@@ -8,13 +8,13 @@
 use sda_core::{ParallelStrategy, SdaStrategy, SerialStrategy};
 use sda_system::SystemConfig;
 
-use crate::harness::{run_sweep, ExperimentOpts, SeriesSpec, SweepData};
+use crate::harness::{run_sweep, ExperimentOpts, RunError, SeriesSpec, SweepData};
 
 /// The paper's x axis: `frac_local` from 0.1 to 0.95.
 pub const FRACS: [f64; 6] = [0.1, 0.25, 0.5, 0.75, 0.9, 0.95];
 
 /// Runs the Figure 3 sweep: UD and EQF over [`FRACS`] at load 0.5.
-pub fn run(opts: &ExperimentOpts) -> SweepData {
+pub fn run(opts: &ExperimentOpts) -> Result<SweepData, RunError> {
     let mk = |serial: SerialStrategy| {
         move |frac: f64| {
             let mut cfg = SystemConfig::ssp_baseline(SdaStrategy::new(
@@ -54,8 +54,9 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         };
-        let data = run(&opts);
+        let data = run(&opts).unwrap();
         // UD's global misses rise with frac_local.
         let ud_lo = data.cell("UD", 0.1).unwrap().md_global.mean;
         let ud_hi = data.cell("UD", 0.95).unwrap().md_global.mean;

@@ -7,8 +7,10 @@ use std::sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use sda_system::{
-    run_replications_sharded, run_replications_with_threads, RunConfig, SystemConfig,
+    run_replications_sharded_with_capacity, run_replications_with_threads, RunConfig, SystemConfig,
 };
+
+pub use sda_system::RunError;
 
 /// Run-scale options shared by all experiments.
 ///
@@ -44,6 +46,13 @@ pub struct ExperimentOpts {
     /// cannot handle (adaptive strategies, non-Poisson arrivals, …) are
     /// always simulated.
     pub screen: bool,
+    /// Explicit cross-shard mailbox capacity (`--mailbox-capacity N`;
+    /// `None` = the engine default, 2¹⁴). Only meaningful with
+    /// `--shards`; a window that buffers more than this many events
+    /// aborts the sweep with a structured mailbox-overflow error
+    /// instead of buffering without bound.
+    #[serde(default)]
+    pub mailbox_capacity: Option<usize>,
 }
 
 /// Lower edge of the "interesting" predicted-miss band (percent): grid
@@ -66,6 +75,7 @@ impl Default for ExperimentOpts {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         }
     }
 }
@@ -116,7 +126,8 @@ impl ExperimentOpts {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: [--full|--quick|--smoke] [--reps N] [--duration T] [--warmup T] \
-                 [--seed S] [--threads N] [--shards N] [--csv DIR] [--order-fuzz S] [--screen]"
+                 [--seed S] [--threads N] [--shards N] [--mailbox-capacity N] [--csv DIR] \
+                 [--order-fuzz S] [--screen]"
             );
             std::process::exit(2);
         })
@@ -192,6 +203,13 @@ impl ExperimentOpts {
                 "--screen" => {
                     opts.screen = true;
                 }
+                "--mailbox-capacity" => {
+                    opts.mailbox_capacity = Some(
+                        value_of("--mailbox-capacity")?
+                            .parse()
+                            .map_err(|e| format!("--mailbox-capacity: {e}"))?,
+                    );
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -200,6 +218,9 @@ impl ExperimentOpts {
         }
         if opts.shards == 0 {
             return Err("--shards must be ≥ 1".to_string());
+        }
+        if opts.mailbox_capacity == Some(0) {
+            return Err("--mailbox-capacity must be ≥ 1".to_string());
         }
         Ok(opts)
     }
@@ -509,17 +530,21 @@ pub fn emit(data: &SweepData, opts: &ExperimentOpts, metrics: &[Metric]) {
 /// [`PointStat::is_screened`]). Simulated points keep the exact seed
 /// lineage of an unscreened run, so their cells are bit-identical.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if any configuration fails validation — experiment definitions
-/// are static, so an invalid one is a programming error.
+/// Returns the first failing point's [`RunError`] (in deterministic
+/// point order, independent of worker scheduling): `Config` if a
+/// configuration fails validation, `MailboxOverflow` if a sharded run
+/// overruns its cross-shard mailbox (`--shards` with a tight
+/// `--mailbox-capacity`). The sweep binaries surface this as a one-line
+/// `error: …` with a nonzero exit instead of a panic backtrace.
 pub fn run_sweep(
     title: &str,
     x_label: &str,
     xs: &[f64],
     series: &[SeriesSpec],
     opts: &ExperimentOpts,
-) -> SweepData {
+) -> Result<SweepData, RunError> {
     struct Point {
         si: usize,
         xi: usize,
@@ -536,7 +561,8 @@ pub fn run_sweep(
         }
     }
 
-    let results: Mutex<Vec<Option<CellStats>>> = Mutex::new(vec![None; points.len()]);
+    let results: Mutex<Vec<Option<Result<CellStats, RunError>>>> =
+        Mutex::new(vec![None; points.len()]);
     let next = AtomicUsize::new(0);
     let workers = opts.worker_count().min(points.len()).max(1);
     let base_run = opts.run_config();
@@ -573,7 +599,7 @@ pub fn run_sweep(
                                 transit: PointStat::screened(p.config.network.expected_hop_delay()),
                                 lost: PointStat::screened(0.0),
                             };
-                            results.lock().expect("no poisoned lock")[i] = Some(cell);
+                            results.lock().expect("no poisoned lock")[i] = Some(Ok(cell));
                             continue;
                         }
                     }
@@ -598,13 +624,18 @@ pub fn run_sweep(
                 // points are scarcer than cores. Results are identical
                 // either way (shard count is not a semantic knob).
                 let rep = if opts.shards > 1 {
-                    run_replications_sharded(&p.config, &run, opts.reps, opts.shards)
-                        .expect("experiment configurations are valid")
+                    run_replications_sharded_with_capacity(
+                        &p.config,
+                        &run,
+                        opts.reps,
+                        opts.shards,
+                        opts.mailbox_capacity,
+                    )
                 } else {
                     run_replications_with_threads(&p.config, &run, opts.reps, 1)
-                        .expect("experiment configurations are valid")
+                        .map_err(RunError::from)
                 };
-                let cell = CellStats {
+                let cell = rep.map(|rep| CellStats {
                     md_local: PointStat::from_reps(&rep.local_miss_pct),
                     md_global: PointStat::from_reps(&rep.global_miss_pct),
                     subtask_miss: PointStat::from_reps(&rep.subtask_miss_pct),
@@ -613,25 +644,37 @@ pub fn run_sweep(
                     local_response: PointStat::from_reps(&rep.local_response),
                     transit: PointStat::from_reps(&rep.transit),
                     lost: PointStat::from_reps(&rep.lost),
-                };
+                });
                 results.lock().expect("no poisoned lock")[i] = Some(cell);
             });
         }
     });
 
+    // Surface the first failure in deterministic *point* order (not
+    // completion order), so the reported error is scheduling-invariant.
     let results = results.into_inner().expect("no poisoned lock");
     let mut cells = vec![vec![]; series.len()];
     for (p, cell) in points.iter().zip(results) {
         debug_assert_eq!(cells[p.si].len(), p.xi);
-        cells[p.si].push(cell.expect("every point computed"));
+        cells[p.si].push(cell.expect("every point computed")?);
     }
-    SweepData {
+    Ok(SweepData {
         title: title.to_string(),
         x_label: x_label.to_string(),
         xs: xs.to_vec(),
         series_labels: series.iter().map(|s| s.label.clone()).collect(),
         cells,
-    }
+    })
+}
+
+/// Unwraps a sweep result in a binary's `main`: on error, prints the
+/// structured one-line `error: …` to stderr and exits with status 1
+/// (no panic backtrace).
+pub fn sweep_or_exit(result: Result<SweepData, RunError>) -> SweepData {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    })
 }
 
 #[cfg(test)]
@@ -650,6 +693,7 @@ mod tests {
             csv_dir: None,
             order_fuzz: 0,
             screen: false,
+            mailbox_capacity: None,
         }
     }
 
@@ -681,6 +725,58 @@ mod tests {
         assert!(!smoke.screen);
         let screened = ExperimentOpts::parse(&["--screen".into()]).unwrap();
         assert!(screened.screen);
+    }
+
+    #[test]
+    fn parse_mailbox_capacity_flag() {
+        assert_eq!(ExperimentOpts::default().mailbox_capacity, None);
+        let opts = ExperimentOpts::parse(&["--mailbox-capacity".into(), "4096".into()]).unwrap();
+        assert_eq!(opts.mailbox_capacity, Some(4096));
+        assert!(ExperimentOpts::parse(&["--mailbox-capacity".into(), "0".into()]).is_err());
+        assert!(ExperimentOpts::parse(&["--mailbox-capacity".into()]).is_err());
+        assert!(ExperimentOpts::parse(&["--mailbox-capacity".into(), "many".into()]).is_err());
+    }
+
+    #[test]
+    fn tiny_mailbox_fails_the_sweep_with_a_structured_error() {
+        // Regression: a cross-shard mailbox overflow used to panic the
+        // sweep worker thread (`expect("experiment configurations are
+        // valid")`), tearing down the whole binary with a backtrace.
+        // It must surface as a structured `RunError` instead.
+        let build = |load: f64| {
+            let mut c = SystemConfig::ssp_baseline(SdaStrategy::eqf_ud());
+            c.workload.load = load;
+            c.network = sda_system::NetworkModel::Constant { delay: 1.0 };
+            c
+        };
+        let series = vec![SeriesSpec::new("EQF", build)];
+        let opts = ExperimentOpts {
+            shards: 3,
+            mailbox_capacity: Some(1),
+            ..tiny_opts()
+        };
+        let err = run_sweep("tiny-mailbox", "load", &[0.6], &series, &opts)
+            .expect_err("a 1-slot mailbox cannot hold a window of hand-offs");
+        assert!(
+            matches!(err, RunError::MailboxOverflow { capacity: 1, .. }),
+            "unexpected error: {err:?}"
+        );
+        assert!(
+            err.to_string().contains("mailbox overflow (capacity 1)"),
+            "one-line message lost its context: {err}"
+        );
+        // A generous capacity on the same grid succeeds.
+        let ok = run_sweep(
+            "roomy-mailbox",
+            "load",
+            &[0.6],
+            &series,
+            &ExperimentOpts {
+                mailbox_capacity: Some(1 << 14),
+                ..opts
+            },
+        );
+        assert!(ok.is_ok());
     }
 
     #[test]
@@ -743,7 +839,7 @@ mod tests {
                 c
             }),
         ];
-        let data = run_sweep("smoke", "load", &[0.3, 0.5], &series, &tiny_opts());
+        let data = run_sweep("smoke", "load", &[0.3, 0.5], &series, &tiny_opts()).unwrap();
         assert_eq!(data.cells.len(), 2);
         assert_eq!(data.cells[0].len(), 2);
         assert!(data.cell("UD", 0.5).is_some());
@@ -821,7 +917,7 @@ mod tests {
             csv_dir: Some(dir.clone()),
             ..tiny_opts()
         };
-        let data = run_sweep("CSV smoke — test", "load", &[0.3], &series, &opts);
+        let data = run_sweep("CSV smoke — test", "load", &[0.3], &series, &opts).unwrap();
         emit(&data, &opts, &[Metric::MdGlobal]);
         let entries: Vec<_> = std::fs::read_dir(&dir)
             .expect("csv dir created")

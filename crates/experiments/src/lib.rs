@@ -34,7 +34,10 @@
 //! `--reps N`, `--duration T`, `--warmup T`, `--seed S`, `--threads N`,
 //! `--shards N` (split each run across N cores via the sharded
 //! conservative-parallel engine — results are identical for any shard
-//! count), and `--screen` (analytic screening: grid points whose
+//! count), `--mailbox-capacity N` (explicit cross-shard mailbox bound;
+//! a sweep point that overflows it aborts the sweep with a one-line
+//! structured error instead of buffering without bound), and
+//! `--screen` (analytic screening: grid points whose
 //! closed-form predicted miss ratio falls outside
 //! [`SCREEN_LO_PCT`]‥[`SCREEN_HI_PCT`] are not simulated; their cells
 //! carry the analytic value with a `screened` CSV marker, while the
@@ -54,6 +57,6 @@ pub mod sec6;
 pub mod table1;
 
 pub use harness::{
-    emit, run_sweep, CellStats, ExperimentOpts, Metric, PointStat, SeriesSpec, SweepData,
-    SCREEN_HI_PCT, SCREEN_LO_PCT,
+    emit, run_sweep, sweep_or_exit, CellStats, ExperimentOpts, Metric, PointStat, RunError,
+    SeriesSpec, SweepData, SCREEN_HI_PCT, SCREEN_LO_PCT,
 };

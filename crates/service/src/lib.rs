@@ -1,0 +1,114 @@
+//! The live deadline-assignment service: the paper's process manager as
+//! a runnable runtime instead of a simulation model.
+//!
+//! Everything below `crates/system` answers "what would the strategies
+//! do?" by simulation; this crate answers "what do they do?" by running
+//! the same process-manager logic — arrivals, virtual-deadline
+//! assignment through the **unchanged**
+//! [`DeadlineAssigner`](sda_core::DeadlineAssigner) strategies,
+//! precedence bookkeeping, dispatch — against real worker threads on a
+//! real clock.
+//!
+//! # Clock duality
+//!
+//! Time is abstracted behind the [`Clock`] trait with two
+//! implementations:
+//!
+//! * [`WallClock`] — wall time, scaled so one wall-clock second covers a
+//!   configurable number of simulated time units. Drives the
+//!   thread-per-worker runtime in [`wall`].
+//! * [`LogicalClock`] — a logical clock advanced by an event heap.
+//!   Drives the single-threaded runtime in [`logical`], which executes
+//!   the *identical* manager logic deterministically. The existing
+//!   simulator ([`sda_system::run_once`]) is thereby the service's test
+//!   double: on any configuration both support, the logical-clock
+//!   service reproduces the simulator's [`RunResult`] bit for bit (see
+//!   the `service_equivalence` integration test).
+//!
+//! # Deadline QoS
+//!
+//! The [`QosMonitor`] tracks per-class violation statuses in the style
+//! of DDS deadline contracts: requested-vs-observed deadline checks,
+//! cumulative and incremental violation counts, and a warm-up-resettable
+//! EWMA miss ratio. It is a pure observer — the `ADAPT(base)` control
+//! loop keeps reading [`Metrics::feedback`](sda_system::Metrics), which
+//! both runtimes maintain exactly as the simulator does.
+//!
+//! [`RunResult`]: sda_system::RunResult
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod clock;
+pub mod logical;
+mod manager;
+pub mod qos;
+pub mod wall;
+
+pub use clock::{Clock, LogicalClock, WallClock};
+pub use qos::{DeadlineContract, QosMonitor, QosReport, ServiceClass, ViolationStatus};
+
+use sda_workload::ConfigError;
+
+/// Why the service refused to run (or aborted a run).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// Invalid workload/system configuration.
+    Config(ConfigError),
+    /// The configuration asks for a model feature the service runtime
+    /// does not implement (the message names it). The simulator under
+    /// `crates/system` supports the full model; the live runtime covers
+    /// the paper's core space — free communication, no failure
+    /// injection.
+    Unsupported(&'static str),
+    /// The deadline budget a worker offers is laxer than the budget the
+    /// submitters request — the QoS contract cannot be satisfied (DDS
+    /// deadline-compatibility rule: offered must be ≤ requested).
+    IncompatibleContract {
+        /// The per-task deadline budget the service offers.
+        offered: f64,
+        /// The per-task deadline budget the submitters request.
+        requested: f64,
+    },
+    /// A runtime parameter is out of range.
+    BadParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Config(e) => write!(f, "{e}"),
+            ServiceError::Unsupported(what) => {
+                write!(f, "unsupported by the live service runtime: {what}")
+            }
+            ServiceError::IncompatibleContract { offered, requested } => write!(
+                f,
+                "incompatible deadline contract: offered budget {offered} exceeds \
+                 requested budget {requested}"
+            ),
+            ServiceError::BadParameter { what, value } => {
+                write!(f, "bad service parameter: {what} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServiceError {
+    fn from(e: ConfigError) -> Self {
+        ServiceError::Config(e)
+    }
+}

@@ -1,0 +1,402 @@
+//! The process-manager core shared by the logical- and wall-clock
+//! runtimes: task admission, virtual-deadline assignment through the
+//! unchanged [`DeadlineAssigner`](sda_core::DeadlineAssigner)
+//! strategies, precedence bookkeeping,
+//! metrics and QoS observation.
+//!
+//! This is a faithful re-statement of the simulator's
+//! `SystemModel` manager logic restricted to the space the live
+//! runtime supports (free communication, no failure injection): the
+//! order of every metric and feedback mutation matches the simulator's
+//! handlers, which is what makes the logical-clock runtime bit-equal to
+//! [`sda_system::run_once`].
+
+use sda_core::{DagRun, FlatRun, SdaStrategy, Submission, TaskId};
+use sda_sched::{Job, JobOrigin};
+use sda_sim::SimTime;
+use sda_system::{Metrics, Node, OverloadPolicy};
+
+use crate::qos::{QosMonitor, ServiceClass};
+
+/// The pooled per-task runtime, one variant per configured shape
+/// (the service-side counterpart of the simulator's pooled run).
+// Same trade-off as the simulator's PooledRun: slots live in a
+// long-lived slab and a run only ever holds one variant, so boxing the
+// larger one would buy nothing but an indirection per admit/complete.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub(crate) enum PooledRun {
+    /// Stage-structured task (serial chains, fans, pipelines of fans).
+    Flat(FlatRun),
+    /// DAG-structured task (arbitrary fan-out/fan-in).
+    Dag(DagRun),
+}
+
+impl PooledRun {
+    fn set_slack_scale(&mut self, scale: f64) {
+        match self {
+            PooledRun::Flat(run) => run.set_slack_scale(scale),
+            PooledRun::Dag(run) => run.set_slack_scale(scale),
+        }
+    }
+
+    pub(crate) fn arrival(&self) -> f64 {
+        match self {
+            PooledRun::Flat(run) => run.arrival(),
+            PooledRun::Dag(run) => run.arrival(),
+        }
+    }
+
+    fn global_deadline(&self) -> f64 {
+        match self {
+            PooledRun::Flat(run) => run.global_deadline(),
+            PooledRun::Dag(run) => run.global_deadline(),
+        }
+    }
+
+    fn start(&mut self, strategy: &SdaStrategy, now: f64, out: &mut Vec<Submission>) {
+        match self {
+            PooledRun::Flat(run) => run.start(strategy, now, out),
+            PooledRun::Dag(run) => run.start(strategy, now, out),
+        }
+    }
+
+    fn complete(
+        &mut self,
+        subtask: sda_core::SubtaskRef,
+        strategy: &SdaStrategy,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) -> bool {
+        match self {
+            PooledRun::Flat(run) => run.complete(subtask, strategy, now, out),
+            PooledRun::Dag(run) => run.complete(subtask, strategy, now, out),
+        }
+    }
+}
+
+/// One slot of the manager's task slab (generation-stamped, recycled).
+#[derive(Debug)]
+struct TaskSlot {
+    gen: u32,
+    live: bool,
+    run: PooledRun,
+    aborted: bool,
+    outstanding: u32,
+}
+
+/// Packs a slab position into a [`TaskId`]: generation above, slot
+/// below — the same packing the simulator uses.
+#[inline]
+fn global_task_id(gen: u32, slot: u32) -> TaskId {
+    TaskId::new((u64::from(gen) << 32) | u64::from(slot))
+}
+
+/// What a global subtask completion led to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum SubtaskOutcome {
+    /// The whole task finished; `missed` is the end-to-end verdict.
+    Finished {
+        /// Whether the end-to-end deadline was missed.
+        missed: bool,
+    },
+    /// The task continues; the follow-up wave was written to `out`.
+    Progressed,
+    /// The task was already aborted; the completion was swallowed.
+    Swallowed,
+}
+
+/// What a discarded job led to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum DiscardOutcome {
+    /// A local task was discarded (terminal).
+    Local,
+    /// The discard aborted its global task (first discard: terminal).
+    GlobalAborted,
+    /// The global task was already aborted; only the subtask-level
+    /// accounting changed.
+    GlobalAlreadyDead,
+}
+
+/// The process-manager state machine, clock-agnostic.
+///
+/// Both runtimes drive it the same way: [`admit_global`] on a global
+/// arrival, [`local_done`]/[`subtask_done`] on completions,
+/// [`job_discarded`] on admission-policy discards, [`reset_warmup`] at
+/// the warm-up boundary. All submission waves are written to
+/// caller-provided buffers so the caller controls delivery (inline for
+/// the logical runtime, channels for the wall runtime).
+///
+/// [`admit_global`]: ManagerCore::admit_global
+/// [`local_done`]: ManagerCore::local_done
+/// [`subtask_done`]: ManagerCore::subtask_done
+/// [`job_discarded`]: ManagerCore::job_discarded
+/// [`reset_warmup`]: ManagerCore::reset_warmup
+#[derive(Debug)]
+pub(crate) struct ManagerCore {
+    strategy: SdaStrategy,
+    dag_tasks: bool,
+    tasks: Vec<TaskSlot>,
+    task_free: Vec<u32>,
+    in_flight: usize,
+    next_local_id: u64,
+    metrics: Metrics,
+    qos: QosMonitor,
+}
+
+impl ManagerCore {
+    pub(crate) fn new(strategy: SdaStrategy, dag_tasks: bool) -> ManagerCore {
+        ManagerCore {
+            strategy,
+            dag_tasks,
+            tasks: Vec::new(),
+            task_free: Vec::new(),
+            in_flight: 0,
+            next_local_id: 0,
+            metrics: Metrics::new(),
+            qos: QosMonitor::new(),
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub(crate) fn qos(&self) -> &QosMonitor {
+        &self.qos
+    }
+
+    pub(crate) fn tasks_in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The `ADAPT(base)` slack-share multiplier for the next stage
+    /// activation; exactly `1.0` for open-loop strategies.
+    #[inline]
+    fn adapt_scale(&self) -> f64 {
+        match self.strategy.adapt {
+            Some(adapt) => adapt.scale(self.metrics.feedback.pressure()),
+            None => 1.0,
+        }
+    }
+
+    pub(crate) fn fresh_local_id(&mut self) -> TaskId {
+        let id = TaskId::new(self.next_local_id);
+        self.next_local_id += 1;
+        id
+    }
+
+    fn acquire_task_slot(&mut self) -> u32 {
+        let slot = match self.task_free.pop() {
+            Some(slot) => slot,
+            None => {
+                let slot = u32::try_from(self.tasks.len())
+                    .expect("more than u32::MAX in-flight global tasks");
+                self.tasks.push(TaskSlot {
+                    gen: 0,
+                    live: false,
+                    run: if self.dag_tasks {
+                        PooledRun::Dag(DagRun::new())
+                    } else {
+                        PooledRun::Flat(FlatRun::new())
+                    },
+                    aborted: false,
+                    outstanding: 0,
+                });
+                slot
+            }
+        };
+        let entry = &mut self.tasks[slot as usize];
+        debug_assert!(!entry.live, "free list pointed at a live slot");
+        entry.live = true;
+        entry.aborted = false;
+        entry.outstanding = 0;
+        self.in_flight += 1;
+        slot
+    }
+
+    fn release_task_slot(&mut self, slot: usize) {
+        let entry = &mut self.tasks[slot];
+        debug_assert!(entry.live, "double release of a task slot");
+        entry.live = false;
+        entry.gen = entry.gen.wrapping_add(1);
+        self.task_free.push(slot as u32);
+        self.in_flight -= 1;
+    }
+
+    #[inline]
+    fn lookup_task(&self, id: TaskId) -> Option<usize> {
+        let raw = id.raw();
+        let slot = (raw & u64::from(u32::MAX)) as usize;
+        let gen = (raw >> 32) as u32;
+        match self.tasks.get(slot) {
+            Some(entry) if entry.live && entry.gen == gen => Some(slot),
+            _ => None,
+        }
+    }
+
+    /// Admits a global task arriving at `now`: claims a slot, fills it
+    /// through `fill` (the runtime's workload source), stamps the
+    /// adaptive slack scale, runs the strategy's initial decomposition
+    /// and writes the initial submission wave to `out`. Free
+    /// communication is assumed, so no expected-comm reservation is
+    /// stamped (the simulator stamps `0.0` under `NetworkModel::Zero`,
+    /// which is the neutral element).
+    pub(crate) fn admit_global(
+        &mut self,
+        now: f64,
+        fill: impl FnOnce(&mut PooledRun),
+        out: &mut Vec<Submission>,
+    ) -> TaskId {
+        let scale = self.adapt_scale();
+        let slot = self.acquire_task_slot();
+        fill(&mut self.tasks[slot as usize].run);
+        // Mirror the simulator's arrival sequence exactly: comm stamp
+        // (0.0 under free communication), then the feedback stamp.
+        match &mut self.tasks[slot as usize].run {
+            PooledRun::Flat(run) => run.set_expected_comm(0.0),
+            PooledRun::Dag(run) => run.set_expected_comm(0.0),
+        }
+        self.tasks[slot as usize].run.set_slack_scale(scale);
+        let id = global_task_id(self.tasks[slot as usize].gen, slot);
+        out.clear();
+        let entry = &mut self.tasks[slot as usize];
+        entry.run.start(&self.strategy, now, out);
+        entry.outstanding = out.len() as u32;
+        id
+    }
+
+    /// Accounts a completed local job at `now`.
+    pub(crate) fn local_done(&mut self, job: &Job, now: f64) {
+        debug_assert!(matches!(job.origin, JobOrigin::Local { .. }));
+        self.metrics
+            .local
+            .record(job.enqueue_time, job.deadline, now);
+        self.metrics.feedback.observe(now > job.deadline);
+        self.qos
+            .observe(ServiceClass::Local, now > job.deadline, now);
+    }
+
+    /// Accounts a completed global subtask at `now`. On
+    /// [`SubtaskOutcome::Progressed`] the follow-up submission wave has
+    /// been written to `out` and its jobs are already counted in the
+    /// task's outstanding total.
+    pub(crate) fn subtask_done(
+        &mut self,
+        job: &Job,
+        now: f64,
+        out: &mut Vec<Submission>,
+    ) -> SubtaskOutcome {
+        let JobOrigin::Global { task, subtask } = job.origin else {
+            unreachable!("subtask_done on a local job");
+        };
+        let virtual_miss = now > job.deadline;
+        self.metrics.subtask_virtual_miss.record(virtual_miss);
+        self.qos
+            .observe(ServiceClass::SubtaskVirtual, virtual_miss, now);
+        let Some(slot) = self.lookup_task(task) else {
+            debug_assert!(false, "completion for unknown task {task}");
+            return SubtaskOutcome::Swallowed;
+        };
+        let scale = self.adapt_scale();
+        let entry = &mut self.tasks[slot];
+        entry.outstanding -= 1;
+        if entry.aborted {
+            if entry.outstanding == 0 {
+                self.release_task_slot(slot);
+            }
+            return SubtaskOutcome::Swallowed;
+        }
+        // Refresh the feedback stamp so the *next* stage's deadline
+        // reflects the current miss pressure.
+        entry.run.set_slack_scale(scale);
+        out.clear();
+        let finished = entry.run.complete(subtask, &self.strategy, now, out);
+        if finished {
+            // Free communication: the result reaches the process
+            // manager instantly, so the task finishes now.
+            let (arrival, deadline) = (entry.run.arrival(), entry.run.global_deadline());
+            let missed = now > deadline;
+            self.metrics.global.record(arrival, deadline, now);
+            self.metrics.feedback.observe(missed);
+            self.qos.observe(ServiceClass::Global, missed, now);
+            self.release_task_slot(slot);
+            SubtaskOutcome::Finished { missed }
+        } else {
+            entry.outstanding += out.len() as u32;
+            SubtaskOutcome::Progressed
+        }
+    }
+
+    /// Accounts a job discarded by the firm-deadline admission policy.
+    pub(crate) fn job_discarded(&mut self, now: f64, job: &Job) -> DiscardOutcome {
+        match job.origin {
+            JobOrigin::Local { .. } => {
+                self.metrics.local.record_aborted();
+                self.metrics.aborted_locals += 1;
+                self.metrics.feedback.observe(true);
+                self.qos.observe(ServiceClass::Local, true, now);
+                DiscardOutcome::Local
+            }
+            JobOrigin::Global { task, .. } => {
+                self.metrics.subtask_virtual_miss.record(true);
+                self.qos.observe(ServiceClass::SubtaskVirtual, true, now);
+                let Some(slot) = self.lookup_task(task) else {
+                    return DiscardOutcome::GlobalAlreadyDead;
+                };
+                let entry = &mut self.tasks[slot];
+                entry.outstanding -= 1;
+                let outstanding = entry.outstanding;
+                let outcome = if !entry.aborted {
+                    entry.aborted = true;
+                    self.metrics.global.record_aborted();
+                    self.metrics.aborted_globals += 1;
+                    self.metrics.feedback.observe(true);
+                    self.qos.observe(ServiceClass::Global, true, now);
+                    DiscardOutcome::GlobalAborted
+                } else {
+                    DiscardOutcome::GlobalAlreadyDead
+                };
+                if outstanding == 0 {
+                    self.release_task_slot(slot);
+                }
+                outcome
+            }
+        }
+    }
+
+    /// Warm-up deletion: metrics restart (feedback control state
+    /// survives, exactly as in the simulator), QoS statistics restart.
+    pub(crate) fn reset_warmup(&mut self) {
+        self.metrics.reset();
+        self.qos.reset_statistics();
+    }
+}
+
+/// One dispatch round at `node`, shared verbatim between the logical
+/// driver and the wall workers: preempt if the queue head outranks the
+/// running job (preemptive mode), then start the next job subject to
+/// the overload policy. Discarded jobs are written to `discards` and
+/// **must** be accounted (in order) *before* the returned job's
+/// completion is scheduled — the simulator processes them in that
+/// order, and the discard accounting can mutate feedback the next
+/// dispatch reads.
+pub(crate) fn dispatch_node(
+    node: &mut Node,
+    preemptive: bool,
+    overload: OverloadPolicy,
+    now: f64,
+    discards: &mut Vec<Job>,
+) -> Option<Job> {
+    let now_t = SimTime::new(now);
+    if preemptive && node.should_preempt() {
+        node.preempt_requeue(now_t);
+    }
+    match overload {
+        OverloadPolicy::NoAbort => node.try_start(now_t),
+        OverloadPolicy::AbortTardy => {
+            discards.clear();
+            node.try_start_with_admission(now_t, |j| !j.is_tardy(now), discards)
+        }
+    }
+}

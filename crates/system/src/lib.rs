@@ -77,5 +77,6 @@ pub use model::{Event, SystemModel, TraceEvent};
 pub use node::Node;
 pub use runner::{
     run_once, run_once_sharded, run_replications, run_replications_sharded,
-    run_replications_with_threads, ReplicatedResult, RunConfig, RunError, RunResult,
+    run_replications_sharded_with_capacity, run_replications_with_threads, ReplicatedResult,
+    RunConfig, RunError, RunResult,
 };

@@ -384,13 +384,39 @@ pub fn run_replications_sharded(
     replications: usize,
     shards: usize,
 ) -> Result<ReplicatedResult, RunError> {
+    run_replications_sharded_with_capacity(config, base, replications, shards, None)
+}
+
+/// [`run_replications_sharded`] with an explicit cross-shard mailbox
+/// capacity (`None` = the engine default). A deliberately small bound
+/// turns a backlogged synchronization window into a structured
+/// [`RunError::MailboxOverflow`] instead of unbounded buffering — the
+/// sweep binaries expose this as `--mailbox-capacity`.
+///
+/// # Errors
+///
+/// Returns [`RunError::Config`] for invalid workload parameters, and
+/// [`RunError::MailboxOverflow`] if any window exceeds the capacity.
+pub fn run_replications_sharded_with_capacity(
+    config: &SystemConfig,
+    base: &RunConfig,
+    replications: usize,
+    shards: usize,
+    mailbox_capacity: Option<usize>,
+) -> Result<ReplicatedResult, RunError> {
     let mut runs: Vec<Option<Result<RunResult, RunError>>> = Vec::with_capacity(replications);
     for r in 0..replications {
         let run_cfg = RunConfig {
             seed: replication_seed(base.seed, r),
             ..*base
         };
-        runs.push(Some(run_once_sharded(config, &run_cfg, shards)));
+        let result = match mailbox_capacity {
+            Some(capacity) if shards > 1 && config.network.min_hop_delay() > 0.0 => {
+                crate::shard::run_sharded_with_capacity(config, &run_cfg, shards, capacity)
+            }
+            _ => run_once_sharded(config, &run_cfg, shards),
+        };
+        runs.push(Some(result));
     }
     fold_runs(runs)
 }

@@ -780,6 +780,17 @@ pub(crate) fn run_sharded(
     run_sharded_inner(config, run, shards).map(|(result, _)| result)
 }
 
+/// [`run_sharded`] with an explicit per-mailbox capacity, for callers
+/// that bound cross-shard buffering deliberately (`--mailbox-capacity`).
+pub(crate) fn run_sharded_with_capacity(
+    config: &SystemConfig,
+    run: &RunConfig,
+    shards: usize,
+    mailbox_capacity: usize,
+) -> Result<RunResult, RunError> {
+    run_sharded_inner_with_capacity(config, run, shards, mailbox_capacity).map(|(result, _)| result)
+}
+
 /// [`run_sharded`] returning the final model too, so tests can inspect
 /// slab accounting (`tasks_in_flight`) after a sharded run.
 fn run_sharded_inner(

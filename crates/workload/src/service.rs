@@ -86,6 +86,36 @@ impl ServiceVariability {
         }
     }
 
+    /// The third raw moment `E[S³]` of this shape at the given mean
+    /// (`None` for Pareto with `alpha ≤ 3`, where it is infinite).
+    ///
+    /// Per-shape normalized values `E[S³]/mean³`: exponential 6,
+    /// deterministic 1, Erlang-k `(k+1)(k+2)/k²`, lognormal
+    /// `(1+cv²)³`, Pareto `(α−1)³ / (α² (α−3))`.
+    pub fn third_moment(&self, mean: f64) -> Option<f64> {
+        let ratio = match *self {
+            ServiceVariability::Exponential => 6.0,
+            ServiceVariability::Deterministic => 1.0,
+            ServiceVariability::Erlang { stages } => {
+                let k = f64::from(stages.max(1));
+                (k + 1.0) * (k + 2.0) / (k * k)
+            }
+            ServiceVariability::LogNormal { cv2 } => {
+                let b = 1.0 + cv2;
+                b * b * b
+            }
+            ServiceVariability::Pareto { alpha } => {
+                if alpha > 3.0 {
+                    let a1 = alpha - 1.0;
+                    a1 * a1 * a1 / (alpha * alpha * (alpha - 3.0))
+                } else {
+                    return None;
+                }
+            }
+        };
+        Some(ratio * mean * mean * mean)
+    }
+
     /// Picks the natural shape for a target CV²: deterministic at 0,
     /// Erlang below 1, exponential at 1, lognormal above 1.
     pub fn from_cv2(cv2: f64) -> ServiceVariability {
@@ -144,6 +174,44 @@ mod tests {
         assert_eq!(ServiceVariability::Erlang { stages: 4 }.cv2(), Some(0.25));
         assert_eq!(ServiceVariability::LogNormal { cv2: 9.0 }.cv2(), Some(9.0));
         assert_eq!(ServiceVariability::Pareto { alpha: 1.5 }.cv2(), None);
+    }
+
+    #[test]
+    fn third_moment_values() {
+        assert_eq!(ServiceVariability::Exponential.third_moment(1.0), Some(6.0));
+        assert_eq!(
+            ServiceVariability::Deterministic.third_moment(2.0),
+            Some(8.0)
+        );
+        // Erlang-2: (3·4)/4 = 3.
+        assert_eq!(
+            ServiceVariability::Erlang { stages: 2 }.third_moment(1.0),
+            Some(3.0)
+        );
+        // Lognormal: (1+cv²)³.
+        assert_eq!(
+            ServiceVariability::LogNormal { cv2: 1.0 }.third_moment(1.0),
+            Some(8.0)
+        );
+        // Pareto: finite only above alpha = 3.
+        assert_eq!(
+            ServiceVariability::Pareto { alpha: 2.5 }.third_moment(1.0),
+            None
+        );
+        assert_eq!(
+            ServiceVariability::Pareto { alpha: 3.0 }.third_moment(1.0),
+            None
+        );
+        let p4 = ServiceVariability::Pareto { alpha: 4.0 }
+            .third_moment(1.0)
+            .unwrap();
+        // (α−1)³/(α²(α−3)) = 27/16 at α = 4.
+        assert!((p4 - 27.0 / 16.0).abs() < 1e-12);
+        // Erlang-1 is exponential.
+        assert_eq!(
+            ServiceVariability::Erlang { stages: 1 }.third_moment(3.0),
+            ServiceVariability::Exponential.third_moment(3.0)
+        );
     }
 
     #[test]

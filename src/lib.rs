@@ -21,6 +21,9 @@
 //! * [`analytic`] — closed-form M/M/c and Allen–Cunneen G/G/c
 //!   predictors that cross-validate the simulator and screen sweep
 //!   grids analytically;
+//! * [`service`] — a live thread-per-worker runtime driving the same
+//!   assignment strategies on a wall clock, with the simulator as its
+//!   deterministic test double;
 //! * [`experiments`] — the harness regenerating every table and figure.
 //!
 //! ## Quickstart
@@ -57,6 +60,7 @@ pub use sda_analytic as analytic;
 pub use sda_core as core;
 pub use sda_experiments as experiments;
 pub use sda_sched as sched;
+pub use sda_service as service;
 pub use sda_sim as sim;
 pub use sda_system as system;
 pub use sda_workload as workload;
